@@ -1,0 +1,139 @@
+(* Benchmark harness.
+
+   Running this executable (a) reproduces every table and figure of the
+   paper's evaluation through the experiment registry, printing the
+   paper-style tables, and (b) runs one Bechamel micro-benchmark per
+   experiment measuring the harness's own hot path (the online
+   polymerization search, the Equation-2 cost model, the device simulator,
+   …) — the quantities Figure 12a's overhead analysis depends on.
+
+   Usage: main.exe [--quick] [--skip-experiments] [--skip-micro] [ids...] *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let skip_experiments = Array.exists (( = ) "--skip-experiments") Sys.argv
+
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+let selected_ids =
+  Array.to_list Sys.argv |> List.tl
+  |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+
+let experiments () =
+  match selected_ids with
+  | [] -> Mikpoly_experiments.Registry.all
+  | ids ->
+    List.filter
+      (fun (e : Mikpoly_experiments.Exp.t) -> List.mem e.id ids)
+      Mikpoly_experiments.Registry.all
+
+let run_experiments () =
+  List.iter
+    (fun (e : Mikpoly_experiments.Exp.t) ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.run ~quick in
+      Printf.printf "%s  [experiment wall time: %.2fs]\n\n%!"
+        (Mikpoly_experiments.Exp.render report)
+        (Unix.gettimeofday () -. t0))
+    (experiments ())
+
+(* --- Bechamel micro-benchmarks: one per experiment family --- *)
+
+let micro_tests () =
+  let open Mikpoly_experiments in
+  let gpu = Backends.gpu () in
+  let npu = Backends.npu () in
+  let kernels = Mikpoly_core.Compiler.kernels gpu in
+  let config = Mikpoly_core.Compiler.config gpu in
+  let op = Mikpoly_ir.Operator.gemm ~m:4096 ~n:1024 ~k:4096 () in
+  let odd_op = Mikpoly_ir.Operator.gemm ~m:777 ~n:1234 ~k:555 () in
+  let compiled = Mikpoly_core.Compiler.compile gpu op in
+  let load = Mikpoly_ir.Program.to_load compiled.program in
+  let cublas = Backends.cublas () in
+  let entry = kernels.entries.(0) in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [
+    (* fig1/fig6: a vendor-library dispatch (selection + simulation). *)
+    stage "fig1/fig6: cuBLAS select+simulate" (fun () ->
+        cublas.gemm ~m:4096 ~n:1024 ~k:4096);
+    (* fig6/fig8: one full online polymerization on the GPU. *)
+    stage "fig6/fig8: polymerize (4096,1024,4096) GPU" (fun () ->
+        Mikpoly_core.Polymerize.polymerize kernels config op);
+    stage "fig6: polymerize odd shape GPU" (fun () ->
+        Mikpoly_core.Polymerize.polymerize kernels config odd_op);
+    (* fig7: NPU polymerization explores all nine patterns. *)
+    stage "fig7: polymerize (4096,1024,4096) NPU" (fun () ->
+        Mikpoly_core.Polymerize.polymerize
+          (Mikpoly_core.Compiler.kernels npu)
+          (Mikpoly_core.Compiler.config npu)
+          op);
+    (* fig12a: the Equation-2 cost model, the per-candidate unit of search. *)
+    stage "fig12a: cost model (one region)" (fun () ->
+        Mikpoly_core.Cost_model.region_cost Mikpoly_core.Cost_model.Full entry
+          ~rows:4096 ~cols:1024 ~k_len:4096);
+    (* fig12b/case_study: the event-driven device simulation. *)
+    stage "fig12b/tab9: simulate polymerized program" (fun () ->
+        Mikpoly_accel.Simulator.run Mikpoly_accel.Hardware.a100 load);
+    (* fig13: one offline-stage candidate scoring. *)
+    stage "fig13: offline synthetic scoring" (fun () ->
+        Mikpoly_autosched.Autotuner.size_tflops Mikpoly_accel.Hardware.a100
+          entry.desc ~size:1024);
+    (* g_predict evaluation used by f_pipe. *)
+    stage "fig12: g_predict eval" (fun () ->
+        Mikpoly_autosched.Perf_model.predict_cycles entry.model ~t_steps:128);
+    (* The functional executor's micro-kernel implementations. *)
+    (let kd = Mikpoly_accel.Kernel_desc.make ~um:64 ~un:64 ~uk:64 () in
+     let bufs = Mikpoly_ir.Kernel_exec.alloc kd in
+     Array.iteri (fun i _ -> bufs.a_tile.(i) <- 1.) bufs.a_tile;
+     Array.iteri (fun i _ -> bufs.b_tile.(i) <- 1.) bufs.b_tile;
+     let naive = Mikpoly_ir.Kernel_exec.naive kd in
+     stage "executor: naive 64x64x64 micro-kernel" (fun () -> naive bufs));
+    (let kd = Mikpoly_accel.Kernel_desc.make ~um:64 ~un:64 ~uk:64 () in
+     let bufs = Mikpoly_ir.Kernel_exec.alloc kd in
+     Array.iteri (fun i _ -> bufs.a_tile.(i) <- 1.) bufs.a_tile;
+     Array.iteri (fun i _ -> bufs.b_tile.(i) <- 1.) bufs.b_tile;
+     let unrolled = Mikpoly_ir.Kernel_exec.unrolled kd in
+     stage "executor: unrolled 64x64x64 micro-kernel" (fun () -> unrolled bufs));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.05 else 0.25))
+      ~stabilize:true ()
+  in
+  let table =
+    Mikpoly_util.Table.create ~title:"Bechamel micro-benchmarks"
+      ~header:[ "benchmark"; "time/run" ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances
+          (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          Mikpoly_util.Table.add_row table
+            [ name; Mikpoly_util.Table.fmt_time_us (ns /. 1e9) ])
+        analyzed)
+    tests;
+  print_endline (Mikpoly_util.Table.render table)
+
+let () =
+  if not skip_experiments then run_experiments ();
+  if not skip_micro then run_micro ()

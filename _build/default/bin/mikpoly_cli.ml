@@ -1,0 +1,213 @@
+(* Command-line driver: run paper-experiment reproductions or compile a
+   single GEMM shape and inspect the chosen polymerization. *)
+
+open Cmdliner
+
+let run_experiments ids quick csv =
+  let experiments =
+    match ids with
+    | [] -> Mikpoly_experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Mikpoly_experiments.Registry.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" id
+              (String.concat ", " Mikpoly_experiments.Registry.ids);
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (e : Mikpoly_experiments.Exp.t) ->
+      let report = e.run ~quick in
+      if csv then
+        List.iter
+          (fun t -> print_endline (Mikpoly_util.Table.to_csv t))
+          report.tables
+      else print_endline (Mikpoly_experiments.Exp.render report))
+    experiments;
+  0
+
+let list_experiments () =
+  List.iter
+    (fun (e : Mikpoly_experiments.Exp.t) ->
+      Printf.printf "%-12s %s\n             paper: %s\n" e.id e.title e.paper_claim)
+    Mikpoly_experiments.Registry.all;
+  0
+
+let compile_shape m n k npu =
+  let hw = if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100 in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let op = Mikpoly_ir.Operator.gemm ~m ~n ~k () in
+  let compiled = Mikpoly_core.Compiler.compile compiler op in
+  let sim = Mikpoly_core.Compiler.simulate compiler compiled in
+  Printf.printf "%s\n" (Mikpoly_ir.Program.to_string compiled.program);
+  Printf.printf "pattern: %s   candidates: %d (pruned %d)   search: %s\n"
+    (Mikpoly_core.Pattern.to_string compiled.pattern)
+    compiled.candidates compiled.pruned
+    (Mikpoly_util.Table.fmt_time_us compiled.search_seconds);
+  Printf.printf "device time: %s   %.1f TFLOPS   sm_eff %.1f%%   waves %.0f\n"
+    (Mikpoly_util.Table.fmt_time_us sim.seconds)
+    (Mikpoly_accel.Simulator.tflops sim
+       ~useful_flops:(Mikpoly_ir.Operator.flops op))
+    (100. *. sim.sm_efficiency) sim.waves;
+  0
+
+let offline npu save load_path =
+  let hw = if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100 in
+  let config = Mikpoly_core.Config.default hw in
+  let set =
+    match load_path with
+    | Some path -> (
+      match Mikpoly_core.Kernel_store.load ~path hw config with
+      | Ok set ->
+        Printf.printf "loaded kernel set from %s\n" path;
+        set
+      | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" path e;
+        exit 1)
+    | None -> Mikpoly_core.Kernel_set.create hw config
+  in
+  (match save with
+  | Some path ->
+    Mikpoly_core.Kernel_store.save ~path config set;
+    Printf.printf "saved kernel set to %s\n" path
+  | None -> ());
+  let table =
+    Mikpoly_util.Table.create ~title:("offline kernel set for " ^ hw.name)
+      ~header:[ "rank"; "kernel"; "warps"; "blocks/PE"; "wave cap"; "score" ]
+  in
+  Array.iter
+    (fun (e : Mikpoly_core.Kernel_set.entry) ->
+      Mikpoly_util.Table.add_row table
+        [
+          string_of_int e.rank;
+          Mikpoly_accel.Kernel_desc.name e.desc;
+          string_of_int (Mikpoly_accel.Kernel_model.warps hw e.desc);
+          string_of_int (Mikpoly_accel.Kernel_model.blocks_per_pe hw e.desc);
+          string_of_int e.wave_capacity;
+          Printf.sprintf "%.3f" e.rank_score;
+        ])
+    set.entries;
+  print_endline (Mikpoly_util.Table.render table);
+  0
+
+let show_patterns m n =
+  (* Render each pattern's region decomposition as a coarse grid. *)
+  let width = 32 and height = 12 in
+  List.iter
+    (fun p ->
+      let cuts =
+        match Mikpoly_core.Pattern.arity p with
+        | 0 -> []
+        | 1 -> (
+          match p with
+          | Mikpoly_core.Pattern.II -> [ (m * 3 / 4) - (m * 3 / 4 mod 1) ]
+          | _ -> [ n * 3 / 4 ])
+        | _ -> (
+          match p with
+          | Mikpoly_core.Pattern.VII -> [ m / 2; m * 3 / 4 ]
+          | Mikpoly_core.Pattern.VIII -> [ n / 2; n * 3 / 4 ]
+          | _ -> [ m * 3 / 4; n * 3 / 4 ])
+      in
+      match Mikpoly_core.Pattern.decompose p ~m ~n ~cuts with
+      | None -> Printf.printf "%s: (degenerate for %dx%d)\n" (Mikpoly_core.Pattern.to_string p) m n
+      | Some rects ->
+        Printf.printf "%s:\n" (Mikpoly_core.Pattern.to_string p);
+        for row = 0 to height - 1 do
+          print_string "  ";
+          for col = 0 to width - 1 do
+            let i = row * m / height and j = col * n / width in
+            let region =
+              List.find_map
+                (fun idx ->
+                  let r = List.nth rects idx in
+                  if i >= r.Mikpoly_core.Pattern.row_off
+                     && i < r.row_off + r.rows
+                     && j >= r.col_off
+                     && j < r.col_off + r.cols
+                  then Some idx
+                  else None)
+                (List.init (List.length rects) Fun.id)
+            in
+            print_char
+              (match region with
+              | Some idx -> Char.chr (Char.code 'A' + idx)
+              | None -> '?')
+          done;
+          print_newline ()
+        done;
+        print_newline ())
+    Mikpoly_core.Pattern.all;
+  0
+
+let verify count npu =
+  let hw = if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100 in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  match Mikpoly_core.Selfcheck.check_random_shapes compiler ~count with
+  | Ok n ->
+    Printf.printf "OK: %d random shapes compiled, executed and matched the reference GEMM\n" n;
+    0
+  | Error f ->
+    let m, n, k = f.shape in
+    Printf.eprintf "FAILED at (%d,%d,%d): max |diff| = %g\n  %s\n" m n k
+      f.max_abs_diff f.program;
+    1
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Subsample heavy workloads.")
+
+let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV.")
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
+
+let run_cmd =
+  let doc = "Run paper-experiment reproductions" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids_arg $ quick_flag $ csv_flag)
+
+let list_cmd =
+  let doc = "List available experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let compile_cmd =
+  let doc = "Polymerize a single GEMM shape and report the chosen program" in
+  let m = Arg.(required & opt (some int) None & info [ "m" ] ~docv:"M") in
+  let n = Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N") in
+  let k = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K") in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const compile_shape $ m $ n $ k $ npu)
+
+let offline_cmd =
+  let doc = "Run (or load) the offline stage and print the tuned kernel set" in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Persist the kernel set to FILE.")
+  in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load the kernel set from FILE instead of tuning.")
+  in
+  Cmd.v (Cmd.info "offline" ~doc) Term.(const offline $ npu $ save $ load)
+
+let patterns_cmd =
+  let doc = "Visualize the nine polymerization patterns (Figure 5)" in
+  let m = Arg.(value & opt int 1024 & info [ "m" ] ~docv:"M") in
+  let n = Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N") in
+  Cmd.v (Cmd.info "patterns" ~doc) Term.(const show_patterns $ m $ n)
+
+let verify_cmd =
+  let doc = "Numerically verify compiled programs against the reference GEMM" in
+  let count = Arg.(value & opt int 25 & info [ "count" ] ~docv:"N") in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const verify $ count $ npu)
+
+let main =
+  let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
+  Cmd.group (Cmd.info "mikpoly_cli" ~doc)
+    [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main)

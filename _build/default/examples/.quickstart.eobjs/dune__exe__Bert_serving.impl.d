@@ -1,0 +1,1 @@
+examples/bert_serving.ml: Backends Inference List Mikpoly_accel Mikpoly_experiments Mikpoly_nn Mikpoly_util Printf Transformer

@@ -1,0 +1,1 @@
+examples/llm_decode.ml: Backends Inference List Llama Mikpoly_accel Mikpoly_experiments Mikpoly_nn Mikpoly_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Executor Gemm_ref Kernel_set Mikpoly_accel Mikpoly_core Mikpoly_ir Mikpoly_tensor Mikpoly_util Operator Pattern Printf Program Shape Tensor

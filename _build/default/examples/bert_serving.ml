@@ -1,0 +1,42 @@
+(* Dynamic sequence lengths: the paper's motivating language-model
+   scenario (Sections 1, 2.1). A BERT serving loop receives sentences of
+   unpredictable length; MikPoly polymerizes each new shape on the fly and
+   reuses cached programs for lengths seen before.
+
+   Run with: dune exec examples/bert_serving.exe *)
+
+open Mikpoly_nn
+open Mikpoly_experiments
+
+let () =
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Backends.gpu () in
+  let mik = Backends.mikpoly_gemm compiler in
+  let overhead = Backends.mikpoly_overhead compiler in
+  let cublas = Backends.backend_gemm (Backends.cublas ()) in
+  let rng = Mikpoly_util.Prng.create 7 in
+  let lengths = List.init 20 (fun _ -> Mikpoly_util.Prng.int_in rng 5 500) in
+  Printf.printf "serving bert-base with 20 random sentences (len 5..500)\n\n";
+  Printf.printf "%6s  %12s  %12s  %9s  %9s\n" "seq" "cuBLAS" "MikPoly" "speedup" "compile";
+  let total_base = ref 0. and total_mik = ref 0. in
+  List.iter
+    (fun seq_len ->
+      let graph = Transformer.graph Transformer.bert_base ~seq_len in
+      let base = Inference.run hw graph ~gemm:cublas () in
+      let mikr =
+        Inference.run hw graph ~gemm:mik
+          ~overhead_per_shape:(fun ~m ~n ~k -> overhead ~m ~n ~k)
+          ()
+      in
+      total_base := !total_base +. base.seconds;
+      total_mik := !total_mik +. mikr.seconds;
+      Printf.printf "%6d  %12s  %12s  %8.2fx  %9s\n" seq_len
+        (Mikpoly_util.Table.fmt_time_us base.seconds)
+        (Mikpoly_util.Table.fmt_time_us mikr.seconds)
+        (base.seconds /. mikr.seconds)
+        (Mikpoly_util.Table.fmt_time_us mikr.overhead_seconds))
+    lengths;
+  Printf.printf "\nsession total: cuBLAS %s, MikPoly %s -> %.2fx end-to-end\n"
+    (Mikpoly_util.Table.fmt_time_us !total_base)
+    (Mikpoly_util.Table.fmt_time_us !total_mik)
+    (!total_base /. !total_mik)

@@ -1,0 +1,52 @@
+(* Dynamic batch sizes in training: the paper's first motivating scenario
+   (Section 2.1 (1)). An adaptive-batch training schedule grows the batch
+   as the loss stabilizes; every change reshapes the step's three GEMM
+   families (forward, input-gradient, weight-gradient), and in the
+   weight-gradient product the batch is the *reduction* dimension.
+
+   Run with: dune exec examples/dynamic_batch_training.exe *)
+
+open Mikpoly_nn
+open Mikpoly_experiments
+
+let () =
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Backends.gpu () in
+  let mik = Backends.mikpoly_gemm compiler in
+  let overhead = Backends.mikpoly_overhead compiler in
+  let cublas = Backends.backend_gemm (Backends.cublas ()) in
+  (* An adaptive schedule: batch doubles whenever the (synthetic) loss
+     plateaus; here simply every few steps. *)
+  let schedule = [ 8; 8; 16; 16; 32; 48; 64; 96; 128; 192; 256 ] in
+  Printf.printf
+    "bert-base training steps with an adaptive batch schedule (seq 128)\n\n";
+  Printf.printf "%6s  %12s  %12s  %9s\n" "batch" "cuBLAS" "MikPoly" "speedup";
+  let totals = ref (0., 0.) in
+  List.iter
+    (fun batch ->
+      let graph = Training.transformer_step Transformer.bert_base ~batch ~seq_len:128 in
+      let base = Inference.run hw graph ~gemm:cublas () in
+      let mikr =
+        Inference.run hw graph ~gemm:mik
+          ~overhead_per_shape:(fun ~m ~n ~k -> overhead ~m ~n ~k)
+          ()
+      in
+      let b, m = !totals in
+      totals := (b +. base.seconds, m +. mikr.seconds);
+      Printf.printf "%6d  %12s  %12s  %8.2fx\n" batch
+        (Mikpoly_util.Table.fmt_time_us base.seconds)
+        (Mikpoly_util.Table.fmt_time_us mikr.seconds)
+        (base.seconds /. mikr.seconds))
+    schedule;
+  let b, m = !totals in
+  Printf.printf "\nschedule total: cuBLAS %s, MikPoly %s -> %.2fx\n"
+    (Mikpoly_util.Table.fmt_time_us b)
+    (Mikpoly_util.Table.fmt_time_us m)
+    (b /. m);
+  (* Show how the dynamic dimension moves across M/N/K. *)
+  print_newline ();
+  print_endline "one dense layer's step GEMMs at batch 96 (I=1024, O=4096):";
+  List.iter2
+    (fun name (m', n, k) -> Printf.printf "  %-12s (%d, %d, %d)\n" name m' n k)
+    [ "forward"; "grad_input"; "grad_weight" ]
+    (Training.gemm_shapes_of_batch ~batch:96 ~in_features:1024 ~out_features:4096)

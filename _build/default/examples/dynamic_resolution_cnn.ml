@@ -1,0 +1,34 @@
+(* Dynamic image resolution: the paper's computer-vision scenario
+   (Section 2.1 (2)). A detection service feeds ResNet-18 with images of
+   whatever resolution arrives; padding to a fixed shape wastes work, so
+   every resolution becomes a distinct set of convolution shapes.
+
+   Run with: dune exec examples/dynamic_resolution_cnn.exe *)
+
+open Mikpoly_nn
+open Mikpoly_experiments
+
+let () =
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Backends.gpu () in
+  let mik = Backends.mikpoly_gemm compiler in
+  let overhead = Backends.mikpoly_overhead compiler in
+  let cublas = Backends.backend_gemm (Backends.cublas ()) in
+  let cudnn = Backends.backend_gemm (Backends.cudnn ()) in
+  Printf.printf "resnet-18, batch 4, resolutions 64..640 (the Figure 9 sweep)\n\n";
+  Printf.printf "%6s  %12s  %12s  %9s\n" "res" "cuDNN" "MikPoly" "speedup";
+  List.iter
+    (fun i ->
+      let resolution = 64 * i in
+      let graph = Cnn.resnet18.build ~batch:4 ~resolution in
+      let base = Inference.run hw graph ~gemm:cublas ~conv_gemm:cudnn () in
+      let mikr =
+        Inference.run hw graph ~gemm:mik
+          ~overhead_per_shape:(fun ~m ~n ~k -> overhead ~m ~n ~k)
+          ()
+      in
+      Printf.printf "%6d  %12s  %12s  %8.2fx\n" resolution
+        (Mikpoly_util.Table.fmt_time_us base.seconds)
+        (Mikpoly_util.Table.fmt_time_us mikr.seconds)
+        (base.seconds /. mikr.seconds))
+    (List.init 10 (fun i -> i + 1))

@@ -1,0 +1,55 @@
+(* LLM serving with in-flight batching (paper Section 5.2.4 and the
+   "Impact on LLM Systems" discussion): Llama2-13b under 4-way tensor
+   parallelism sees GEMMs whose token dimension changes every scheduler
+   tick. This example reports the Table-8 per-operator comparison and a
+   prefill + 512-step decode latency, like Figure 11.
+
+   Run with: dune exec examples/llm_decode.exe *)
+
+open Mikpoly_nn
+open Mikpoly_experiments
+
+let () =
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Backends.gpu () in
+  let mik = Backends.mikpoly_gemm compiler in
+  let overhead = Backends.mikpoly_overhead compiler in
+  let cublas = Backends.backend_gemm (Backends.cublas ()) in
+  Printf.printf "llama2-13b per-GPU GEMMs (TP=4), token counts 1..4096:\n\n";
+  Printf.printf "%-10s %6s %6s  %s\n" "layer" "M" "K" "speedup vs cuBLAS per token count";
+  List.iter
+    (fun (g : Llama.layer_gemm) ->
+      Printf.printf "%-10s %6d %6d  " g.label g.m g.k;
+      List.iter
+        (fun e ->
+          let tokens = 1 lsl e in
+          let m, n, k = Llama.gemm_shape g ~tokens in
+          match (cublas ~m ~n ~k, mik ~m ~n ~k) with
+          | Ok b, Ok t -> Printf.printf "%d:%.2fx " tokens (b /. t)
+          | _ -> ())
+        [ 0; 2; 4; 6; 8; 10; 12 ];
+      print_newline ())
+    Llama.layer_gemms;
+  let time gemm ~with_overhead ~batch ~seq_len =
+    Llama.generation_seconds ~batch ~seq_len ~output_len:512
+      ~op_seconds:(fun graph ->
+        let r =
+          if with_overhead then
+            Inference.run hw graph ~gemm
+              ~overhead_per_shape:(fun ~m ~n ~k -> overhead ~m ~n ~k)
+              ()
+          else Inference.run hw graph ~gemm ()
+        in
+        r.seconds)
+  in
+  Printf.printf "\nend-to-end generation (prefill + 512 decode steps):\n";
+  List.iter
+    (fun (batch, seq_len) ->
+      let ft = time cublas ~with_overhead:false ~batch ~seq_len in
+      let mk = time mik ~with_overhead:true ~batch ~seq_len in
+      Printf.printf "  batch %d, prompt %4d: FasterTransformer %s, MikPoly %s (%.2fx)\n"
+        batch seq_len
+        (Mikpoly_util.Table.fmt_time_us ft)
+        (Mikpoly_util.Table.fmt_time_us mk)
+        (ft /. mk))
+    [ (1, 128); (4, 512); (8, 64) ]

@@ -1,0 +1,1 @@
+lib/accel/hardware.ml: Printf

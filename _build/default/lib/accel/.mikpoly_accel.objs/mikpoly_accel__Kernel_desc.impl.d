@@ -1,0 +1,1 @@
+lib/accel/kernel_desc.ml: Hardware Int64 Mikpoly_tensor Printf Stdlib

@@ -1,0 +1,1 @@
+lib/accel/kernel_desc.mli: Hardware Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/accel/kernel_model.ml: Hardware Kernel_desc Mikpoly_tensor

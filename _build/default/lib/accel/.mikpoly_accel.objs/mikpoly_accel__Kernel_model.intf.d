@@ -1,0 +1,1 @@
+lib/accel/kernel_model.mli: Hardware Kernel_desc

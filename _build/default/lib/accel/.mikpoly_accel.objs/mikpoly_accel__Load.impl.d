@@ -1,0 +1,1 @@
+lib/accel/load.ml: Kernel_desc List Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/accel/load.mli: Kernel_desc Mikpoly_tensor

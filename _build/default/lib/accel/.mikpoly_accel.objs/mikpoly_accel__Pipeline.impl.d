@@ -1,0 +1,1 @@
+lib/accel/pipeline.ml: Hardware Kernel_desc Kernel_model

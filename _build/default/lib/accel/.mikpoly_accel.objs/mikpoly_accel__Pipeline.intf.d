@@ -1,0 +1,1 @@
+lib/accel/pipeline.mli: Hardware Kernel_desc

@@ -1,0 +1,1 @@
+lib/accel/pipeline_sim.mli: Hardware Kernel_desc

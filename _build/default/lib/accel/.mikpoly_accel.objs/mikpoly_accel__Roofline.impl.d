@@ -1,0 +1,1 @@
+lib/accel/roofline.ml: Hardware Load Mikpoly_tensor

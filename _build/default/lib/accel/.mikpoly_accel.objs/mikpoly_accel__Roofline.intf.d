@@ -1,0 +1,1 @@
+lib/accel/roofline.mli: Hardware Mikpoly_tensor

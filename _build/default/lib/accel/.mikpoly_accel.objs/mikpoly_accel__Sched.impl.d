@@ -1,0 +1,1 @@
+lib/accel/sched.ml: Array Heap List Mikpoly_util

@@ -1,0 +1,1 @@
+lib/accel/simulator.ml: Hardware Kernel_desc Kernel_model List Load Pipeline Sched

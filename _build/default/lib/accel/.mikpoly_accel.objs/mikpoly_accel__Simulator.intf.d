@@ -1,0 +1,1 @@
+lib/accel/simulator.mli: Hardware Load

@@ -1,0 +1,1 @@
+lib/accel/trace.ml: Array Bytes Hardware Kernel_desc Kernel_model List Load Pipeline Printf Sched Simulator String

@@ -1,0 +1,110 @@
+type kind = Gpu | Npu
+
+type compute_path = Matrix | Vector
+
+type t = {
+  name : string;
+  kind : kind;
+  num_pes : int;
+  clock_hz : float;
+  matrix_flops_per_cycle : float;
+  vector_flops_per_cycle : float;
+  local_mem_bytes : int;
+  fabric_bytes_per_cycle : float;
+  dram_bytes_per_cycle : float;
+  matrix_slots : int;
+  vector_slots : int;
+  launch_overhead_s : float;
+}
+
+let a100 =
+  {
+    name = "NVIDIA A100 (simulated)";
+    kind = Gpu;
+    num_pes = 108;
+    clock_hz = 1.41e9;
+    (* 108 PEs x 2048 flop/cycle x 1.41 GHz = 312 TFLOPS fp16 peak. *)
+    matrix_flops_per_cycle = 2048.;
+    (* 108 x 128 x 1.41 GHz = 19.5 TFLOPS fp32 on CUDA cores. *)
+    vector_flops_per_cycle = 128.;
+    local_mem_bytes = 192 * 1024;
+    (* Cache-filtered achievable bandwidth ~6.2 TB/s; DRAM 1555 GB/s. *)
+    fabric_bytes_per_cycle = 4400.;
+    dram_bytes_per_cycle = 1103.;
+    matrix_slots = 8;
+    vector_slots = 32;
+    launch_overhead_s = 3e-6;
+  }
+
+let ascend910 =
+  {
+    name = "Ascend 910A (simulated)";
+    kind = Npu;
+    num_pes = 32;
+    clock_hz = 1.0e9;
+    (* 32 cores x 8192 flop/cycle (16x16x16 cube) x 1 GHz = 262 TFLOPS. *)
+    matrix_flops_per_cycle = 8192.;
+    vector_flops_per_cycle = 256.;
+    local_mem_bytes = 1024 * 1024;
+    fabric_bytes_per_cycle = 2400.;
+    dram_bytes_per_cycle = 1200.;
+    matrix_slots = 1;
+    vector_slots = 1;
+    launch_overhead_s = 10e-6;
+  }
+
+let a100_80g =
+  {
+    a100 with
+    name = "NVIDIA A100-80GB (simulated)";
+    (* HBM2e: 1935 GB/s. *)
+    dram_bytes_per_cycle = 1372.;
+    fabric_bytes_per_cycle = 4800.;
+  }
+
+let v100 =
+  {
+    name = "NVIDIA V100 (simulated)";
+    kind = Gpu;
+    num_pes = 80;
+    clock_hz = 1.53e9;
+    (* 80 SMs x 1024 flop/cycle x 1.53 GHz = 125 TFLOPS fp16. *)
+    matrix_flops_per_cycle = 1024.;
+    vector_flops_per_cycle = 128.;
+    local_mem_bytes = 96 * 1024;
+    fabric_bytes_per_cycle = 2600.;
+    dram_bytes_per_cycle = 588.; (* 900 GB/s HBM2 *)
+    matrix_slots = 8;
+    vector_slots = 32;
+    launch_overhead_s = 4e-6;
+  }
+
+let ascend310 =
+  {
+    ascend910 with
+    name = "Ascend 310 (simulated)";
+    num_pes = 2;
+    (* 2 cores x 8192 flop/cycle x 1 GHz = 16 TFLOPS fp16. *)
+    fabric_bytes_per_cycle = 300.;
+    dram_bytes_per_cycle = 128.; (* LPDDR4X ~128 GB/s *)
+  }
+
+let presets = [ a100; a100_80g; v100; ascend910; ascend310 ]
+
+let flops_per_cycle t = function
+  | Matrix -> t.matrix_flops_per_cycle
+  | Vector -> t.vector_flops_per_cycle
+
+let peak_tflops t path =
+  flops_per_cycle t path *. float_of_int t.num_pes *. t.clock_hz /. 1e12
+
+let slots t = function Matrix -> t.matrix_slots | Vector -> t.vector_slots
+
+let cycles_to_seconds t cycles = cycles /. t.clock_hz
+
+let to_string t =
+  Printf.sprintf "%s: %d PEs @ %.2f GHz, %.0f TFLOPS matrix, %d KiB local, %.0f GB/s dram"
+    t.name t.num_pes (t.clock_hz /. 1e9)
+    (peak_tflops t Matrix)
+    (t.local_mem_bytes / 1024)
+    (t.dram_bytes_per_cycle *. t.clock_hz /. 1e9)

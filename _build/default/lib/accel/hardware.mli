@@ -1,0 +1,72 @@
+(** Multi-level accelerator abstraction (paper Section 3.1, Table 1).
+
+    A device is [H = (P_multi, M_local, M_global)]: a number of identical
+    processing engines (PEs — SMs on the GPU, DaVinci cores on the NPU),
+    a per-PE local memory, and a global memory whose bandwidth is shared
+    equally across active PEs. On top of the paper's three components we
+    carry the microarchitectural constants needed to make the abstraction
+    executable: clock rate, per-PE compute throughput per path, concurrency
+    (warp-slot) limits, and a kernel launch overhead. *)
+
+type kind = Gpu | Npu
+
+type compute_path =
+  | Matrix  (** Tensor Cores on the GPU, the cube unit on the NPU. *)
+  | Vector  (** CUDA cores (used for the DietCode/Nimble comparison). *)
+
+type t = {
+  name : string;
+  kind : kind;
+  num_pes : int;  (** |P_multi| *)
+  clock_hz : float;
+  matrix_flops_per_cycle : float;  (** per PE, on the [Matrix] path *)
+  vector_flops_per_cycle : float;  (** per PE, on the [Vector] path *)
+  local_mem_bytes : int;  (** M_local per PE *)
+  fabric_bytes_per_cycle : float;
+      (** Achievable shared load/store bandwidth (cache-filtered), split
+          equally across resident blocks — the paper's M_global sharing
+          rule. *)
+  dram_bytes_per_cycle : float;
+      (** Off-chip bandwidth; lower-bounds any program by its unique
+          memory footprint. *)
+  matrix_slots : int;
+      (** Concurrent warp slots per PE available to register-heavy matrix
+          kernels (8 on the A100 model — the 12.5% theoretical occupancy of
+          the paper's Section 6 case study). *)
+  vector_slots : int;  (** Warp slots for vector-path kernels. *)
+  launch_overhead_s : float;  (** Per-region kernel launch cost, seconds. *)
+}
+
+val a100 : t
+(** The GPU platform of Table 1: 108 PEs at 1.41 GHz, 312 TFLOPS fp16
+    matrix peak, 192 KiB local memory. *)
+
+val ascend910 : t
+(** The NPU platform of Table 1: 32 DaVinci cores at 1.0 GHz, 262 TFLOPS
+    fp16 cube peak, 1 MiB local buffer, one kernel per core. *)
+
+val a100_80g : t
+(** The 80 GB A100 SKU (Section 5.2.4's server has four of these): same
+    SMs, higher HBM2e bandwidth. *)
+
+val v100 : t
+(** A previous-generation GPU (80 SMs, first-generation tensor cores) —
+    exercises the abstraction's portability claim (Section 7
+    "Generality"). *)
+
+val ascend310 : t
+(** An inference-class NPU (2 DaVinci cores) — the small end of the NPU
+    family. *)
+
+val presets : t list
+(** All built-in devices. *)
+
+val flops_per_cycle : t -> compute_path -> float
+
+val peak_tflops : t -> compute_path -> float
+
+val slots : t -> compute_path -> int
+
+val cycles_to_seconds : t -> float -> float
+
+val to_string : t -> string

@@ -1,0 +1,48 @@
+type t = {
+  um : int;
+  un : int;
+  uk : int;
+  dtype : Mikpoly_tensor.Dtype.t;
+  path : Hardware.compute_path;
+  codegen_eff : float;
+  origin : string;
+}
+
+let make ?(dtype = Mikpoly_tensor.Dtype.F16) ?(path = Hardware.Matrix)
+    ?(codegen_eff = 0.88) ?(origin = "mikpoly") ~um ~un ~uk () =
+  let check_dim d =
+    if d <= 0 || d mod 16 <> 0 then
+      invalid_arg "Kernel_desc.make: tile dimensions must be positive multiples of 16"
+  in
+  check_dim um;
+  check_dim un;
+  check_dim uk;
+  if codegen_eff <= 0. || codegen_eff > 1. then
+    invalid_arg "Kernel_desc.make: codegen_eff must be in (0, 1]";
+  { um; un; uk; dtype; path; codegen_eff; origin }
+
+let flops t = 2. *. float_of_int t.um *. float_of_int t.un *. float_of_int t.uk
+
+let load_bytes t =
+  let elems = (t.um * t.uk) + (t.uk * t.un) in
+  float_of_int (elems * Mikpoly_tensor.Dtype.bytes t.dtype)
+
+let store_bytes t =
+  float_of_int (t.um * t.un * Mikpoly_tensor.Dtype.bytes t.dtype)
+
+let name t = Printf.sprintf "mk%dx%dx%d" t.um t.un t.uk
+
+let codegen_quality_factor ~um ~un ~uk =
+  (* splitmix64-style avalanche of the tile triple. *)
+  let z = Int64.of_int ((um * 73_856_093) lxor (un * 19_349_663) lxor (uk * 83_492_791)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let unit =
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+  in
+  0.8 +. (0.2 *. unit)
+
+let equal a b = a = b
+
+let compare = Stdlib.compare

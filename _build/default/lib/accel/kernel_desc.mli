@@ -1,0 +1,52 @@
+(** Fixed-size micro-kernel descriptors as seen by the machine model.
+
+    A micro-kernel computes one [(uM, uN, uK)] GEMM block inside a PE's
+    local memory. The descriptor is codegen-agnostic: both the kernels
+    MikPoly generates offline and the hand-tuned kernels inside the vendor
+    library models are described this way; they differ in tile sizes and in
+    [codegen_eff], the fraction of the shape-limited throughput the actual
+    instruction stream achieves (hand-written assembly beats auto-generated
+    code by a constant factor). *)
+
+type t = {
+  um : int;
+  un : int;
+  uk : int;
+  dtype : Mikpoly_tensor.Dtype.t;
+  path : Hardware.compute_path;
+  codegen_eff : float;  (** in (0, 1]: 0.96 cuBLAS-grade, 0.88 TVM-grade… *)
+  origin : string;  (** provenance label for reports ("mikpoly", "cublas"…) *)
+}
+
+val make :
+  ?dtype:Mikpoly_tensor.Dtype.t -> ?path:Hardware.compute_path ->
+  ?codegen_eff:float -> ?origin:string -> um:int -> un:int -> uk:int -> unit -> t
+(** Defaults: fp16, [Matrix] path, [codegen_eff] 0.88, origin "mikpoly".
+    Raises [Invalid_argument] if a tile dimension is non-positive or not a
+    multiple of 16 (the MMA/cube granularity), or if [codegen_eff] is
+    outside (0, 1]. *)
+
+val flops : t -> float
+(** 2·uM·uN·uK — work of one instance. *)
+
+val load_bytes : t -> float
+(** Bytes of A and B tiles streamed per instance. *)
+
+val store_bytes : t -> float
+(** Bytes of the C tile written once per pipelined task. *)
+
+val name : t -> string
+(** E.g. ["mk256x128x32"]. *)
+
+val codegen_quality_factor : um:int -> un:int -> uk:int -> float
+(** Deterministic per-tile quality variation of auto-generated code, in
+    [0.8, 1.0]: an auto-scheduler does not hit the same fraction of peak
+    for every tile configuration (register allocation, unroll factors and
+    instruction mix interact idiosyncratically with the tile), so
+    generated-kernel backends scale their base [codegen_eff] by this
+    hash-derived factor. Hand-tuned vendor kernels do not use it — each
+    catalog entry is individually optimized. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

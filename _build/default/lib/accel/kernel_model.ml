@@ -1,0 +1,43 @@
+let local_bytes (k : Kernel_desc.t) =
+  let dbytes = Mikpoly_tensor.Dtype.bytes k.dtype in
+  let tiles = ((k.um * k.uk) + (k.uk * k.un)) * dbytes * 2 in
+  let accum = k.um * k.un * 4 in
+  tiles + accum
+
+let fits (hw : Hardware.t) k = local_bytes k <= hw.local_mem_bytes
+
+let warps (hw : Hardware.t) (k : Kernel_desc.t) =
+  match hw.kind with
+  | Npu -> 1
+  | Gpu -> (
+    match k.path with
+    | Matrix -> max 4 (k.um * k.un / 4096)
+    | Vector -> max 2 (k.um * k.un / 2048))
+
+let blocks_per_pe (hw : Hardware.t) (k : Kernel_desc.t) =
+  if not (fits hw k) then 0
+  else begin
+    let by_slots = Hardware.slots hw k.path / warps hw k in
+    let by_mem = hw.local_mem_bytes / local_bytes k in
+    max 0 (min by_slots by_mem)
+  end
+
+let wave_capacity hw k = hw.Hardware.num_pes * blocks_per_pe hw k
+
+let sched_warps hw (k : Kernel_desc.t) =
+  let blocks = blocks_per_pe hw k in
+  if blocks < 1 then invalid_arg "Kernel_model.sched_warps: kernel does not fit";
+  Hardware.slots hw k.path / blocks
+
+(* Pipeline-saturation factor: each tile dimension contributes
+   u / (u + g) with a granularity reflecting issue overhead per MMA
+   fragment. Calibrated so that a (256,128,32) kernel reaches ~0.90 and a
+   (16,16,16) kernel ~0.57 of peak before codegen quality. *)
+let shape_eff (k : Kernel_desc.t) =
+  let f u g = float_of_int u /. float_of_int (u + g) in
+  f k.um 4 *. f k.un 4 *. f k.uk 2
+
+let effective_flops_per_cycle (hw : Hardware.t) (k : Kernel_desc.t) ~resident =
+  if resident <= 0 then invalid_arg "Kernel_model.effective_flops_per_cycle";
+  Hardware.flops_per_cycle hw k.path /. float_of_int resident
+  *. shape_eff k *. k.codegen_eff

@@ -1,0 +1,41 @@
+(** Resource and throughput model of a micro-kernel on a device.
+
+    This is where the paper's local-memory constraint and occupancy rules
+    live: a kernel only exists if its double-buffered tiles fit in
+    [M_local]; on the GPU its warp count and register pressure bound how
+    many blocks can be resident per SM. *)
+
+val local_bytes : Kernel_desc.t -> int
+(** Local memory used by one resident block: double-buffered A and B tiles
+    plus an fp32 accumulator for the C tile. *)
+
+val fits : Hardware.t -> Kernel_desc.t -> bool
+(** Whether the kernel fits in the device's local memory. *)
+
+val warps : Hardware.t -> Kernel_desc.t -> int
+(** Warp slots one block occupies. On the GPU matrix path this reproduces
+    the paper's Section 6 figures: a (256,128,·) kernel uses 8 warps, a
+    (64,64,·) kernel 4 warps. On the NPU every kernel is 1 slot (one task
+    per DaVinci core). *)
+
+val blocks_per_pe : Hardware.t -> Kernel_desc.t -> int
+(** Maximum resident blocks per PE: limited by both warp slots and local
+    memory. 0 if the kernel does not fit at all. *)
+
+val wave_capacity : Hardware.t -> Kernel_desc.t -> int
+(** [num_pes × blocks_per_pe] — pipelined tasks executable in parallel,
+    the paper's [f_multi]. *)
+
+val sched_warps : Hardware.t -> Kernel_desc.t -> int
+(** Warp slots a task effectively occupies for scheduling purposes: raw
+    warps inflated so that at most [blocks_per_pe] tasks fit on a PE even
+    when the binding constraint is local memory rather than warp slots.
+    [slots / sched_warps = blocks_per_pe] exactly. *)
+
+val shape_eff : Kernel_desc.t -> float
+(** Shape-limited fraction of peak throughput: small tiles cannot keep the
+    MMA/cube pipelines saturated. In (0, 1]. *)
+
+val effective_flops_per_cycle : Hardware.t -> Kernel_desc.t -> resident:int -> float
+(** Per-block compute throughput when [resident] blocks share one PE
+    (compute pipelines are time-sliced). *)

@@ -1,0 +1,33 @@
+type region = {
+  kernel : Kernel_desc.t;
+  n_tasks : int;
+  t_steps : int;
+}
+
+type t = {
+  regions : region list;
+  footprint_bytes : float;
+}
+
+let region ~kernel ~n_tasks ~t_steps =
+  if n_tasks < 1 || t_steps < 1 then
+    invalid_arg "Load.region: n_tasks and t_steps must be >= 1";
+  { kernel; n_tasks; t_steps }
+
+let make ~regions ~footprint_bytes =
+  if footprint_bytes < 0. then invalid_arg "Load.make: negative footprint";
+  { regions; footprint_bytes }
+
+let gemm_footprint_bytes ~dtype ~m ~n ~k =
+  let elems = (m * k) + (k * n) + (m * n) in
+  float_of_int (elems * Mikpoly_tensor.Dtype.bytes dtype)
+
+let total_tasks t = List.fold_left (fun acc r -> acc + r.n_tasks) 0 t.regions
+
+let total_flops t =
+  List.fold_left
+    (fun acc r ->
+      acc
+      +. (float_of_int r.n_tasks *. float_of_int r.t_steps
+          *. Kernel_desc.flops r.kernel))
+    0. t.regions

@@ -1,0 +1,34 @@
+(** Device-level workload description: what a lowered tensor program asks
+    the accelerator to run.
+
+    A program is a sequence of uniform {e regions}; region [i] launches
+    [n_tasks] pipelined tasks, each executing [t_steps] instances of one
+    fixed-size micro-kernel (the paper's [R_i] / [K_i] pairs after
+    polymerization). *)
+
+type region = {
+  kernel : Kernel_desc.t;
+  n_tasks : int;  (** parallel pipelined tasks — f_parallel(R_i, K_i) *)
+  t_steps : int;  (** kernel instances per task — f_num(R_i, K_i) *)
+}
+
+type t = {
+  regions : region list;
+  footprint_bytes : float;
+      (** Unique off-chip traffic of the whole operator (A + B + C once);
+          lower-bounds execution via DRAM bandwidth. *)
+}
+
+val region : kernel:Kernel_desc.t -> n_tasks:int -> t_steps:int -> region
+(** Raises [Invalid_argument] unless both counts are >= 1. *)
+
+val make : regions:region list -> footprint_bytes:float -> t
+
+val gemm_footprint_bytes : dtype:Mikpoly_tensor.Dtype.t -> m:int -> n:int -> k:int -> float
+(** [(M·K + K·N + M·N) × bytes]. *)
+
+val total_tasks : t -> int
+
+val total_flops : t -> float
+(** Work including padding waste: sum over regions of
+    [n_tasks·t_steps·flops(kernel)]. *)

@@ -1,0 +1,37 @@
+type step = {
+  load_cycles : float;
+  compute_cycles : float;
+  store_cycles : float;
+}
+
+let step_cycles (hw : Hardware.t) (k : Kernel_desc.t) ~active_blocks =
+  if active_blocks < 1 then invalid_arg "Pipeline.step_cycles: active_blocks < 1";
+  let resident =
+    max 1 ((active_blocks + hw.num_pes - 1) / hw.num_pes)
+  in
+  let flops_rate = Kernel_model.effective_flops_per_cycle hw k ~resident in
+  (* Fair fabric share, capped: a lone block cannot monopolise the fabric. *)
+  let fair = hw.fabric_bytes_per_cycle /. float_of_int active_blocks in
+  let cap = 3. *. hw.fabric_bytes_per_cycle /. float_of_int hw.num_pes in
+  let bw = min fair cap in
+  {
+    load_cycles = Kernel_desc.load_bytes k /. bw;
+    compute_cycles = Kernel_desc.flops k /. flops_rate;
+    store_cycles = Kernel_desc.store_bytes k /. bw;
+  }
+
+let task_cycles hw k ~active_blocks ~t_steps =
+  if t_steps < 1 then invalid_arg "Pipeline.task_cycles: t_steps < 1";
+  let s = step_cycles hw k ~active_blocks in
+  let steady = max s.load_cycles s.compute_cycles in
+  s.load_cycles +. s.compute_cycles
+  +. (float_of_int (t_steps - 1) *. steady)
+  +. s.store_cycles
+
+let nominal_active hw k ~n_tasks =
+  let cap = Kernel_model.wave_capacity hw k in
+  max 1 (min cap n_tasks)
+
+let nominal_task_cycles hw k ~t_steps =
+  let active = max 1 (Kernel_model.wave_capacity hw k) in
+  task_cycles hw k ~active_blocks:active ~t_steps

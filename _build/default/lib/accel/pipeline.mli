@@ -1,0 +1,28 @@
+(** Cost of a pipelined task (paper Section 3.3).
+
+    A pipelined task executes [t] instances of a micro-kernel on one PE in
+    a software pipeline: load the next A/B tiles from [M_global] to
+    [M_local] while computing on the current ones, then write the C tile
+    back once. Cost = fill + (t−1)·max(load, compute) + drain. *)
+
+type step = {
+  load_cycles : float;  (** one A/B tile transfer at the given contention *)
+  compute_cycles : float;  (** one kernel instance *)
+  store_cycles : float;  (** final C tile write-back *)
+}
+
+val step_cycles : Hardware.t -> Kernel_desc.t -> active_blocks:int -> step
+(** Per-stage cycle counts when [active_blocks] blocks are resident on the
+    whole device (they share fabric bandwidth equally; blocks co-resident
+    on one PE also share its compute pipelines). *)
+
+val task_cycles : Hardware.t -> Kernel_desc.t -> active_blocks:int -> t_steps:int -> float
+(** Full pipelined-task cost for [t_steps] kernel instances. Requires
+    [t_steps >= 1] and [active_blocks >= 1]. *)
+
+val nominal_active : Hardware.t -> Kernel_desc.t -> n_tasks:int -> int
+(** Steady-state contention assumption: min(wave capacity, n_tasks). *)
+
+val nominal_task_cycles : Hardware.t -> Kernel_desc.t -> t_steps:int -> float
+(** Task cost at full-device occupancy — the quantity the offline stage
+    samples to learn [g_predict]. *)

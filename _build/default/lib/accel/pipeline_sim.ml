@@ -1,0 +1,39 @@
+type result = {
+  cycles : float;
+  load_busy : float;
+  compute_busy : float;
+  stalls : int;
+}
+
+let run hw kernel ~active_blocks ~t_steps =
+  if t_steps < 1 then invalid_arg "Pipeline_sim.run: t_steps < 1";
+  let s = Pipeline.step_cycles hw kernel ~active_blocks in
+  (* Double-buffered pipeline: the load engine may run at most one step
+     ahead of the compute engine (two tile slots: the one being consumed
+     and the one being filled). *)
+  let load_done = Array.make t_steps infinity in
+  let compute_done = Array.make t_steps infinity in
+  let stalls = ref 0 in
+  for i = 0 to t_steps - 1 do
+    (* Load of step i can start once slot (i-2) has been consumed. *)
+    let slot_free = if i < 2 then 0. else compute_done.(i - 2) in
+    let load_start =
+      max slot_free (if i = 0 then 0. else load_done.(i - 1))
+    in
+    load_done.(i) <- load_start +. s.load_cycles;
+    let ready = load_done.(i) in
+    let prev_compute = if i = 0 then 0. else compute_done.(i - 1) in
+    if ready > prev_compute && i > 0 then incr stalls;
+    compute_done.(i) <- max ready prev_compute +. s.compute_cycles
+  done;
+  {
+    cycles = compute_done.(t_steps - 1) +. s.store_cycles;
+    load_busy = float_of_int t_steps *. s.load_cycles;
+    compute_busy = float_of_int t_steps *. s.compute_cycles;
+    stalls = !stalls;
+  }
+
+let matches_closed_form hw kernel ~active_blocks ~t_steps =
+  let sim = (run hw kernel ~active_blocks ~t_steps).cycles in
+  let closed = Pipeline.task_cycles hw kernel ~active_blocks ~t_steps in
+  abs_float (sim -. closed) /. max 1. closed < 1e-6

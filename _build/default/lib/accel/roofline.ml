@@ -1,0 +1,31 @@
+type bound = Compute_bound | Memory_bound
+
+type t = {
+  intensity : float;
+  ridge : float;
+  bound : bound;
+  peak_tflops : float;
+}
+
+let analyze (hw : Hardware.t) ?(path = Hardware.Matrix) ~flops ~footprint_bytes () =
+  if flops <= 0. || footprint_bytes <= 0. then
+    invalid_arg "Roofline.analyze: non-positive inputs";
+  let peak = Hardware.peak_tflops hw path *. 1e12 in
+  let bw = hw.dram_bytes_per_cycle *. hw.clock_hz in
+  let intensity = flops /. footprint_bytes in
+  let ridge = peak /. bw in
+  let ceiling = min peak (intensity *. bw) in
+  {
+    intensity;
+    ridge;
+    bound = (if intensity >= ridge then Compute_bound else Memory_bound);
+    peak_tflops = ceiling /. 1e12;
+  }
+
+let gemm hw ?path ?(dtype = Mikpoly_tensor.Dtype.F16) ~m ~n ~k () =
+  let flops = 2. *. float_of_int m *. float_of_int n *. float_of_int k in
+  let footprint = Load.gemm_footprint_bytes ~dtype ~m ~n ~k in
+  analyze hw ?path ~flops ~footprint_bytes:footprint ()
+
+let efficiency t ~achieved_tflops =
+  if t.peak_tflops <= 0. then 0. else achieved_tflops /. t.peak_tflops

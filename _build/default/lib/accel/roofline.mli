@@ -1,0 +1,31 @@
+(** Roofline analysis of tensor operators on a device.
+
+    The paper's Figure 1 notes that both its example shapes are
+    compute-bound even though their achieved throughput differs by an
+    order of magnitude. This module computes an operator's arithmetic
+    intensity and the roofline bound on the modeled device, so the
+    evaluation can separate "left of the ridge" (bandwidth-limited, no
+    compiler can fix it) from "right of the ridge" (the regime MikPoly's
+    utilization wins live in). *)
+
+type bound = Compute_bound | Memory_bound
+
+type t = {
+  intensity : float;  (** useful flops per unique DRAM byte *)
+  ridge : float;  (** device ridge point, flops/byte *)
+  bound : bound;
+  peak_tflops : float;  (** roofline ceiling for this operator *)
+}
+
+val analyze :
+  Hardware.t -> ?path:Hardware.compute_path -> flops:float ->
+  footprint_bytes:float -> unit -> t
+(** Raises [Invalid_argument] on non-positive inputs. *)
+
+val gemm :
+  Hardware.t -> ?path:Hardware.compute_path ->
+  ?dtype:Mikpoly_tensor.Dtype.t -> m:int -> n:int -> k:int -> unit -> t
+(** Roofline of an (M,N,K) GEMM with its A+B+C footprint. *)
+
+val efficiency : t -> achieved_tflops:float -> float
+(** Achieved fraction of the roofline ceiling, in [0, ~1]. *)

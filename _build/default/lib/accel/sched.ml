@@ -1,0 +1,200 @@
+type region_work = {
+  duration : float;
+  warps : int;
+  blocks_per_pe : int;
+  count : int;
+}
+
+type outcome = {
+  makespan : float;
+  busy_pe_cycles : float;
+  exact : bool;
+}
+
+let event_sim_threshold = 300_000
+
+let total_count regions = List.fold_left (fun acc r -> acc + r.count) 0 regions
+
+let check regions ~slot_capacity =
+  List.iter
+    (fun r ->
+      if r.count < 0 || r.duration < 0. then invalid_arg "Sched: negative work";
+      if r.warps < 1 || r.warps > slot_capacity then
+        invalid_arg "Sched: task does not fit on a PE";
+      if r.blocks_per_pe < 1 then invalid_arg "Sched: kernel does not fit")
+    regions
+
+(* Smooth model: each region streams through the device at its own wave
+   capacity; partial-wave effects are ignored (valid when waves >> 1). *)
+let analytic ~num_pes regions =
+  let p = float_of_int num_pes in
+  let makespan, busy =
+    List.fold_left
+      (fun (mk, busy) r ->
+        let cap = float_of_int (num_pes * r.blocks_per_pe) in
+        let n = float_of_int r.count in
+        let span = n /. cap *. r.duration in
+        (mk +. span, busy +. (n *. r.duration /. float_of_int r.blocks_per_pe)))
+      (0., 0.) regions
+  in
+  { makespan; busy_pe_cycles = min busy (p *. makespan); exact = false }
+
+(* --- GPU event-driven dispatcher --- *)
+
+module Gpu_state = struct
+  type t = {
+    num_pes : int;
+    slot_capacity : int;
+    free : int array;  (** free slots per PE *)
+    buckets : int list array;  (** PE indices by free-slot count (lazy) *)
+    resident : int array;  (** resident tasks per PE *)
+    busy_since : float array;
+    busy_accum : float array;
+  }
+
+  let create ~num_pes ~slot_capacity =
+    let t =
+      {
+        num_pes;
+        slot_capacity;
+        free = Array.make num_pes slot_capacity;
+        buckets = Array.make (slot_capacity + 1) [];
+        resident = Array.make num_pes 0;
+        busy_since = Array.make num_pes 0.;
+        busy_accum = Array.make num_pes 0.;
+      }
+    in
+    t.buckets.(slot_capacity) <- List.init num_pes (fun i -> i);
+    t
+
+  (* Find a PE with at least [warps] free slots, preferring the emptiest
+     (spreads blocks across SMs like the hardware distributor). Entries in
+     the buckets may be stale; validate against [free] on pop. *)
+  let rec pop_bucket t b =
+    match t.buckets.(b) with
+    | [] -> None
+    | pe :: rest ->
+      t.buckets.(b) <- rest;
+      if t.free.(pe) = b then Some pe else pop_bucket t b
+
+  let find_pe t ~warps =
+    let rec scan b = if b < warps then None else
+      match pop_bucket t b with Some pe -> Some pe | None -> scan (b - 1)
+    in
+    scan t.slot_capacity
+
+  let push_bucket t pe = t.buckets.(t.free.(pe)) <- pe :: t.buckets.(t.free.(pe))
+
+  let assign t ~time ~pe ~warps =
+    t.free.(pe) <- t.free.(pe) - warps;
+    push_bucket t pe;
+    if t.resident.(pe) = 0 then t.busy_since.(pe) <- time;
+    t.resident.(pe) <- t.resident.(pe) + 1
+
+  let release t ~time ~pe ~warps =
+    t.free.(pe) <- t.free.(pe) + warps;
+    push_bucket t pe;
+    t.resident.(pe) <- t.resident.(pe) - 1;
+    if t.resident.(pe) = 0 then
+      t.busy_accum.(pe) <- t.busy_accum.(pe) +. (time -. t.busy_since.(pe))
+end
+
+let schedule_gpu ?on_span ~num_pes ~slot_capacity regions =
+  check regions ~slot_capacity;
+  let regions = List.filter (fun r -> r.count > 0) regions in
+  if regions = [] then { makespan = 0.; busy_pe_cycles = 0.; exact = true }
+  else if total_count regions > event_sim_threshold then analytic ~num_pes regions
+  else begin
+    let open Mikpoly_util in
+    let st = Gpu_state.create ~num_pes ~slot_capacity in
+    let remaining = Array.of_list regions in
+    let left = Array.map (fun r -> r.count) remaining in
+    let events =
+      Heap.create ~cmp:(fun (a, _, _) (b, _, _) -> compare (a : float) b)
+    in
+    (* FIFO dispatch with stream fill: the earliest region with work whose
+       task fits some PE goes next. *)
+    let emit pe time r region =
+      match on_span with
+      | Some f -> f ~pe ~start:time ~finish:(time +. r.duration) ~warps:r.warps ~region
+      | None -> ()
+    in
+    let try_assign time =
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let i = ref 0 in
+        let n = Array.length remaining in
+        let assigned = ref false in
+        while (not !assigned) && !i < n do
+          let r = remaining.(!i) in
+          if left.(!i) > 0 then begin
+            match Gpu_state.find_pe st ~warps:r.warps with
+            | Some pe ->
+              Gpu_state.assign st ~time ~pe ~warps:r.warps;
+              left.(!i) <- left.(!i) - 1;
+              Heap.push events (time +. r.duration, pe, r.warps);
+              emit pe time r !i;
+              assigned := true;
+              progress := true
+            | None -> incr i
+          end
+          else incr i
+        done
+      done
+    in
+    try_assign 0.;
+    let makespan = ref 0. in
+    let continue = ref true in
+    while !continue do
+      match Heap.pop events with
+      | None -> continue := false
+      | Some (time, pe, warps) ->
+        Gpu_state.release st ~time ~pe ~warps;
+        makespan := time;
+        try_assign time
+    done;
+    let busy = Array.fold_left ( +. ) 0. st.busy_accum in
+    { makespan = !makespan; busy_pe_cycles = busy; exact = true }
+  end
+
+let schedule_npu ?on_span ~num_pes regions =
+  check regions ~slot_capacity:1;
+  let regions = List.filter (fun r -> r.count > 0) regions in
+  if regions = [] then { makespan = 0.; busy_pe_cycles = 0.; exact = true }
+  else if total_count regions > event_sim_threshold then analytic ~num_pes regions
+  else begin
+    let open Mikpoly_util in
+    (* Static max-min: longest tasks first, each onto the least-loaded
+       core. *)
+    let indexed = List.mapi (fun i r -> (i, r)) regions in
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare b.duration a.duration) indexed
+    in
+    let cores = Heap.create ~cmp:(fun (a, _) (b, _) -> compare (a : float) b) in
+    for i = 0 to num_pes - 1 do
+      Heap.push cores (0., i)
+    done;
+    List.iter
+      (fun (region, r) ->
+        for _ = 1 to r.count do
+          match Heap.pop cores with
+          | None -> assert false
+          | Some (load, core) ->
+            (match on_span with
+            | Some f ->
+              f ~pe:core ~start:load ~finish:(load +. r.duration) ~warps:1 ~region
+            | None -> ());
+            Heap.push cores (load +. r.duration, core)
+        done)
+      sorted;
+    let makespan = ref 0. and busy = ref 0. in
+    while not (Heap.is_empty cores) do
+      match Heap.pop cores with
+      | None -> ()
+      | Some (load, _) ->
+        makespan := max !makespan load;
+        busy := !busy +. load
+    done;
+    { makespan = !makespan; busy_pe_cycles = !busy; exact = true }
+  end

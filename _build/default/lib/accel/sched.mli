@@ -1,0 +1,38 @@
+(** PE-level schedulers.
+
+    The GPU scheduler models the hardware block dispatcher: pipelined tasks
+    are issued in FIFO order (later regions may fill slots the head task
+    cannot use, modelling concurrent streams) onto any PE with enough free
+    warp slots. The NPU scheduler models the paper's static max-min
+    allocation onto DaVinci cores (Section 4). Above a task-count threshold
+    both fall back to an analytic smooth model, where wave-quantization
+    effects are negligible. *)
+
+type region_work = {
+  duration : float;  (** cycles of one pipelined task of this region *)
+  warps : int;  (** slots one task occupies *)
+  blocks_per_pe : int;  (** resident-task bound per PE for this kernel *)
+  count : int;  (** tasks in this region *)
+}
+
+type outcome = {
+  makespan : float;  (** cycles until the last task drains *)
+  busy_pe_cycles : float;
+      (** Σ over PEs of the time at least one task was resident — the
+          numerator of sm_efficiency. *)
+  exact : bool;  (** false when the analytic fallback was used *)
+}
+
+val event_sim_threshold : int
+(** Total task count above which the analytic model is used. *)
+
+val schedule_gpu :
+  ?on_span:(pe:int -> start:float -> finish:float -> warps:int -> region:int -> unit) ->
+  num_pes:int -> slot_capacity:int -> region_work list -> outcome
+(** [on_span] is invoked once per scheduled task (event-driven mode only;
+    the analytic fallback emits no spans). [region] is the task's index in
+    the input list. *)
+
+val schedule_npu :
+  ?on_span:(pe:int -> start:float -> finish:float -> warps:int -> region:int -> unit) ->
+  num_pes:int -> region_work list -> outcome

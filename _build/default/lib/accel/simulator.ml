@@ -1,0 +1,76 @@
+type result = {
+  cycles : float;
+  seconds : float;
+  sm_efficiency : float;
+  grid_size : int;
+  waves : float;
+  sched_cycles : float;
+  dram_bound : bool;
+  exact : bool;
+}
+
+exception Kernel_does_not_fit of string
+
+let region_work (hw : Hardware.t) (r : Load.region) =
+  let blocks = Kernel_model.blocks_per_pe hw r.kernel in
+  if blocks < 1 then raise (Kernel_does_not_fit (Kernel_desc.name r.kernel));
+  let active = Pipeline.nominal_active hw r.kernel ~n_tasks:r.n_tasks in
+  let duration =
+    Pipeline.task_cycles hw r.kernel ~active_blocks:active ~t_steps:r.t_steps
+  in
+  {
+    Sched.duration;
+    warps = Kernel_model.sched_warps hw r.kernel;
+    blocks_per_pe = blocks;
+    count = r.n_tasks;
+  }
+
+let path_of (load : Load.t) =
+  match load.regions with
+  | [] -> Hardware.Matrix
+  | r :: rest ->
+    let p = r.kernel.path in
+    List.iter
+      (fun (r' : Load.region) ->
+        if r'.kernel.path <> p then
+          invalid_arg "Simulator.run: mixed compute paths in one program")
+      rest;
+    p
+
+let run (hw : Hardware.t) (load : Load.t) =
+  let path = path_of load in
+  let works = List.map (region_work hw) load.regions in
+  let outcome =
+    match hw.kind with
+    | Gpu ->
+      Sched.schedule_gpu ~num_pes:hw.num_pes ~slot_capacity:(Hardware.slots hw path)
+        works
+    | Npu -> Sched.schedule_npu ~num_pes:hw.num_pes works
+  in
+  let launches =
+    float_of_int (List.length load.regions) *. hw.launch_overhead_s *. hw.clock_hz
+  in
+  let dram_floor = load.footprint_bytes /. hw.dram_bytes_per_cycle in
+  let dram_bound = dram_floor > outcome.makespan in
+  let cycles = max outcome.makespan dram_floor +. launches in
+  let total_warps =
+    List.fold_left (fun acc (w : Sched.region_work) -> acc + (w.count * w.warps)) 0 works
+  in
+  let warp_cap = hw.num_pes * Hardware.slots hw path in
+  let sm_efficiency =
+    if outcome.makespan <= 0. then 1.
+    else outcome.busy_pe_cycles /. (float_of_int hw.num_pes *. outcome.makespan)
+  in
+  {
+    cycles;
+    seconds = Hardware.cycles_to_seconds hw cycles;
+    sm_efficiency;
+    grid_size = Load.total_tasks load;
+    waves = ceil (float_of_int total_warps /. float_of_int warp_cap);
+    sched_cycles = outcome.makespan;
+    dram_bound;
+    exact = outcome.exact;
+  }
+
+let tflops result ~useful_flops =
+  if result.seconds <= 0. then 0. else useful_flops /. result.seconds /. 1e12

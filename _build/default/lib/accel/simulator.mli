@@ -1,0 +1,29 @@
+(** Program-level performance simulator.
+
+    Given a lowered program ({!Load.t}) and a device ({!Hardware.t}),
+    predicts execution time and utilization metrics. This plays the role of
+    the real A100/Ascend hardware in the paper's evaluation: every backend
+    (MikPoly, vendor libraries, DietCode, Nimble) is timed on it, while
+    MikPoly's own decisions use only the lightweight Equation-2 cost model
+    plus the learned [g_predict]. *)
+
+type result = {
+  cycles : float;  (** end-to-end device cycles, incl. launches & DRAM floor *)
+  seconds : float;
+  sm_efficiency : float;
+      (** Fraction of PE-time with at least one resident task (the
+          profiler metric of Table 9), from the scheduler makespan. *)
+  grid_size : int;  (** total pipelined tasks (thread blocks) *)
+  waves : float;  (** ceil(total warp demand / device warp capacity) *)
+  sched_cycles : float;  (** scheduler makespan before floors/overheads *)
+  dram_bound : bool;  (** true when the DRAM footprint floor dominates *)
+  exact : bool;  (** scheduler ran event-driven (vs analytic fallback) *)
+}
+
+exception Kernel_does_not_fit of string
+(** Raised when a region's kernel cannot be resident on the device. *)
+
+val run : Hardware.t -> Load.t -> result
+
+val tflops : result -> useful_flops:float -> float
+(** Achieved useful TFLOPS given the operator's true flop count. *)

@@ -1,0 +1,112 @@
+type span = {
+  pe : int;
+  start : float;
+  finish : float;
+  warps : int;
+  region : int;
+}
+
+type t = {
+  spans : span list;
+  makespan : float;
+  num_pes : int;
+}
+
+let record (hw : Hardware.t) (load : Load.t) =
+  if Load.total_tasks load > Sched.event_sim_threshold then
+    invalid_arg "Trace.record: program too large for event-driven simulation";
+  let works =
+    List.map
+      (fun (r : Load.region) ->
+        let blocks = Kernel_model.blocks_per_pe hw r.kernel in
+        if blocks < 1 then
+          raise (Simulator.Kernel_does_not_fit (Kernel_desc.name r.kernel));
+        let active = Pipeline.nominal_active hw r.kernel ~n_tasks:r.n_tasks in
+        {
+          Sched.duration =
+            Pipeline.task_cycles hw r.kernel ~active_blocks:active
+              ~t_steps:r.t_steps;
+          warps = Kernel_model.sched_warps hw r.kernel;
+          blocks_per_pe = blocks;
+          count = r.n_tasks;
+        })
+      load.regions
+  in
+  let spans = ref [] in
+  let on_span ~pe ~start ~finish ~warps ~region =
+    spans := { pe; start; finish; warps; region } :: !spans
+  in
+  let path =
+    match load.regions with
+    | [] -> Hardware.Matrix
+    | r :: _ -> r.kernel.path
+  in
+  let outcome =
+    match hw.kind with
+    | Gpu ->
+      Sched.schedule_gpu ~on_span ~num_pes:hw.num_pes
+        ~slot_capacity:(Hardware.slots hw path) works
+    | Npu -> Sched.schedule_npu ~on_span ~num_pes:hw.num_pes works
+  in
+  { spans = List.rev !spans; makespan = outcome.makespan; num_pes = hw.num_pes }
+
+let occupancy t ~at =
+  if t.num_pes = 0 then 0.
+  else begin
+    let busy = Array.make t.num_pes false in
+    List.iter
+      (fun s -> if s.start <= at && at < s.finish then busy.(s.pe) <- true)
+      t.spans;
+    let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 busy in
+    float_of_int n /. float_of_int t.num_pes
+  end
+
+let shade frac =
+  if frac <= 0. then ' '
+  else if frac < 0.25 then '.'
+  else if frac < 0.5 then '-'
+  else if frac < 0.75 then '='
+  else '#'
+
+let ascii_timeline ?(width = 60) t =
+  if t.makespan <= 0. || t.spans = [] then "(empty trace)"
+  else begin
+    let regions =
+      1 + List.fold_left (fun acc s -> max acc s.region) 0 t.spans
+    in
+    let bucket_of time =
+      min (width - 1)
+        (int_of_float (time /. t.makespan *. float_of_int width))
+    in
+    (* Per (region, bucket): PE-cycles of residency. *)
+    let cells = Array.make_matrix regions width 0. in
+    let bucket_span = t.makespan /. float_of_int width in
+    List.iter
+      (fun s ->
+        let b0 = bucket_of s.start and b1 = bucket_of (s.finish -. 1e-9) in
+        for b = b0 to b1 do
+          let lo = max s.start (float_of_int b *. bucket_span) in
+          let hi = min s.finish (float_of_int (b + 1) *. bucket_span) in
+          if hi > lo then cells.(s.region).(b) <- cells.(s.region).(b) +. (hi -. lo)
+        done)
+      t.spans;
+    let capacity = bucket_span *. float_of_int t.num_pes in
+    let line region =
+      let buf = Bytes.make width ' ' in
+      for b = 0 to width - 1 do
+        Bytes.set buf b (shade (cells.(region).(b) /. capacity))
+      done;
+      Printf.sprintf "region %d |%s|" region (Bytes.to_string buf)
+    in
+    let total = Bytes.make width ' ' in
+    for b = 0 to width - 1 do
+      let sum = ref 0. in
+      for r = 0 to regions - 1 do
+        sum := !sum +. cells.(r).(b)
+      done;
+      Bytes.set total b (shade (!sum /. capacity))
+    done;
+    String.concat "\n"
+      (List.init regions line
+      @ [ Printf.sprintf "device   |%s|" (Bytes.to_string total) ])
+  end

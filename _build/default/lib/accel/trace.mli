@@ -1,0 +1,34 @@
+(** Execution traces: per-task scheduling spans.
+
+    Figure 15(b)/(c) of the paper visualizes load imbalance as rectangles
+    of warps over time. This module records each pipelined task's (PE,
+    start, finish) from the event-driven scheduler and renders an ASCII
+    timeline of device occupancy, so the case-study experiment can show
+    the idle second wave of GEMM-A and how GEMM-AB refills it. *)
+
+type span = {
+  pe : int;
+  start : float;  (** cycles *)
+  finish : float;
+  warps : int;
+  region : int;  (** index of the program region the task belongs to *)
+}
+
+type t = {
+  spans : span list;
+  makespan : float;
+  num_pes : int;
+}
+
+val record : Hardware.t -> Load.t -> t
+(** Run the scheduler with span recording. Raises [Invalid_argument] if
+    the program is too large for event-driven simulation (more than
+    {!Sched.event_sim_threshold} tasks). *)
+
+val occupancy : t -> at:float -> float
+(** Fraction of PEs with at least one resident task at the given time. *)
+
+val ascii_timeline : ?width:int -> t -> string
+(** One line per program region plus a device-occupancy line; each column
+    is a time bucket, each character encodes the fraction of the device's
+    PE-time spent on that region (' ' idle, then '.', '-', '=', '#'). *)

@@ -1,0 +1,1 @@
+lib/autosched/autotuner.ml: Array Hardware Hashtbl Kernel_desc Kernel_model List Mikpoly_accel Mikpoly_tensor Perf_model Pipeline Search_space

@@ -1,0 +1,1 @@
+lib/autosched/autotuner.mli: Mikpoly_accel Mikpoly_tensor Perf_model

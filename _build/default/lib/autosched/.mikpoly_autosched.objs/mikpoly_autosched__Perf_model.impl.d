@@ -1,0 +1,1 @@
+lib/autosched/perf_model.ml: Kernel_desc List Mikpoly_accel Mikpoly_util Pipeline

@@ -1,0 +1,1 @@
+lib/autosched/perf_model.mli: Mikpoly_accel Mikpoly_util

@@ -1,0 +1,1 @@
+lib/autosched/search_space.ml: Kernel_desc Kernel_model List Mikpoly_accel Mikpoly_ir

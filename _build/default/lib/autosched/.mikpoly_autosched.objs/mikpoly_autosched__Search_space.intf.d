@@ -1,0 +1,1 @@
+lib/autosched/search_space.mli: Mikpoly_accel Mikpoly_tensor

@@ -1,0 +1,35 @@
+open Mikpoly_accel
+
+let tile_candidates ~n_gen =
+  if n_gen < 1 then invalid_arg "Search_space.tile_candidates: n_gen < 1";
+  List.init n_gen (fun i -> 16 * (i + 1))
+
+let enumerate hw ~n_gen ~dtype ~path ~codegen_eff =
+  let tiles = tile_candidates ~n_gen in
+  let template = Mikpoly_ir.Template.gemm in
+  let acc = ref [] in
+  List.iter
+    (fun um ->
+      List.iter
+        (fun un ->
+          List.iter
+            (fun uk ->
+              let tile : Mikpoly_ir.Template.dim -> int = function
+                | M -> um
+                | N -> un
+                | K -> uk
+              in
+              let eff =
+                codegen_eff *. Kernel_desc.codegen_quality_factor ~um ~un ~uk
+              in
+              let k =
+                Mikpoly_ir.Template.instantiate_kernel template ~tile ~dtype ~path
+                  ~codegen_eff:eff
+              in
+              if Kernel_model.blocks_per_pe hw k >= 1 then acc := k :: !acc)
+            tiles)
+        tiles)
+    tiles;
+  List.rev !acc
+
+let space_size _hw ~n_gen = n_gen * n_gen * n_gen

@@ -1,0 +1,18 @@
+(** Offline tile-size search space (paper Section 3.3).
+
+    Candidate micro-kernels take every tile size in [{16·i | i ∈ [1,
+    n_gen]}] per dimension, then are filtered by the device's local-memory
+    capacity. *)
+
+val tile_candidates : n_gen:int -> int list
+(** [16, 32, …, 16·n_gen]. *)
+
+val enumerate :
+  Mikpoly_accel.Hardware.t -> n_gen:int -> dtype:Mikpoly_tensor.Dtype.t ->
+  path:Mikpoly_accel.Hardware.compute_path -> codegen_eff:float ->
+  Mikpoly_accel.Kernel_desc.t list
+(** All candidate kernels from the GEMM micro-kernel template that fit the
+    device (both in local memory and in warp slots). *)
+
+val space_size : Mikpoly_accel.Hardware.t -> n_gen:int -> int
+(** Size of the unfiltered space, n_gen³ — reported in docs/benchmarks. *)

@@ -1,0 +1,1 @@
+lib/baselines/backend.ml: Catalog Hardware Kernel_desc Mikpoly_accel Mikpoly_tensor Printf Simulator

@@ -1,0 +1,1 @@
+lib/baselines/backend.mli: Catalog Mikpoly_accel Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/baselines/catalog.ml: Hardware Kernel_desc Kernel_model List Load Mikpoly_accel Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/baselines/catalog.mli: Mikpoly_accel Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/baselines/cutlass.ml: Backend Hardware Kernel_desc Load Mikpoly_accel Mikpoly_tensor

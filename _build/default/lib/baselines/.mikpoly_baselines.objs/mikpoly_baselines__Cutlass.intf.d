@@ -1,0 +1,1 @@
+lib/baselines/cutlass.mli: Backend Mikpoly_accel

@@ -1,0 +1,1 @@
+lib/baselines/dietcode.ml: Array Autotuner Backend Hardware Hashtbl Kernel_desc List Load Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Printf Search_space

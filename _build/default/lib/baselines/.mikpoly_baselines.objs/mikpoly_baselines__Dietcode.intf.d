@@ -1,0 +1,1 @@
+lib/baselines/dietcode.mli: Backend Mikpoly_accel

@@ -1,0 +1,1 @@
+lib/baselines/nimble.ml: Autotuner Backend Hardware Kernel_desc List Load Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Printf Search_space

@@ -1,0 +1,1 @@
+lib/baselines/nimble.mli: Backend Mikpoly_accel

@@ -1,0 +1,12 @@
+(** CUTLASS model: open-source template library with good generated code
+    (efficiency 0.90) but, as deployed in the paper's comparison, a static
+    default tile choice per size class rather than a per-shape cost model
+    ("CUTLASS … lacks the guidance of a cost model", Section 5.3.2). *)
+
+val default_tile : m:int -> n:int -> int * int * int
+(** The size-class heuristic: large outputs use the 128×128×32 default
+    threadblock, narrow outputs fall back to 64×64×32. *)
+
+val backend :
+  ?path:Mikpoly_accel.Hardware.compute_path -> Mikpoly_accel.Hardware.t ->
+  Backend.t

@@ -1,0 +1,19 @@
+(** Nimble model (paper Sections 2.2 and 5.2.3).
+
+    Nimble compiles one shape-generic tensor program per operator with
+    runtime loop bounds: a single conservative tile choice made for the
+    declared range's representative shape, executed through a virtual
+    machine, with generic (non-shape-specialized) code quality. Like
+    DietCode it requires declared ranges and is CUDA-core only. *)
+
+type t
+
+val create :
+  Mikpoly_accel.Hardware.t -> m_range:int * int -> n_range:int * int ->
+  k_range:int * int -> t
+(** Tunes the single generic kernel on the geometric midpoint of the
+    declared ranges. *)
+
+val kernel : t -> Mikpoly_accel.Kernel_desc.t
+
+val backend : t -> Backend.t

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Config Hardware Hashtbl Kernel_set Mikpoly_accel Mikpoly_ir Operator Polymerize Program Simulator

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Config Kernel_set Mikpoly_accel Mikpoly_ir Polymerize

@@ -1,0 +1,1 @@
+lib/core/config.ml: Hardware Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Pattern Printf

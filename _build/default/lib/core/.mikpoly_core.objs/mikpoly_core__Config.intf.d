@@ -1,0 +1,1 @@
+lib/core/config.mli: Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Pattern

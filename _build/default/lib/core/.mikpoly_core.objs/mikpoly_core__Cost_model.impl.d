@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Kernel_set List Mikpoly_accel Mikpoly_autosched Mikpoly_ir Perf_model

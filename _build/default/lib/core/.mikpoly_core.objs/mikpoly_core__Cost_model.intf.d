@@ -1,0 +1,1 @@
+lib/core/cost_model.mli: Kernel_set Mikpoly_ir

@@ -1,0 +1,1 @@
+lib/core/kernel_set.ml: Array Autotuner Config Hardware Hashtbl Kernel_desc Kernel_model List Mikpoly_accel Mikpoly_autosched Perf_model

@@ -1,0 +1,1 @@
+lib/core/kernel_set.mli: Config Mikpoly_accel Mikpoly_autosched

@@ -1,0 +1,1 @@
+lib/core/kernel_store.ml: Array Config Fun Hardware Kernel_desc Kernel_model Kernel_set List Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Mikpoly_util Perf_model Printf String

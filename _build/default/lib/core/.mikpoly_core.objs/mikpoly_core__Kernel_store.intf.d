@@ -1,0 +1,1 @@
+lib/core/kernel_store.mli: Config Kernel_set Mikpoly_accel

@@ -1,0 +1,1 @@
+lib/core/polymerize.ml: Array Config Cost_model Fun Hardware Hashtbl Kernel_desc Kernel_set List Load Mikpoly_accel Mikpoly_ir Operator Pattern Program Region Simulator Unix

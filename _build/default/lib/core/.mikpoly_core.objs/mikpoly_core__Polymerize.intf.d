@@ -1,0 +1,1 @@
+lib/core/polymerize.mli: Config Cost_model Kernel_set Mikpoly_ir Pattern

@@ -1,0 +1,1 @@
+lib/core/selfcheck.ml: Compiler Executor Gemm_ref Mikpoly_ir Mikpoly_tensor Mikpoly_util Operator Program Shape Tensor

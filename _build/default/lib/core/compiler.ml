@@ -1,0 +1,40 @@
+open Mikpoly_accel
+open Mikpoly_ir
+
+type t = {
+  hw : Hardware.t;
+  config : Config.t;
+  kernels : Kernel_set.t;
+  cache : (int * int * int, Polymerize.compiled) Hashtbl.t;
+}
+
+let create ?config hw =
+  let config = match config with Some c -> c | None -> Config.default hw in
+  { hw; config; kernels = Kernel_set.create hw config; cache = Hashtbl.create 64 }
+
+let hardware t = t.hw
+
+let config t = t.config
+
+let kernels t = t.kernels
+
+let compile t op =
+  let key = Operator.gemm_shape op in
+  match Hashtbl.find_opt t.cache key with
+  | Some c -> c
+  | None ->
+    let c = Polymerize.polymerize t.kernels t.config op in
+    Hashtbl.replace t.cache key c;
+    c
+
+let cached t op = Hashtbl.mem t.cache (Operator.gemm_shape op)
+
+let compile_fresh ?scorer t op = Polymerize.polymerize ?scorer t.kernels t.config op
+
+let simulate t (c : Polymerize.compiled) = Simulator.run t.hw (Program.to_load c.program)
+
+let operator_seconds t op = (simulate t (compile t op)).seconds
+
+let operator_seconds_with_overhead t op =
+  let c = compile t op in
+  (simulate t c).seconds +. c.search_seconds

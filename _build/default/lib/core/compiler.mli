@@ -1,0 +1,40 @@
+(** MikPoly compiler front-end: offline stage at construction, online
+    polymerization per runtime shape, with a per-shape program cache
+    (compiled programs for a shape already seen are reused, as a serving
+    system would). *)
+
+type t
+
+val create : ?config:Config.t -> Mikpoly_accel.Hardware.t -> t
+(** Runs (or reuses) the offline stage for the platform. Default
+    configuration is {!Config.default}. *)
+
+val hardware : t -> Mikpoly_accel.Hardware.t
+
+val config : t -> Config.t
+
+val kernels : t -> Kernel_set.t
+
+val compile : t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
+(** On-the-fly polymerization for the operator's runtime shape; memoized
+    per shape. *)
+
+val cached : t -> Mikpoly_ir.Operator.t -> bool
+(** Whether the operator's shape already has a compiled program (i.e. a
+    new execution would pay no polymerization overhead). *)
+
+val compile_fresh :
+  ?scorer:Polymerize.scorer -> t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
+(** Uncached compilation, optionally with an ablated or oracle scorer
+    (Figure 12b). *)
+
+val simulate : t -> Polymerize.compiled -> Mikpoly_accel.Simulator.result
+(** Time the compiled program on the platform simulator. *)
+
+val operator_seconds : t -> Mikpoly_ir.Operator.t -> float
+(** Device time of the best program for the operator (excluding online
+    search overhead). *)
+
+val operator_seconds_with_overhead : t -> Mikpoly_ir.Operator.t -> float
+(** Device time plus the measured polymerization overhead — what an
+    end-to-end run pays the first time it meets a shape. *)

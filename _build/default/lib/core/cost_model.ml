@@ -1,0 +1,47 @@
+open Mikpoly_autosched
+
+type objective = Full | Wave_only | Pipe_only
+
+let ceil_div a b = (a + b - 1) / b
+
+let f_parallel (e : Kernel_set.entry) ~rows ~cols =
+  ceil_div rows e.desc.um * ceil_div cols e.desc.un
+
+let f_num (e : Kernel_set.entry) ~k_len = ceil_div k_len e.desc.uk
+
+let f_wave e ~rows ~cols =
+  float_of_int (ceil_div (f_parallel e ~rows ~cols) e.wave_capacity)
+
+let f_pipe (e : Kernel_set.entry) ~k_len =
+  Perf_model.predict_cycles e.model ~t_steps:(f_num e ~k_len)
+
+let region_cost objective e ~rows ~cols ~k_len =
+  let wave = f_wave e ~rows ~cols in
+  let pipe = f_pipe e ~k_len in
+  match objective with
+  | Full -> wave *. pipe
+  | Wave_only ->
+    (* Waves dominate; ties among equal-wave kernels go to the smallest
+       padded compute volume, which lands on large tiles for regular
+       shapes — the paper observes MikPoly-Wave "produces large-sized
+       micro-kernels" — but knows nothing about pipeline efficiency. *)
+    let padded =
+      float_of_int (f_parallel e ~rows ~cols)
+      *. float_of_int (f_num e ~k_len)
+      *. Mikpoly_accel.Kernel_desc.flops e.desc
+    in
+    (wave *. 1e18) +. padded
+  | Pipe_only -> pipe
+
+let entry_for (set : Kernel_set.t) (r : Mikpoly_ir.Region.t) =
+  match
+    Kernel_set.find set ~um:r.kernel.um ~un:r.kernel.un ~uk:r.kernel.uk
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+let region_cost_of objective set (r : Mikpoly_ir.Region.t) =
+  region_cost objective (entry_for set r) ~rows:r.rows ~cols:r.cols ~k_len:r.k_len
+
+let program_cost objective set (p : Mikpoly_ir.Program.t) =
+  List.fold_left (fun acc r -> acc +. region_cost_of objective set r) 0. p.regions

@@ -1,0 +1,36 @@
+(** The polymerization cost model (paper Equation 2):
+
+    Cost(S, H) = Σ_{(R_i, K_i) ∈ S} f_wave(R_i, K_i, H) × f_pipe(R_i, K_i, H)
+
+    with f_wave = ⌈f_parallel / f_multi⌉ the number of waves of pipelined
+    tasks and f_pipe = g_predict(f_num, K_i, H) the learned cost of one
+    pipelined task. The ablation variants of Figure 12(b) score with only
+    one of the two factors. *)
+
+type objective =
+  | Full  (** f_wave × f_pipe — MikPoly proper *)
+  | Wave_only  (** MikPoly-Wave: minimizes waves, favours large kernels *)
+  | Pipe_only  (** MikPoly-Pipe: minimizes task cost, favours small kernels *)
+
+val f_parallel : Kernel_set.entry -> rows:int -> cols:int -> int
+(** Pipelined tasks of a region: ⌈rows/uM⌉·⌈cols/uN⌉. *)
+
+val f_num : Kernel_set.entry -> k_len:int -> int
+(** Kernel instances per task: ⌈k_len/uK⌉. *)
+
+val f_wave : Kernel_set.entry -> rows:int -> cols:int -> float
+
+val f_pipe : Kernel_set.entry -> k_len:int -> float
+(** In cycles, via the kernel's [g_predict]. *)
+
+val region_cost :
+  objective -> Kernel_set.entry -> rows:int -> cols:int -> k_len:int -> float
+(** Score of one region under the given objective. Under [Full] the unit
+    is device cycles; the ablation objectives are unitless scores and only
+    comparable to themselves. *)
+
+val region_cost_of : objective -> Kernel_set.t -> Mikpoly_ir.Region.t -> float
+(** Same, for an already-built region whose kernel belongs to the set.
+    Raises [Not_found] if the kernel is not in the set. *)
+
+val program_cost : objective -> Kernel_set.t -> Mikpoly_ir.Program.t -> float

@@ -1,0 +1,54 @@
+open Mikpoly_accel
+open Mikpoly_autosched
+
+type entry = {
+  desc : Kernel_desc.t;
+  model : Perf_model.t;
+  wave_capacity : int;
+  rank : int;
+  rank_score : float;
+}
+
+type t = {
+  hw : Hardware.t;
+  entries : entry array;
+}
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let clear_cache () = Hashtbl.reset cache
+
+let create hw (config : Config.t) =
+  let key = hw.Hardware.name ^ "|" ^ Config.cache_key config in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+    let tuned =
+      Autotuner.generate ~n_gen:config.n_gen ~n_syn:config.n_syn
+        ~n_mik:config.n_mik ~n_pred:config.n_pred ~dtype:config.dtype
+        ~path:config.path ~codegen_eff:config.codegen_eff
+        ~rank_style:config.rank_style hw
+    in
+    let entries =
+      Array.of_list
+        (List.mapi
+           (fun rank (tk : Autotuner.tuned) ->
+             {
+               desc = tk.model.kernel;
+               model = tk.model;
+               wave_capacity = Kernel_model.wave_capacity hw tk.model.kernel;
+               rank;
+               rank_score = tk.rank_score;
+             })
+           tuned)
+    in
+    let t = { hw; entries } in
+    Hashtbl.replace cache key t;
+    t
+
+let size t = Array.length t.entries
+
+let find t ~um ~un ~uk =
+  Array.find_opt
+    (fun e -> e.desc.Kernel_desc.um = um && e.desc.un = un && e.desc.uk = uk)
+    t.entries

@@ -1,0 +1,27 @@
+(** The product of MikPoly's offline stage: the Top-n_mik tuned
+    micro-kernels with their performance models, cached per platform and
+    configuration (the paper notes kernels "do not require re-generation
+    for the same operator on the same platform"). *)
+
+type entry = {
+  desc : Mikpoly_accel.Kernel_desc.t;
+  model : Mikpoly_autosched.Perf_model.t;
+  wave_capacity : int;  (** f_multi on this platform *)
+  rank : int;  (** 0 = best synthetic score *)
+  rank_score : float;
+}
+
+type t = {
+  hw : Mikpoly_accel.Hardware.t;
+  entries : entry array;  (** best-ranked first *)
+}
+
+val create : Mikpoly_accel.Hardware.t -> Config.t -> t
+(** Runs the offline stage (or returns the memoized result). *)
+
+val clear_cache : unit -> unit
+(** Drop memoized kernel sets (used by hyper-parameter sweeps). *)
+
+val size : t -> int
+
+val find : t -> um:int -> un:int -> uk:int -> entry option

@@ -1,0 +1,123 @@
+open Mikpoly_accel
+open Mikpoly_autosched
+
+let magic = "mikpoly-kernel-set v1"
+
+let path_to_string = function Hardware.Matrix -> "matrix" | Vector -> "vector"
+
+let path_of_string = function
+  | "matrix" -> Some Hardware.Matrix
+  | "vector" -> Some Hardware.Vector
+  | _ -> None
+
+let dtype_to_string = Mikpoly_tensor.Dtype.to_string
+
+let dtype_of_string = function
+  | "fp16" -> Some Mikpoly_tensor.Dtype.F16
+  | "fp32" -> Some Mikpoly_tensor.Dtype.F32
+  | _ -> None
+
+let save ~path (config : Config.t) (set : Kernel_set.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "hw %s\n" set.hw.Hardware.name;
+      Printf.fprintf oc "config %s\n" (Config.cache_key config);
+      Array.iter
+        (fun (e : Kernel_set.entry) ->
+          let d = e.desc in
+          Printf.fprintf oc "kernel %d %d %d %s %s %.9g %s %.9g\n" d.um d.un
+            d.uk (dtype_to_string d.dtype) (path_to_string d.path)
+            d.codegen_eff d.origin e.rank_score;
+          let pts = Mikpoly_util.Piecewise.breakpoints e.model.g in
+          Printf.fprintf oc "gpredict %s\n"
+            (String.concat " "
+               (List.map (fun (x, y) -> Printf.sprintf "%.9g:%.9g" x y) pts)))
+        set.entries)
+
+let parse_points s =
+  let parse_one tok =
+    match String.split_on_char ':' tok with
+    | [ x; y ] -> (float_of_string x, float_of_string y)
+    | _ -> failwith "bad breakpoint"
+  in
+  List.map parse_one
+    (List.filter (fun t -> t <> "") (String.split_on_char ' ' s))
+
+let load ~path (hw : Hardware.t) (config : Config.t) =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        match List.rev !lines with
+        | header :: hw_line :: config_line :: rest ->
+          if header <> magic then fail "unrecognized kernel-set file"
+          else if hw_line <> "hw " ^ hw.Hardware.name then
+            fail "kernel set was generated for a different platform (%s)" hw_line
+          else if config_line <> "config " ^ Config.cache_key config then
+            fail "kernel set was generated with a different configuration"
+          else begin
+            try
+              let rec parse acc rank = function
+                | [] -> Ok (List.rev acc)
+                | kernel_line :: g_line :: rest -> (
+                  match
+                    (String.split_on_char ' ' kernel_line, g_line)
+                  with
+                  | ( [ "kernel"; um; un; uk; dtype; cpath; eff; origin; score ],
+                      g_line )
+                    when String.length g_line > 9
+                         && String.sub g_line 0 9 = "gpredict " -> (
+                    match (dtype_of_string dtype, path_of_string cpath) with
+                    | Some dtype, Some cpath ->
+                      let desc =
+                        Kernel_desc.make ~dtype ~path:cpath
+                          ~codegen_eff:(float_of_string eff) ~origin
+                          ~um:(int_of_string um) ~un:(int_of_string un)
+                          ~uk:(int_of_string uk) ()
+                      in
+                      let g =
+                        Mikpoly_util.Piecewise.of_points
+                          (parse_points
+                             (String.sub g_line 9 (String.length g_line - 9)))
+                      in
+                      let entry =
+                        {
+                          Kernel_set.desc;
+                          model = { Perf_model.kernel = desc; g };
+                          wave_capacity = Kernel_model.wave_capacity hw desc;
+                          rank;
+                          rank_score = float_of_string score;
+                        }
+                      in
+                      parse (entry :: acc) (rank + 1) rest
+                    | _ -> Error "bad dtype or path")
+                  | _ -> Error "malformed kernel entry")
+                | _ -> Error "truncated kernel entry"
+              in
+              match parse [] 0 rest with
+              | Ok entries ->
+                Ok { Kernel_set.hw; entries = Array.of_list entries }
+              | Error e -> Error e
+            with Failure e | Invalid_argument e -> Error e
+          end
+        | _ -> fail "truncated kernel-set file")
+
+let load_or_create ~path hw config =
+  match load ~path hw config with
+  | Ok set -> set
+  | Error _ ->
+    let set = Kernel_set.create hw config in
+    save ~path config set;
+    set

@@ -1,0 +1,22 @@
+(** Persistence of the offline stage's product.
+
+    The paper notes that generated micro-kernels are "compiled into binary
+    files" and "do not require re-generation for the same operator on the
+    same platform" (Section 4). This module saves a tuned kernel set — tile
+    descriptors plus the breakpoints of each learned [g_predict] — to a
+    versioned text file and restores it, so a deployment can ship the
+    offline artifact instead of re-running auto-tuning. *)
+
+val save : path:string -> Config.t -> Kernel_set.t -> unit
+(** Write the set to [path] (overwrites). *)
+
+val load :
+  path:string -> Mikpoly_accel.Hardware.t -> Config.t ->
+  (Kernel_set.t, string) result
+(** Restore a set saved with {!save}. Fails (with a human-readable reason)
+    if the file is malformed or was produced for a different platform or
+    configuration — stale artifacts must never be silently reused. *)
+
+val load_or_create : path:string -> Mikpoly_accel.Hardware.t -> Config.t -> Kernel_set.t
+(** Use the artifact when valid, otherwise run the offline stage and save
+    the result. *)

@@ -1,0 +1,373 @@
+open Mikpoly_accel
+open Mikpoly_ir
+
+type scorer =
+  | Model of Cost_model.objective
+  | Simulate
+
+type compiled = {
+  program : Program.t;
+  predicted_cost : float;
+  pattern : Pattern.t;
+  candidates : int;
+  pruned : int;
+  search_seconds : float;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Cut candidates along one axis for a pinned primary kernel: positions
+   [q·tile] such that the primary strip of [q] tile rows fills exactly a
+   whole number of waves (walked from the largest feasible strip down, the
+   way the Section 6 case study carves 3072 of 4096 rows), plus the
+   maximal full-tile cut. *)
+let axis_cuts ?(style = `Wave_aligned) ~tile ~other_tile ~cap ~axis_len
+    ~other_len ~max_cuts () =
+  let q_full = axis_len / tile in
+  if q_full < 1 then []
+  else if style = `Remainder_only then begin
+    let cut = q_full * tile in
+    if cut > 0 && cut < axis_len then [ cut ] else []
+  end
+  else begin
+    let tiles_other = ceil_div other_len other_tile in
+    let full_waves = ceil_div (q_full * tiles_other) cap in
+    let acc = ref [] and count = ref 0 in
+    let add q =
+      if q >= 1 && q <= q_full then begin
+        let cut = q * tile in
+        if cut > 0 && cut < axis_len && not (List.mem cut !acc) then begin
+          acc := cut :: !acc;
+          incr count
+        end
+      end
+    in
+    add q_full;
+    (* Walk wave boundaries downward; each step strictly shrinks q, so the
+       loop runs at most max_cuts iterations. *)
+    let w = ref (full_waves - 1) in
+    let continue = ref true in
+    while !continue && !w >= 1 && !count < max_cuts do
+      let q = !w * cap / tiles_other in
+      if q < 1 then continue := false
+      else begin
+        add q;
+        w := min (!w - 1) (ceil_div (q * tiles_other) cap - 1)
+      end
+    done;
+    List.rev !acc
+  end
+
+let row_cuts ?style (e : Kernel_set.entry) ~rows ~cols ~max_cuts =
+  axis_cuts ?style ~tile:e.desc.um ~other_tile:e.desc.un ~cap:e.wave_capacity
+    ~axis_len:rows ~other_len:cols ~max_cuts ()
+
+let col_cuts ?style (e : Kernel_set.entry) ~rows ~cols ~max_cuts =
+  axis_cuts ?style ~tile:e.desc.un ~other_tile:e.desc.um ~cap:e.wave_capacity
+    ~axis_len:cols ~other_len:rows ~max_cuts ()
+
+(* A winning strategy is remembered as (pattern, cuts, pinned kernels);
+   the program is only materialized for the winner. Pins cover the
+   pattern's regions in order; missing trailing pins are resolved with the
+   memoized best single kernel for that region. *)
+let modeled_search_seconds (c : compiled) =
+  0.5e-6 +. (15e-9 *. float_of_int c.candidates)
+
+type choice = {
+  c_pattern : Pattern.t;
+  c_cuts : int list;
+  c_pins : Kernel_set.entry list;
+  c_fill : Kernel_set.entry option;  (** oracle: uniform fill for free slots *)
+}
+
+let polymerize ?(scorer = Model Cost_model.Full) (set : Kernel_set.t)
+    (config : Config.t) op =
+  if Array.length set.entries = 0 then
+    invalid_arg "Polymerize.polymerize: empty kernel set";
+  let t0 = Unix.gettimeofday () in
+  let m, n, k = Operator.gemm_shape op in
+  let entries = set.entries in
+  let n_entries = Array.length entries in
+  let objective =
+    match scorer with Model o -> o | Simulate -> Cost_model.Full
+  in
+  (* The reduction extent is fixed for the whole compile, so each kernel's
+     f_pipe = g_predict(⌈K/uK⌉) is a constant: precompute it and keep the
+     per-candidate scoring allocation-free. *)
+  let pipe = Array.map (fun e -> Cost_model.f_pipe e ~k_len:k) entries in
+  (* Every region is a separate kernel launch on the device; charging it
+     in the search keeps tiny operators on single-region programs (the
+     overhead-consciousness that leads the paper to restrict GPU pattern
+     use, Section 4). *)
+  let launch =
+    if config.search_launch_term then
+      set.hw.Hardware.launch_overhead_s *. set.hw.clock_hz
+    else 0.
+  in
+  let icount = Operator.instance_count op in
+  let rcost_dims (e : Kernel_set.entry) rows cols =
+    let tasks = icount * (ceil_div rows e.desc.um * ceil_div cols e.desc.un) in
+    let wave = float_of_int (ceil_div tasks e.wave_capacity) in
+    let p = pipe.(e.rank) in
+    match objective with
+    | Cost_model.Full -> (wave *. p) +. launch
+    | Cost_model.Wave_only ->
+      let padded =
+        float_of_int tasks
+        *. float_of_int (ceil_div k e.desc.uk)
+        *. Kernel_desc.flops e.desc
+      in
+      (wave *. 1e18) +. padded +. launch
+    | Cost_model.Pipe_only -> p +. launch
+  in
+  (* Heuristic narrowing (Algorithm 1): only the kernels whose Pattern-I
+     cost for this shape ranks best are tried as primary/secondary kernels
+     of split patterns — a kernel hopeless on its own never anchors a
+     region. *)
+  let by_p1 =
+    let idx = Array.init n_entries Fun.id in
+    let p1 = Array.map (fun e -> rcost_dims e m n) entries in
+    Array.sort (fun a b -> compare p1.(a) p1.(b)) idx;
+    idx
+  in
+  let take cnt =
+    Array.map (fun i -> entries.(i))
+      (Array.sub by_p1 0 (min cnt n_entries))
+  in
+  let primaries = take config.primary_kernels in
+  let secondaries = take config.secondary_kernels in
+  (* Best single kernel for a free region, memoized per extent. *)
+  let memo : (int * int, Kernel_set.entry * float) Hashtbl.t = Hashtbl.create 64 in
+  let best_single rows cols =
+    let key = (rows, cols) in
+    match Hashtbl.find_opt memo key with
+    | Some hit -> hit
+    | None ->
+      let best_e = ref entries.(0) and best_c = ref infinity in
+      for i = 0 to n_entries - 1 do
+        let c = rcost_dims entries.(i) rows cols in
+        if c < !best_c then begin
+          best_c := c;
+          best_e := entries.(i)
+        end
+      done;
+      let hit = (!best_e, !best_c) in
+      Hashtbl.add memo key hit;
+      hit
+  in
+  let best : (float * choice) option ref = ref None in
+  let best_cost () = match !best with Some (c, _) -> c | None -> infinity in
+  let candidates = ref 0 and pruned = ref 0 in
+  let record cost choice =
+    match !best with
+    | Some (c, _) when c <= cost -> ()
+    | _ -> best := Some (cost, choice)
+  in
+  (* Resolve a choice into concrete (rect, kernel) pairs. *)
+  let resolve (ch : choice) =
+    match Pattern.decompose ch.c_pattern ~m ~n ~cuts:ch.c_cuts with
+    | None -> None
+    | Some rects ->
+      let rec zip rects pins =
+        match (rects, pins) with
+        | [], _ -> []
+        | (r : Pattern.rect) :: rs, [] ->
+          let e =
+            match ch.c_fill with
+            | Some e -> e
+            | None -> fst (best_single r.rows r.cols)
+          in
+          (r, e) :: zip rs []
+        | r :: rs, p :: ps -> (r, p) :: zip rs ps
+      in
+      Some (zip rects ch.c_pins)
+  in
+  (* Model scoring of a generic (multi-cut) choice, with region-order
+     pruning against the incumbent. *)
+  let score_choice_model (ch : choice) =
+    match resolve ch with
+    | None -> ()
+    | Some assignment ->
+      incr candidates;
+      let limit = best_cost () in
+      let rec go acc = function
+        | [] -> record acc ch
+        | ((r : Pattern.rect), e) :: rest ->
+          let acc = acc +. rcost_dims e r.rows r.cols in
+          if acc >= limit then incr pruned else go acc rest
+      in
+      go 0. assignment
+  in
+  let score_choice_simulate (ch : choice) =
+    match resolve ch with
+    | None -> ()
+    | Some assignment ->
+      incr candidates;
+      let regions =
+        List.map
+          (fun ((r : Pattern.rect), (e : Kernel_set.entry)) ->
+            Load.region ~kernel:e.desc
+              ~n_tasks:
+                (icount * (ceil_div r.rows e.desc.um * ceil_div r.cols e.desc.un))
+              ~t_steps:(ceil_div k e.desc.uk))
+          assignment
+      in
+      let load =
+        Load.make ~regions ~footprint_bytes:(Operator.footprint_bytes op)
+      in
+      record (Simulator.run set.hw load).cycles ch
+  in
+  let choice pattern cuts pins fill =
+    { c_pattern = pattern; c_cuts = cuts; c_pins = pins; c_fill = fill }
+  in
+  (* Under the oracle, a choice with free slots is additionally enumerated
+     with every secondary kernel as a uniform fill. *)
+  let consider ?(has_free = false) pattern cuts pins =
+    match scorer with
+    | Model _ -> score_choice_model (choice pattern cuts pins None)
+    | Simulate ->
+      score_choice_simulate (choice pattern cuts pins None);
+      if has_free then
+        Array.iter
+          (fun e -> score_choice_simulate (choice pattern cuts pins (Some e)))
+          secondaries
+  in
+  (* Fast allocation-free paths for the single-cut patterns. *)
+  let pattern_one () =
+    match scorer with
+    | Model _ ->
+      for i = 0 to n_entries - 1 do
+        incr candidates;
+        let e = entries.(i) in
+        let c = rcost_dims e m n in
+        record c (choice I [] [ e ] None)
+      done
+    | Simulate ->
+      Array.iter (fun e -> score_choice_simulate (choice I [] [ e ] None)) entries
+  in
+  let pattern_two () =
+    Array.iter
+      (fun (e1 : Kernel_set.entry) ->
+        List.iter
+          (fun r ->
+            match scorer with
+            | Model _ ->
+              incr candidates;
+              let c1 = rcost_dims e1 r n in
+              if c1 >= best_cost () then incr pruned
+              else begin
+                let e2, c2 = best_single (m - r) n in
+                record (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
+              end
+            | Simulate -> consider ~has_free:true II [ r ] [ e1 ])
+          (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
+      primaries
+  in
+  let pattern_three () =
+    Array.iter
+      (fun (e1 : Kernel_set.entry) ->
+        List.iter
+          (fun c ->
+            match scorer with
+            | Model _ ->
+              incr candidates;
+              let c1 = rcost_dims e1 m c in
+              if c1 >= best_cost () then incr pruned
+              else begin
+                let e2, c2 = best_single m (n - c) in
+                record (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
+              end
+            | Simulate -> consider ~has_free:true III [ c ] [ e1 ])
+          (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
+      primaries
+  in
+  let two_cut_pattern pattern =
+    Array.iter
+      (fun (e1 : Kernel_set.entry) ->
+        let rcs = row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
+        let ccs = col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun c -> consider ~has_free:true pattern [ r; c ] [ e1 ])
+              ccs)
+          rcs)
+      primaries
+  in
+  let each_pattern (pattern : Pattern.t) =
+    match pattern with
+    | I -> pattern_one ()
+    | II -> pattern_two ()
+    | III -> pattern_three ()
+    | IV | V | VI -> two_cut_pattern pattern
+    | VII ->
+      Array.iter
+        (fun (e1 : Kernel_set.entry) ->
+          List.iter
+            (fun r1 ->
+              Array.iter
+                (fun (e2 : Kernel_set.entry) ->
+                  List.iter
+                    (fun dr ->
+                      if r1 + dr < m then
+                        consider ~has_free:true VII [ r1; r1 + dr ] [ e1; e2 ])
+                    (row_cuts ~style:config.cut_style e2 ~rows:(m - r1) ~cols:n ~max_cuts:2))
+                secondaries)
+            (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
+        primaries
+    | VIII ->
+      Array.iter
+        (fun (e1 : Kernel_set.entry) ->
+          List.iter
+            (fun c1 ->
+              Array.iter
+                (fun (e2 : Kernel_set.entry) ->
+                  List.iter
+                    (fun dc ->
+                      if c1 + dc < n then
+                        consider ~has_free:true VIII [ c1; c1 + dc ] [ e1; e2 ])
+                    (col_cuts ~style:config.cut_style e2 ~rows:m ~cols:(n - c1) ~max_cuts:2))
+                secondaries)
+            (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
+        primaries
+    | IX ->
+      Array.iter
+        (fun (e1 : Kernel_set.entry) ->
+          List.iter
+            (fun r ->
+              Array.iter
+                (fun (e2 : Kernel_set.entry) ->
+                  List.iter
+                    (fun c -> consider ~has_free:true IX [ r; c ] [ e1; e2 ])
+                    (col_cuts ~style:config.cut_style e2 ~rows:(m - r) ~cols:n ~max_cuts:2))
+                secondaries)
+            (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
+        primaries
+  in
+  List.iter each_pattern config.patterns;
+  (* Pattern I is always feasible; make sure it was explored even when the
+     configuration omits it and every split pattern degenerated. *)
+  if !best = None then each_pattern I;
+  let cost, winner = match !best with Some x -> x | None -> assert false in
+  let assignment =
+    match resolve winner with Some a -> a | None -> assert false
+  in
+  let regions =
+    List.map
+      (fun ((r : Pattern.rect), (e : Kernel_set.entry)) ->
+        Region.make ~row_off:r.row_off ~col_off:r.col_off ~rows:r.rows
+          ~cols:r.cols ~k_len:k ~kernel:e.desc)
+      assignment
+  in
+  let program =
+    Program.make ~op ~regions
+      ~pattern_name:(Pattern.to_string winner.c_pattern)
+  in
+  {
+    program;
+    predicted_cost = cost;
+    pattern = winner.c_pattern;
+    candidates = !candidates;
+    pruned = !pruned;
+    search_seconds = Unix.gettimeofday () -. t0;
+  }

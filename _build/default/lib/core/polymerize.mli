@@ -1,0 +1,53 @@
+(** On-the-fly micro-kernel polymerization (paper Section 3.4 and
+    Algorithm 1, lines 8–14).
+
+    Once the operator's shape is known, the polymerizer explores the
+    configured patterns; for each pattern it pins a primary micro-kernel,
+    derives wave-aligned cut candidates from that kernel's tile and wave
+    capacity (the heuristic narrowing of Algorithm 1), fills the remaining
+    regions with their best single kernels, scores every candidate with
+    the lightweight cost model — pruning a candidate as soon as its
+    partial cost exceeds the best found — and emits the winning program. *)
+
+type scorer =
+  | Model of Cost_model.objective
+      (** Equation-2 scoring (or an ablated variant); supports pruning. *)
+  | Simulate
+      (** MikPoly-Oracle: every candidate is scored on the full simulator
+          (the paper's "runtime measurement"), no pruning. Free regions
+          beyond the first are resolved with the cost model to bound the
+          combinatorics. *)
+
+type compiled = {
+  program : Mikpoly_ir.Program.t;
+  predicted_cost : float;  (** winner's score under the scorer *)
+  pattern : Pattern.t;
+  candidates : int;  (** polymerization strategies examined *)
+  pruned : int;  (** strategies abandoned early by the cost bound *)
+  search_seconds : float;  (** wall-clock online overhead *)
+}
+
+val row_cuts :
+  ?style:[ `Wave_aligned | `Remainder_only ] -> Kernel_set.entry -> rows:int ->
+  cols:int -> max_cuts:int -> int list
+(** Wave-aligned row cut candidates for a primary kernel on a
+    [rows×cols] region: multiples of uM whose full-width strip above the
+    cut fills close to an integer number of waves, plus the maximal
+    full-tile cut. Exposed for tests. *)
+
+val col_cuts :
+  ?style:[ `Wave_aligned | `Remainder_only ] -> Kernel_set.entry -> rows:int ->
+  cols:int -> max_cuts:int -> int list
+
+val polymerize :
+  ?scorer:scorer -> Kernel_set.t -> Config.t -> Mikpoly_ir.Operator.t -> compiled
+(** Raises [Invalid_argument] on an empty kernel set. The result is always
+    a valid program for the exact runtime shape — MikPoly has no
+    out-of-range failure mode. *)
+
+val modeled_search_seconds : compiled -> float
+(** Online overhead charged to end-to-end runs: a fixed dispatch cost plus
+    a per-candidate scoring cost, calibrated so that a production-grade
+    implementation of this search (the paper measures ~2us in C++) is
+    modeled rather than the wall-clock of this research harness —
+    [search_seconds] still reports the latter. *)

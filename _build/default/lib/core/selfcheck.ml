@@ -1,0 +1,44 @@
+open Mikpoly_tensor
+open Mikpoly_ir
+
+type failure = {
+  shape : int * int * int;
+  max_abs_diff : float;
+  program : string;
+}
+
+let check_gemm ?(tolerance = 1e-3) ?(seed = 0) compiler ~m ~n ~k =
+  let op = Operator.gemm ~m ~n ~k () in
+  let compiled = Compiler.compile compiler op in
+  let rng = Mikpoly_util.Prng.create (seed lxor (m + (31 * n) + (977 * k))) in
+  let a = Tensor.create (Shape.of_list [ m; k ]) in
+  let b = Tensor.create (Shape.of_list [ k; n ]) in
+  Tensor.init_random rng a;
+  Tensor.init_random rng b;
+  let got = Executor.gemm compiled.program a b in
+  let want = Gemm_ref.gemm a b in
+  if Tensor.approx_equal ~tolerance got want then Ok ()
+  else
+    Error
+      {
+        shape = (m, n, k);
+        max_abs_diff = Tensor.max_abs_diff got want;
+        program = Program.to_string compiled.program;
+      }
+
+let check_random_shapes ?tolerance ?(seed = 0) ?(max_dim = 300) compiler ~count =
+  if count < 1 then invalid_arg "Selfcheck.check_random_shapes: count < 1";
+  let rng = Mikpoly_util.Prng.create (seed + 0x5EF) in
+  let rec go i =
+    if i = count then Ok count
+    else begin
+      let dim () = Mikpoly_util.Prng.log_int_in rng 1 max_dim in
+      match
+        check_gemm ?tolerance ~seed:(seed + i) compiler ~m:(dim ()) ~n:(dim ())
+          ~k:(dim ())
+      with
+      | Ok () -> go (i + 1)
+      | Error _ as e -> e
+    end
+  in
+  go 0

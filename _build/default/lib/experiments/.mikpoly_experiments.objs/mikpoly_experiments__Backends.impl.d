@@ -1,0 +1,1 @@
+lib/experiments/backends.ml: Backend Catalog Compiler Config Cutlass Hardware Mikpoly_accel Mikpoly_baselines Mikpoly_core Mikpoly_ir Polymerize

@@ -1,0 +1,1 @@
+lib/experiments/backends.mli: Mikpoly_baselines Mikpoly_core Mikpoly_nn

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Hashtbl List Mikpoly_util Option Printf Stats String Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_batched.ml: Backends Compiler Exp List Mikpoly_core Mikpoly_ir Mikpoly_util Operator Pattern Printf Stats Table

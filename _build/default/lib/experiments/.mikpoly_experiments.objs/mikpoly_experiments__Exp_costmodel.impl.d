@@ -1,0 +1,1 @@
+lib/experiments/exp_costmodel.ml: Backends Compiler Cost_model Exp Fun Gemm_case List Mikpoly_core Mikpoly_ir Mikpoly_util Mikpoly_workloads Operator Printf Stats Suite Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Backends Exp List Mikpoly_util Printf Stats Table

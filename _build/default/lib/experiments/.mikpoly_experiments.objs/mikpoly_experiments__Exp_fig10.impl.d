@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Backends Dietcode Exp List Mikpoly_accel Mikpoly_baselines Mikpoly_util Mikpoly_workloads Nimble Operator_eval Printf Stats Suite

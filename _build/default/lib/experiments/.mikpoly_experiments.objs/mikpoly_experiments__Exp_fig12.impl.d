@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Backends Compiler Cost_model Exp Gemm_case List Mikpoly_core Mikpoly_ir Mikpoly_util Mikpoly_workloads Operator Polymerize Printf Stats Suite Table

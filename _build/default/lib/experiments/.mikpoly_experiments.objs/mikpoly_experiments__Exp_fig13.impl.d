@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Backends Compiler Config Exp Gemm_case List Mikpoly_accel Mikpoly_core Mikpoly_ir Mikpoly_util Mikpoly_workloads Operator Stats Suite Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Backends Exp List Mikpoly_util Mikpoly_workloads Operator_eval Printf Suite

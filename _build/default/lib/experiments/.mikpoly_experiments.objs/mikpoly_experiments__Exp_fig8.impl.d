@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Backends Exp Inference List Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Prng Stats Table Transformer

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Backends Cnn Exp Inference List Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Stats Table

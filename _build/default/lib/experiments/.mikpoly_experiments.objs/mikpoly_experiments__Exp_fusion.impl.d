@@ -1,0 +1,1 @@
+lib/experiments/exp_fusion.ml: Backends Cnn Exp Fusion Inference List Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Stats Table Transformer

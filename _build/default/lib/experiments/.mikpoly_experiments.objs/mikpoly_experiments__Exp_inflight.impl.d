@@ -1,0 +1,1 @@
+lib/experiments/exp_inflight.ml: Backends Exp Inflight Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_llama.ml: Backends Exp Inference List Llama Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Stats String Table

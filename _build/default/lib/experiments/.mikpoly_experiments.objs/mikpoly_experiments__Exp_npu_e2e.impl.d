@@ -1,0 +1,1 @@
+lib/experiments/exp_npu_e2e.ml: Backends Cnn Exp Inference List Mikpoly_accel Mikpoly_nn Mikpoly_util Printf Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_suites.ml: Conv_suite Deepbench Exp List Mikpoly_util Mikpoly_workloads Printf Real_world Table

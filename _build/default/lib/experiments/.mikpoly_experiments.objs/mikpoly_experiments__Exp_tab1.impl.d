@@ -1,0 +1,1 @@
+lib/experiments/exp_tab1.ml: Exp Hardware Mikpoly_accel Mikpoly_util Printf Table

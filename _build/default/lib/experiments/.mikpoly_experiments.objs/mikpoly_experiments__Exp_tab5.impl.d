@@ -1,0 +1,1 @@
+lib/experiments/exp_tab5.ml: Backends Dietcode Exp Inference List Mikpoly_accel Mikpoly_baselines Mikpoly_nn Mikpoly_util Nimble Printf Prng Stats Table Transformer

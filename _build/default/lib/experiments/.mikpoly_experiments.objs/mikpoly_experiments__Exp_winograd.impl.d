@@ -1,0 +1,1 @@
+lib/experiments/exp_winograd.ml: Conv_ref Conv_spec Exp Hashtbl List Mikpoly_tensor Mikpoly_util Mikpoly_workloads Option Printf Prng Shape Table Tensor Winograd

@@ -1,0 +1,1 @@
+lib/experiments/operator_eval.ml: Backend Exp List Mikpoly_baselines Mikpoly_tensor Mikpoly_util Mikpoly_workloads Table

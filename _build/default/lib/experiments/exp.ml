@@ -1,0 +1,54 @@
+open Mikpoly_util
+
+type report = {
+  id : string;
+  title : string;
+  tables : Table.t list;
+  summary : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  run : quick:bool -> report;
+}
+
+let render (r : report) =
+  let header = Printf.sprintf "==== %s: %s ====" r.id r.title in
+  let tables = List.map Table.render r.tables in
+  let summary = List.map (fun s -> "  * " ^ s) r.summary in
+  String.concat "\n" ((header :: tables) @ summary) ^ "\n"
+
+let speedup_table ~title =
+  Table.create ~title ~header:[ "series"; "mean"; "geomean"; "min"; "max"; "cases" ]
+
+let speedup_row table ~label speedups =
+  match speedups with
+  | [] -> Table.add_row table [ label; "-"; "-"; "-"; "-"; "0" ]
+  | _ ->
+    Table.add_row table
+      [
+        label;
+        Table.fmt_speedup (Stats.mean speedups);
+        Table.fmt_speedup (Stats.geomean speedups);
+        Table.fmt_speedup (Stats.minimum speedups);
+        Table.fmt_speedup (Stats.maximum speedups);
+        string_of_int (List.length speedups);
+      ]
+
+let flops_buckets ~flops ~speedup cases =
+  let bucket_of c =
+    let f = flops c in
+    if f <= 0. then 0 else int_of_float (floor (log10 f))
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let b = bucket_of c in
+      let sum, n = Option.value (Hashtbl.find_opt tbl b) ~default:(0., 0) in
+      Hashtbl.replace tbl b (sum +. speedup c, n + 1))
+    cases;
+  Hashtbl.fold (fun b (sum, n) acc -> (b, sum /. float_of_int n, n) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (b, mean, n) -> (Printf.sprintf "1e%d-1e%d" b (b + 1), mean, n))

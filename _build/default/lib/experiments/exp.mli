@@ -1,0 +1,35 @@
+(** Experiment harness scaffolding: every paper table/figure reproduction
+    is an {!t} that produces a {!report}. *)
+
+type report = {
+  id : string;
+  title : string;
+  tables : Mikpoly_util.Table.t list;
+  summary : string list;  (** headline numbers, paper-vs-measured notes *)
+}
+
+type t = {
+  id : string;  (** e.g. "fig6" — the CLI/bench selector *)
+  title : string;
+  paper_claim : string;  (** what the paper reports for this artifact *)
+  run : quick:bool -> report;
+      (** [quick] subsamples heavy workloads (used by tests and smoke
+          runs); the full run reproduces the complete suite. *)
+}
+
+val render : report -> string
+
+val speedup_row :
+  Mikpoly_util.Table.t -> label:string -> float list -> unit
+(** Append a (label, mean, geomean, min, max, count) summary row for a
+    list of speedups. The table must have that 6-column header, e.g. from
+    {!speedup_table}. *)
+
+val speedup_table : title:string -> Mikpoly_util.Table.t
+(** A table with the standard speedup-summary header. *)
+
+val flops_buckets :
+  flops:('a -> float) -> speedup:('a -> float) -> 'a list ->
+  (string * float * int) list
+(** Group cases by decade of FLOPs (the x-axis of the paper's scatter
+    figures) and return (bucket label, mean speedup, count) series. *)

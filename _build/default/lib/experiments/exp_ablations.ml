@@ -1,0 +1,90 @@
+(* Extension (not a paper artifact): ablations of the design choices this
+   reproduction had to concretize, as called out in DESIGN.md §6 — the
+   offline ranking rule, the launch term in the search score, the
+   wave-aligned cut heuristic, and polymerization itself (Pattern I only).
+   Each variant reports its mean speedup over cuBLAS on a Table 3
+   subsample. *)
+
+open Mikpoly_util
+open Mikpoly_core
+open Mikpoly_ir
+open Mikpoly_workloads
+
+let mean_speedup ~config ~cases =
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Compiler.create ~config hw in
+  let cublas = Backends.cublas () in
+  let speedups =
+    List.filter_map
+      (fun (c : Gemm_case.t) ->
+        let op = Operator.gemm ~m:c.m ~n:c.n ~k:c.k () in
+        let mik = (Compiler.simulate compiler (Compiler.compile compiler op)).seconds in
+        match cublas.gemm ~m:c.m ~n:c.n ~k:c.k with
+        | Ok b when mik > 0. -> Some (b.seconds /. mik)
+        | _ -> None)
+      cases
+  in
+  Stats.mean speedups
+
+let run ~quick =
+  let base = Config.default Mikpoly_accel.Hardware.a100 in
+  let cases = Suite.sample ~every:(if quick then 150 else 25) (Suite.table3_gemm ()) in
+  let variants =
+    [
+      ("default (champion rank, launch term, wave cuts)", base);
+      ( "rank: mean-normalized",
+        { base with rank_style = Mikpoly_autosched.Autotuner.Mean_normalized } );
+      ( "rank: mean TFLOPS",
+        { base with rank_style = Mikpoly_autosched.Autotuner.Mean_tflops } );
+      ("no launch term in search", { base with search_launch_term = false });
+      ("cuts: remainder only", { base with cut_style = `Remainder_only });
+      ("no polymerization (Pattern I only)", { base with patterns = [ Pattern.I ] });
+    ]
+  in
+  let table =
+    Table.create ~title:"Ablations of DESIGN.md concretizations (vs cuBLAS)"
+      ~header:[ "variant"; "mean speedup"; "delta vs default" ]
+  in
+  let default_mean = mean_speedup ~config:base ~cases in
+  List.iter
+    (fun (name, config) ->
+      let mean =
+        if config == base then default_mean else mean_speedup ~config ~cases
+      in
+      Table.add_row table
+        [
+          name;
+          Table.fmt_speedup mean;
+          Printf.sprintf "%+.1f%%" (100. *. ((mean /. default_mean) -. 1.));
+        ])
+    variants;
+  (* How often does the winner actually polymerize multiple kernels? *)
+  let compiler = Compiler.create ~config:base Mikpoly_accel.Hardware.a100 in
+  let multi =
+    List.length
+      (List.filter
+         (fun (c : Gemm_case.t) ->
+           let op = Operator.gemm ~m:c.m ~n:c.n ~k:c.k () in
+           Program.num_regions (Compiler.compile compiler op).program > 1)
+         cases)
+  in
+  {
+    Exp.id = "ablations";
+    title = "Design-choice ablations (extension)";
+    tables = [ table ];
+    summary =
+      [
+        "Each row disables one concretization documented in DESIGN.md §6; the big effect is the ranking rule (naive mean-TFLOPS starves small shapes), the others are small refinements.";
+        Printf.sprintf
+          "Multi-kernel programs win on %d/%d sampled shapes: with a dense Top-40 kernel set, single-kernel selection already avoids most wave quantization, and polymerization covers the remaining tail (the Section 6 case-study regime)."
+          multi (List.length cases);
+      ];
+  }
+
+let exp =
+  {
+    Exp.id = "ablations";
+    title = "Design-choice ablations (extension)";
+    paper_claim = "(not in the paper — validates this reproduction's design choices)";
+    run;
+  }

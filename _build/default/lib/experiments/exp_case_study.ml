@@ -1,0 +1,162 @@
+(* Section 6 case study (Figures 14, 15 and Table 9): GEMM with
+   (M, N, K) = (4096, 1024, 4096) on the GPU. A single large kernel
+   (GEMM-A, 256x128x32) quantizes into 2 waves at M=4096 and loses ~40% of
+   sm_efficiency; polymerizing a second kernel over the last 1024 rows
+   (GEMM-AB, Pattern II) restores utilization. *)
+
+open Mikpoly_util
+open Mikpoly_accel
+open Mikpoly_core
+open Mikpoly_ir
+
+let kernel_a = Kernel_desc.make ~um:256 ~un:128 ~uk:32 ()
+
+let kernel_b = Kernel_desc.make ~um:64 ~un:64 ~uk:64 ()
+
+let n = 1024
+
+let k = 4096
+
+let gemm_a_load ~m =
+  let ceil_div a b = (a + b - 1) / b in
+  Load.make
+    ~regions:
+      [
+        Load.region ~kernel:kernel_a
+          ~n_tasks:(ceil_div m kernel_a.um * ceil_div n kernel_a.un)
+          ~t_steps:(ceil_div k kernel_a.uk);
+      ]
+    ~footprint_bytes:(Load.gemm_footprint_bytes ~dtype:Mikpoly_tensor.Dtype.F16 ~m ~n ~k)
+
+let gemm_ab_load () =
+  let ceil_div a b = (a + b - 1) / b in
+  Load.make
+    ~regions:
+      [
+        Load.region ~kernel:kernel_a
+          ~n_tasks:(ceil_div 3072 kernel_a.um * ceil_div n kernel_a.un)
+          ~t_steps:(ceil_div k kernel_a.uk);
+        Load.region ~kernel:kernel_b
+          ~n_tasks:(ceil_div 1024 kernel_b.um * ceil_div n kernel_b.un)
+          ~t_steps:(ceil_div k kernel_b.uk);
+      ]
+    ~footprint_bytes:
+      (Load.gemm_footprint_bytes ~dtype:Mikpoly_tensor.Dtype.F16 ~m:4096 ~n ~k)
+
+let m_sweep_table hw =
+  let table =
+    Table.create ~title:"Figure 15a: GEMM-A execution time as M grows"
+      ~header:[ "M"; "time"; "grid"; "waves"; "sm_eff" ]
+  in
+  let rec sweep m =
+    if m <= 4096 then begin
+      let r = Simulator.run hw (gemm_a_load ~m) in
+      Table.add_row table
+        [
+          string_of_int m;
+          Table.fmt_time_us r.seconds;
+          string_of_int r.grid_size;
+          Printf.sprintf "%.0f" r.waves;
+          Printf.sprintf "%.1f%%" (100. *. r.sm_efficiency);
+        ];
+      sweep (m + 256)
+    end
+  in
+  sweep 1024;
+  table
+
+let table9 hw =
+  let table =
+    Table.create ~title:"Table 9: profiling metrics (GEMM-A vs GEMM-AB)"
+      ~header:[ "program"; "M"; "sm_efficiency"; "elapsed cycles"; "grid_size"; "paper sm_eff" ]
+  in
+  let add name m load paper_eff =
+    let r = Simulator.run hw load in
+    Table.add_row table
+      [
+        name; string_of_int m;
+        Printf.sprintf "%.2f%%" (100. *. r.sm_efficiency);
+        Printf.sprintf "%.0f" r.sched_cycles;
+        string_of_int r.grid_size;
+        paper_eff;
+      ]
+  in
+  add "GEMM-A" 3072 (gemm_a_load ~m:3072) "86.67%";
+  add "GEMM-A" 4096 (gemm_a_load ~m:4096) "58.90%";
+  add "GEMM-AB" 4096 (gemm_ab_load ()) "(improved)";
+  table
+
+let strategies_table () =
+  let table =
+    Table.create ~title:"Figure 14: polymerization strategies chosen by MikPoly"
+      ~header:[ "platform"; "pattern"; "program"; "speedup vs best single kernel" ]
+  in
+  let report platform (compiler : Compiler.t) =
+    let op = Operator.gemm ~m:4096 ~n:1024 ~k:4096 () in
+    let best = Compiler.compile_fresh compiler op in
+    let single_config =
+      { (Compiler.config compiler) with Config.patterns = [ Pattern.I ] }
+    in
+    let single =
+      Polymerize.polymerize (Compiler.kernels compiler) single_config op
+    in
+    let best_s = (Compiler.simulate compiler best).seconds in
+    let single_s = (Compiler.simulate compiler single).seconds in
+    Table.add_row table
+      [
+        platform;
+        Pattern.to_string best.pattern;
+        Program.to_string best.program;
+        Table.fmt_speedup (single_s /. best_s);
+      ]
+  in
+  report "GPU" (Backends.gpu ());
+  report "NPU" (Backends.npu ());
+  table
+
+(* Figure 15(b)/(c): ASCII occupancy timelines showing GEMM-A's idle
+   second wave and GEMM-AB refilling it. *)
+let timeline_table hw =
+  let table =
+    Table.create ~title:"Figure 15b/c: device occupancy over time"
+      ~header:[ "program"; "timeline (time ->, '#' = fully busy)" ]
+  in
+  let add name load =
+    let trace = Trace.record hw load in
+    List.iteri
+      (fun i line ->
+        Table.add_row table [ (if i = 0 then name else ""); line ])
+      (String.split_on_char '\n' (Trace.ascii_timeline ~width:56 trace))
+  in
+  add "GEMM-A" (gemm_a_load ~m:4096);
+  add "GEMM-AB" (gemm_ab_load ());
+  table
+
+let run ~quick:_ =
+  let hw = Hardware.a100 in
+  let ra = Simulator.run hw (gemm_a_load ~m:4096) in
+  let rab = Simulator.run hw (gemm_ab_load ()) in
+  {
+    Exp.id = "case_study";
+    title = "Case study: GEMM (4096,1024,4096) (Section 6)";
+    tables = [ strategies_table (); m_sweep_table hw; table9 hw; timeline_table hw ];
+    summary =
+      [
+        Printf.sprintf
+          "GEMM-AB beats GEMM-A by %.2fx at M=4096 (paper 1.21x): the 128-task grid needs 2 waves of 108 SMs and the polymerized program refills the idle second wave."
+          (ra.seconds /. rab.seconds);
+        Printf.sprintf
+          "sm_efficiency: GEMM-A drops from %.1f%% (M=3072) to %.1f%% (M=4096); GEMM-AB restores %.1f%% (paper: 86.67%% -> 58.90%% -> improved)."
+          (100. *. (Simulator.run hw (gemm_a_load ~m:3072)).sm_efficiency)
+          (100. *. ra.sm_efficiency) (100. *. rab.sm_efficiency);
+      ];
+  }
+
+let exp =
+  {
+    Exp.id = "case_study";
+    title = "Case study: GEMM (4096,1024,4096) (Section 6)";
+    paper_claim =
+      "Two-kernel program 1.21x over single kernel on GPU; sm_efficiency 86.67% -> 58.90% load imbalance";
+    run;
+  }

@@ -1,0 +1,53 @@
+open Mikpoly_util
+open Mikpoly_baselines
+
+type case_result = {
+  flops : float;
+  speedup : float;
+}
+
+let gemm_speedups ~baseline ~target cases =
+  List.filter_map
+    (fun (c : Mikpoly_workloads.Gemm_case.t) ->
+      match (baseline.Backend.gemm ~m:c.m ~n:c.n ~k:c.k,
+             target.Backend.gemm ~m:c.m ~n:c.n ~k:c.k)
+      with
+      | Ok b, Ok t when t.seconds > 0. ->
+        Some
+          { flops = Mikpoly_workloads.Gemm_case.flops c;
+            speedup = b.seconds /. t.seconds }
+      | _ -> None)
+    cases
+
+let conv_speedups ~baseline ~target specs =
+  List.filter_map
+    (fun spec ->
+      let m, n, k = Mikpoly_tensor.Conv_spec.gemm_shape spec in
+      match (baseline.Backend.gemm ~m ~n ~k, target.Backend.gemm ~m ~n ~k) with
+      | Ok b, Ok t when t.seconds > 0. ->
+        Some
+          { flops = Mikpoly_tensor.Conv_spec.flops spec;
+            speedup = b.seconds /. t.seconds }
+      | _ -> None)
+    specs
+
+let bucket_table ~title series =
+  let table =
+    Table.create ~title ~header:[ "series"; "flops bucket"; "mean speedup"; "cases" ]
+  in
+  List.iter
+    (fun (name, results) ->
+      let buckets =
+        Exp.flops_buckets ~flops:(fun r -> r.flops) ~speedup:(fun r -> r.speedup)
+          results
+      in
+      List.iter
+        (fun (bucket, mean, n) ->
+          Table.add_row table
+            [ name; bucket; Table.fmt_speedup mean; string_of_int n ])
+        buckets)
+    series;
+  table
+
+let quick_sample ~quick ~every cases =
+  if quick then Mikpoly_workloads.Suite.sample ~every cases else cases

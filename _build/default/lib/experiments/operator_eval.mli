@@ -1,0 +1,25 @@
+(** Shared operator-suite evaluation: run every case of a GEMM/conv suite
+    through a target and a baseline backend, collect speedups, and render
+    the FLOPs-bucketed series that the paper's scatter plots (Figures 6,
+    7, 10) show. *)
+
+type case_result = {
+  flops : float;
+  speedup : float;  (** baseline seconds / target seconds *)
+}
+
+val gemm_speedups :
+  baseline:Mikpoly_baselines.Backend.t -> target:Mikpoly_baselines.Backend.t ->
+  Mikpoly_workloads.Gemm_case.t list -> case_result list
+(** Cases either backend cannot run are skipped. *)
+
+val conv_speedups :
+  baseline:Mikpoly_baselines.Backend.t -> target:Mikpoly_baselines.Backend.t ->
+  Mikpoly_tensor.Conv_spec.t list -> case_result list
+
+val bucket_table :
+  title:string -> (string * case_result list) list -> Mikpoly_util.Table.t
+(** One column block per series: mean speedup per FLOPs decade. *)
+
+val quick_sample : quick:bool -> every:int -> 'a list -> 'a list
+(** Subsample for [quick] runs. *)

@@ -1,0 +1,8 @@
+(** All experiment drivers, in paper order. *)
+
+val all : Exp.t list
+
+val find : string -> Exp.t option
+(** Look up by id (e.g. "fig6"). *)
+
+val ids : string list

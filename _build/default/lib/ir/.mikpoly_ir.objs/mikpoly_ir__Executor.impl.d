@@ -1,0 +1,1 @@
+lib/ir/executor.ml: Array Conv_spec Im2col Kernel_exec List Mikpoly_tensor Operator Printf Program Region Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/executor.mli: Mikpoly_tensor Program

@@ -1,0 +1,1 @@
+lib/ir/kernel_exec.ml: Array Kernel_desc Mikpoly_accel

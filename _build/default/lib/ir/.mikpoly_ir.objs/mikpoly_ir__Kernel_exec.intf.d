@@ -1,0 +1,1 @@
+lib/ir/kernel_exec.mli: Mikpoly_accel

@@ -1,0 +1,1 @@
+lib/ir/operator.ml: Conv_spec Dtype Mikpoly_accel Mikpoly_tensor Printf

@@ -1,0 +1,1 @@
+lib/ir/program.ml: List Mikpoly_accel Operator Printf Region String

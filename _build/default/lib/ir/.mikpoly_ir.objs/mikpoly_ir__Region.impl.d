@@ -1,0 +1,1 @@
+lib/ir/region.ml: Kernel_desc Load Mikpoly_accel Printf

@@ -1,0 +1,1 @@
+lib/ir/template.ml: List Mikpoly_accel

@@ -1,0 +1,1 @@
+lib/ir/template.mli: Mikpoly_accel Mikpoly_tensor

@@ -1,0 +1,32 @@
+(** Functional executor for polymerized programs.
+
+    Runs a program against real tensors the way the generated device code
+    would: for each region, each pipelined task streams (uM×uK) and
+    (uK×uN) tiles into zero-padded local buffers, runs the micro-kernel on
+    the full fixed-size tile, and writes the C tile back clamped to the
+    region bounds. This validates numerically that any polymerization —
+    regions, offsets, local padding — computes exactly the reference
+    operator. *)
+
+val run_gemm :
+  Program.t -> a:Mikpoly_tensor.Tensor.t -> b:Mikpoly_tensor.Tensor.t ->
+  c:Mikpoly_tensor.Tensor.t -> unit
+(** Execute a GEMM program. [a : M×K], [b : K×N], [c : M×N]; [c] is
+    overwritten. Raises [Invalid_argument] if the program's operator is not
+    a GEMM of matching shape. *)
+
+val gemm : Program.t -> Mikpoly_tensor.Tensor.t -> Mikpoly_tensor.Tensor.t -> Mikpoly_tensor.Tensor.t
+(** Allocating wrapper around {!run_gemm}. *)
+
+val batched_gemm :
+  Program.t -> (Mikpoly_tensor.Tensor.t * Mikpoly_tensor.Tensor.t) list ->
+  Mikpoly_tensor.Tensor.t list
+(** Execute a batched-GEMM program: one (A, B) pair per instance, in
+    order. Raises [Invalid_argument] unless the program's operator is a
+    [Batched_gemm] whose count matches the number of pairs. *)
+
+val run_conv :
+  Program.t -> input:Mikpoly_tensor.Tensor.t -> weight:Mikpoly_tensor.Tensor.t ->
+  Mikpoly_tensor.Tensor.t
+(** Execute a convolution program through the im2col lowering. The
+    program's operator must be a [Conv]. *)

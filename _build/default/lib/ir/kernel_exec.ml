@@ -1,0 +1,68 @@
+open Mikpoly_accel
+
+type buffers = {
+  a_tile : float array;
+  b_tile : float array;
+  c_tile : float array;
+}
+
+let alloc (k : Kernel_desc.t) =
+  {
+    a_tile = Array.make (k.um * k.uk) 0.;
+    b_tile = Array.make (k.uk * k.un) 0.;
+    c_tile = Array.make (k.um * k.un) 0.;
+  }
+
+type impl = buffers -> unit
+
+let naive (k : Kernel_desc.t) bufs =
+  let um = k.um and un = k.un and uk = k.uk in
+  for i = 0 to um - 1 do
+    for p = 0 to uk - 1 do
+      let av = Array.unsafe_get bufs.a_tile ((i * uk) + p) in
+      if av <> 0. then begin
+        let arow = i * un and brow = p * un in
+        for j = 0 to un - 1 do
+          Array.unsafe_set bufs.c_tile (arow + j)
+            (Array.unsafe_get bufs.c_tile (arow + j)
+            +. (av *. Array.unsafe_get bufs.b_tile (brow + j)))
+        done
+      end
+    done
+  done
+
+let unrolled (k : Kernel_desc.t) =
+  if k.uk mod 4 <> 0 then invalid_arg "Kernel_exec.unrolled: uK must be a multiple of 4";
+  fun bufs ->
+    let um = k.um and un = k.un and uk = k.uk in
+    for i = 0 to um - 1 do
+      let arow = i * un in
+      let p = ref 0 in
+      while !p < uk do
+        let p0 = !p in
+        let a0 = Array.unsafe_get bufs.a_tile ((i * uk) + p0)
+        and a1 = Array.unsafe_get bufs.a_tile ((i * uk) + p0 + 1)
+        and a2 = Array.unsafe_get bufs.a_tile ((i * uk) + p0 + 2)
+        and a3 = Array.unsafe_get bufs.a_tile ((i * uk) + p0 + 3) in
+        if a0 <> 0. || a1 <> 0. || a2 <> 0. || a3 <> 0. then begin
+          let b0 = p0 * un and b1 = (p0 + 1) * un in
+          let b2 = (p0 + 2) * un and b3 = (p0 + 3) * un in
+          for j = 0 to un - 1 do
+            let acc =
+              Array.unsafe_get bufs.c_tile (arow + j)
+              +. (a0 *. Array.unsafe_get bufs.b_tile (b0 + j))
+              +. (a1 *. Array.unsafe_get bufs.b_tile (b1 + j))
+              +. (a2 *. Array.unsafe_get bufs.b_tile (b2 + j))
+              +. (a3 *. Array.unsafe_get bufs.b_tile (b3 + j))
+            in
+            Array.unsafe_set bufs.c_tile (arow + j) acc
+          done
+        end;
+        p := p0 + 4
+      done
+    done
+
+let variant_name (k : Kernel_desc.t) = if k.uk mod 4 = 0 then "unrolled4" else "naive"
+
+let compile (k : Kernel_desc.t) =
+  if k.uk mod 4 = 0 then unrolled k else naive k

@@ -1,0 +1,34 @@
+(** Specialized micro-kernel implementations for the functional executor.
+
+    The paper's offline stage emits one compiled binary per fixed-size
+    micro-kernel. The executor mirrors that: {!compile} returns a compute
+    closure specialized for the tile — an unrolled reduction loop when the
+    tile's uK is a multiple of 4, a skip-zero variant otherwise — all
+    computing [C += A·B] over the staged local tiles. Variants agree with
+    the naive reference up to floating-point reassociation (tested),
+    differing only in speed. *)
+
+type buffers = {
+  a_tile : float array;  (** uM×uK, row-major *)
+  b_tile : float array;  (** uK×uN, row-major *)
+  c_tile : float array;  (** uM×uN accumulator, row-major *)
+}
+
+val alloc : Mikpoly_accel.Kernel_desc.t -> buffers
+
+type impl = buffers -> unit
+(** One micro-kernel instance: accumulate the staged A·B product into the
+    C tile. *)
+
+val naive : Mikpoly_accel.Kernel_desc.t -> impl
+(** Reference triple loop. *)
+
+val unrolled : Mikpoly_accel.Kernel_desc.t -> impl
+(** Reduction loop unrolled by 4 (requires uK mod 4 = 0 — all generated
+    kernels satisfy this since tiles are 16-multiples). *)
+
+val compile : Mikpoly_accel.Kernel_desc.t -> impl
+(** The implementation the executor dispatches to for this kernel. *)
+
+val variant_name : Mikpoly_accel.Kernel_desc.t -> string
+(** Which implementation {!compile} selects (for reports/tests). *)

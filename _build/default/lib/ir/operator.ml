@@ -1,0 +1,47 @@
+open Mikpoly_tensor
+
+type t =
+  | Gemm of { m : int; n : int; k : int; dtype : Dtype.t }
+  | Conv of Conv_spec.t
+  | Batched_gemm of { count : int; m : int; n : int; k : int; dtype : Dtype.t }
+
+let gemm ?(dtype = Dtype.F16) ~m ~n ~k () =
+  if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Operator.gemm: non-positive dimension";
+  Gemm { m; n; k; dtype }
+
+let batched_gemm ?(dtype = Dtype.F16) ~count ~m ~n ~k () =
+  if count <= 0 || m <= 0 || n <= 0 || k <= 0 then
+    invalid_arg "Operator.batched_gemm: non-positive dimension";
+  Batched_gemm { count; m; n; k; dtype }
+
+let conv spec = Conv spec
+
+let gemm_shape = function
+  | Gemm { m; n; k; _ } | Batched_gemm { m; n; k; _ } -> (m, n, k)
+  | Conv spec -> Conv_spec.gemm_shape spec
+
+let instance_count = function
+  | Batched_gemm { count; _ } -> count
+  | Gemm _ | Conv _ -> 1
+
+let dtype = function
+  | Gemm { dtype; _ } | Batched_gemm { dtype; _ } -> dtype
+  | Conv _ -> Dtype.F16
+
+let flops t =
+  let m, n, k = gemm_shape t in
+  2. *. float_of_int m *. float_of_int n *. float_of_int k
+  *. float_of_int (instance_count t)
+
+let footprint_bytes t =
+  let m, n, k = gemm_shape t in
+  float_of_int (instance_count t)
+  *. Mikpoly_accel.Load.gemm_footprint_bytes ~dtype:(dtype t) ~m ~n ~k
+
+let to_string = function
+  | Gemm { m; n; k; dtype } ->
+    Printf.sprintf "gemm(%d,%d,%d,%s)" m n k (Dtype.to_string dtype)
+  | Batched_gemm { count; m; n; k; dtype } ->
+    Printf.sprintf "batched_gemm(%dx %d,%d,%d,%s)" count m n k
+      (Dtype.to_string dtype)
+  | Conv spec -> Conv_spec.to_string spec

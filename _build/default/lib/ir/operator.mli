@@ -1,0 +1,45 @@
+(** Dynamic-shape tensor operators.
+
+    Every operator is ultimately optimized through its GEMM form: matrix
+    multiplication directly, convolution through the im2col lowering
+    (the paper's GEMM-based convolution, Section 7 "Limitations"). *)
+
+type t =
+  | Gemm of { m : int; n : int; k : int; dtype : Mikpoly_tensor.Dtype.t }
+  | Conv of Mikpoly_tensor.Conv_spec.t
+  | Batched_gemm of {
+      count : int;  (** independent instances (e.g. attention heads) *)
+      m : int;
+      n : int;
+      k : int;
+      dtype : Mikpoly_tensor.Dtype.t;
+    }
+
+val gemm : ?dtype:Mikpoly_tensor.Dtype.t -> m:int -> n:int -> k:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val batched_gemm :
+  ?dtype:Mikpoly_tensor.Dtype.t -> count:int -> m:int -> n:int -> k:int ->
+  unit -> t
+(** A grouped/batched GEMM: [count] independent (M,N,K) products launched
+    as one grid. The per-instance program is shared; the device sees
+    count× the pipelined tasks, which packs waves that a single small
+    instance would leave idle (the attention GEMMs of Figures 8/11). *)
+
+val conv : Mikpoly_tensor.Conv_spec.t -> t
+
+val instance_count : t -> int
+(** 1 except for [Batched_gemm]. *)
+
+val gemm_shape : t -> int * int * int
+(** The [(M, N, K)] of the (possibly lowered) GEMM problem. *)
+
+val dtype : t -> Mikpoly_tensor.Dtype.t
+
+val flops : t -> float
+(** Useful floating-point work (no padding). *)
+
+val footprint_bytes : t -> float
+(** Unique off-chip bytes touched (A + B + C once). *)
+
+val to_string : t -> string

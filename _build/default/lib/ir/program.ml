@@ -1,0 +1,67 @@
+type t = {
+  op : Operator.t;
+  regions : Region.t list;
+  pattern_name : string;
+}
+
+let overlaps (a : Region.t) (b : Region.t) =
+  a.row_off < b.row_off + b.rows
+  && b.row_off < a.row_off + a.rows
+  && a.col_off < b.col_off + b.cols
+  && b.col_off < a.col_off + a.cols
+
+let validate ~op ~regions =
+  let m, n, k = Operator.gemm_shape op in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_each = function
+    | [] -> Ok ()
+    | (r : Region.t) :: rest ->
+      if r.row_off + r.rows > m || r.col_off + r.cols > n then
+        err "region %s exceeds the %dx%d output" (Region.to_string r) m n
+      else if r.k_len <> k then
+        err "region %s does not carry the full reduction extent %d"
+          (Region.to_string r) k
+      else if List.exists (overlaps r) rest then
+        err "region %s overlaps another region" (Region.to_string r)
+      else check_each rest
+  in
+  match regions with
+  | [] -> Error "program has no regions"
+  | _ -> (
+    match check_each regions with
+    | Error _ as e -> e
+    | Ok () ->
+      let area =
+        List.fold_left (fun acc (r : Region.t) -> acc + (r.rows * r.cols)) 0 regions
+      in
+      if area <> m * n then
+        err "regions cover %d output elements out of %d" area (m * n)
+      else Ok ())
+
+let make ~op ~regions ~pattern_name =
+  match validate ~op ~regions with
+  | Ok () -> { op; regions; pattern_name }
+  | Error msg -> invalid_arg ("Program.make: " ^ msg)
+
+let to_load t =
+  (* A batched operator launches [count] copies of every region's task
+     grid as one wave-packed grid. *)
+  let count = Operator.instance_count t.op in
+  let scale (r : Mikpoly_accel.Load.region) =
+    Mikpoly_accel.Load.region ~kernel:r.kernel ~n_tasks:(r.n_tasks * count)
+      ~t_steps:r.t_steps
+  in
+  Mikpoly_accel.Load.make
+    ~regions:(List.map (fun r -> scale (Region.to_load_region r)) t.regions)
+    ~footprint_bytes:(Operator.footprint_bytes t.op)
+
+let padding_overhead t =
+  let useful = List.fold_left (fun acc r -> acc +. Region.useful_flops r) 0. t.regions in
+  let padded = List.fold_left (fun acc r -> acc +. Region.padded_flops r) 0. t.regions in
+  if useful <= 0. then 0. else (padded -. useful) /. useful
+
+let num_regions t = List.length t.regions
+
+let to_string t =
+  Printf.sprintf "%s via %s: %s" (Operator.to_string t.op) t.pattern_name
+    (String.concat " + " (List.map Region.to_string t.regions))

@@ -1,0 +1,30 @@
+(** Polymerized tensor programs.
+
+    The output of the online stage: the operator's online loops
+    reorganized into regions, each with its instantiated micro-kernel.
+    A program is valid iff its regions exactly partition the operator's
+    M×N output space. *)
+
+type t = private {
+  op : Operator.t;
+  regions : Region.t list;
+  pattern_name : string;  (** which polymerization pattern produced it *)
+}
+
+val make : op:Operator.t -> regions:Region.t list -> pattern_name:string -> t
+(** Validates the program (see {!validate}); raises [Invalid_argument] if
+    invalid. *)
+
+val validate : op:Operator.t -> regions:Region.t list -> (unit, string) result
+(** Checks that regions are within bounds, pairwise disjoint, cover the
+    whole output, and all carry the operator's full reduction extent. *)
+
+val to_load : t -> Mikpoly_accel.Load.t
+(** Lower to the device-level workload description. *)
+
+val padding_overhead : t -> float
+(** (padded − useful) / useful flops, >= 0. *)
+
+val num_regions : t -> int
+
+val to_string : t -> string

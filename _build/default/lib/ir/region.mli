@@ -1,0 +1,37 @@
+(** A region [R_i]: one loop nest of a polymerized program.
+
+    A region covers a rectangle of the operator's output space and carries
+    the fixed-size micro-kernel instantiated for it. Tiles that stick out
+    of the rectangle are handled by local padding (paper Section 3.4):
+    reads outside the region are zeros, writes are clamped. *)
+
+type t = private {
+  row_off : int;  (** first output row covered *)
+  col_off : int;  (** first output column covered *)
+  rows : int;  (** true (unpadded) row extent, >= 1 *)
+  cols : int;  (** true column extent, >= 1 *)
+  k_len : int;  (** reduction extent, >= 1 *)
+  kernel : Mikpoly_accel.Kernel_desc.t;
+}
+
+val make :
+  row_off:int -> col_off:int -> rows:int -> cols:int -> k_len:int ->
+  kernel:Mikpoly_accel.Kernel_desc.t -> t
+(** Raises [Invalid_argument] on non-positive extents or negative
+    offsets. *)
+
+val n_tasks : t -> int
+(** Pipelined tasks the region launches:
+    ⌈rows/uM⌉ · ⌈cols/uN⌉ — the paper's [f_parallel]. *)
+
+val t_steps : t -> int
+(** Kernel instances per task: ⌈k_len/uK⌉ — the paper's [f_num]. *)
+
+val useful_flops : t -> float
+
+val padded_flops : t -> float
+(** Work actually executed including local padding. *)
+
+val to_load_region : t -> Mikpoly_accel.Load.region
+
+val to_string : t -> string

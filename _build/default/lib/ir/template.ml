@@ -1,0 +1,48 @@
+type dim = M | N | K
+
+type loop = {
+  dim : dim;
+  stage : [ `Online | `Offline ];
+  reduction : bool;
+}
+
+type t = { loop_list : loop list }
+
+let gemm =
+  {
+    loop_list =
+      [
+        { dim = M; stage = `Online; reduction = false };
+        { dim = N; stage = `Online; reduction = false };
+        { dim = K; stage = `Online; reduction = true };
+        { dim = M; stage = `Offline; reduction = false };
+        { dim = N; stage = `Offline; reduction = false };
+        { dim = K; stage = `Offline; reduction = true };
+      ];
+  }
+
+let loops t = t.loop_list
+
+let online_loops t = List.filter (fun l -> l.stage = `Online) t.loop_list
+
+let offline_loops t = List.filter (fun l -> l.stage = `Offline) t.loop_list
+
+let parallel_dims t =
+  List.filter_map
+    (fun l -> if l.stage = `Online && not l.reduction then Some l.dim else None)
+    t.loop_list
+
+let reduction_dims t =
+  List.filter_map
+    (fun l -> if l.stage = `Online && l.reduction then Some l.dim else None)
+    t.loop_list
+
+let instantiate_kernel t ~tile ~dtype ~path ~codegen_eff =
+  let find d =
+    if List.exists (fun l -> l.stage = `Offline && l.dim = d) t.loop_list then tile d
+    else invalid_arg "Template.instantiate_kernel: missing offline dimension"
+  in
+  Mikpoly_accel.Kernel_desc.make ~dtype ~path ~codegen_eff ~um:(find M) ~un:(find N)
+    ~uk:(find K) ()
+
+let dim_to_string = function M -> "M" | N -> "N" | K -> "K"

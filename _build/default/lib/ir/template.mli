@@ -1,0 +1,45 @@
+(** Two-stage program templates (paper Section 3.2.1, Figure 3).
+
+    A template [Q] is a tiled loop nest over the operator's iteration
+    dimensions where each dimension is split into an {e online} outer loop
+    (bound resolved at runtime, optimized for [M_global]) and an {e offline}
+    inner loop (fixed tile extent, optimized for [M_local]). The offline
+    loops form the micro-kernel template [K̃], from which the offline stage
+    instantiates fixed-size micro-kernels. *)
+
+type dim = M | N | K
+
+type loop = {
+  dim : dim;
+  stage : [ `Online | `Offline ];
+  reduction : bool;  (** true for the K loops of GEMM *)
+}
+
+type t
+
+val gemm : t
+(** The GEMM template of Figure 3: online loops over (M, N, K) tile
+    indices around offline loops over (uM, uN, uK). *)
+
+val loops : t -> loop list
+(** Outer-to-inner loop order. *)
+
+val online_loops : t -> loop list
+
+val offline_loops : t -> loop list
+(** The micro-kernel template [K̃]. *)
+
+val parallel_dims : t -> dim list
+(** Online non-reduction dimensions — parallelized across PEs. *)
+
+val reduction_dims : t -> dim list
+(** Online reduction dimensions — serialized inside one pipelined task. *)
+
+val instantiate_kernel :
+  t -> tile:(dim -> int) -> dtype:Mikpoly_tensor.Dtype.t ->
+  path:Mikpoly_accel.Hardware.compute_path -> codegen_eff:float ->
+  Mikpoly_accel.Kernel_desc.t
+(** Fix the offline loop extents, producing a fixed-size micro-kernel
+    descriptor. *)
+
+val dim_to_string : dim -> string

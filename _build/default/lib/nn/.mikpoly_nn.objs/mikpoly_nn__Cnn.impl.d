@@ -1,0 +1,1 @@
+lib/nn/cnn.ml: Conv_spec List Mikpoly_tensor Op Printf

@@ -1,0 +1,1 @@
+lib/nn/cnn.mli: Op

@@ -1,0 +1,1 @@
+lib/nn/fusion.ml: List Mikpoly_tensor Op

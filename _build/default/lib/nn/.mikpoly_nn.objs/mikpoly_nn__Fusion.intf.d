@@ -1,0 +1,1 @@
+lib/nn/fusion.mli: Op

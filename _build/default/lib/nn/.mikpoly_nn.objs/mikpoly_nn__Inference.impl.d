@@ -1,0 +1,1 @@
+lib/nn/inference.ml: Hardware Hashtbl List Mikpoly_accel Mikpoly_tensor Op Option

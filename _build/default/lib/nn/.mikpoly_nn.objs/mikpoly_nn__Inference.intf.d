@@ -1,0 +1,1 @@
+lib/nn/inference.mli: Mikpoly_accel Op

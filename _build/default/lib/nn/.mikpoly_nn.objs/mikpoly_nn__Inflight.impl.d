@@ -1,0 +1,1 @@
+lib/nn/inflight.ml: Hashtbl Inference List Llama Mikpoly_util

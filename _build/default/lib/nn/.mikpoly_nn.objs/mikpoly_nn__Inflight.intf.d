@@ -1,0 +1,1 @@
+lib/nn/inflight.mli: Inference Mikpoly_accel

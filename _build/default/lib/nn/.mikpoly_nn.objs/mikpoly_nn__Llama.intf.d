@@ -1,0 +1,1 @@
+lib/nn/llama.mli: Op

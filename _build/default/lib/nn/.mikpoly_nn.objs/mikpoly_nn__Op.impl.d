@@ -1,0 +1,1 @@
+lib/nn/op.ml: Hashtbl List Mikpoly_tensor

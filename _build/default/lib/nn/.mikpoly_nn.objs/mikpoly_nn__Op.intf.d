@@ -1,0 +1,1 @@
+lib/nn/op.mli: Mikpoly_tensor

@@ -1,0 +1,1 @@
+lib/nn/training.ml: List Op Printf Transformer

@@ -1,0 +1,1 @@
+lib/nn/training.mli: Op Transformer

@@ -1,0 +1,1 @@
+lib/nn/transformer.ml: List Op Printf

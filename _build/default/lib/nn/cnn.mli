@@ -1,0 +1,23 @@
+(** CNN models of the end-to-end evaluation: AlexNet, GoogLeNet,
+    ResNet-18 and VGG-11 (the TorchVision variants the paper uses), built
+    for dynamic batch sizes and input resolutions (batch 2^0…2^7,
+    resolution 64·i, i ≤ 10 — Section 5.1). *)
+
+type config = {
+  name : string;
+  build : batch:int -> resolution:int -> Op.graph;
+}
+
+val alexnet : config
+
+val googlenet : config
+
+val resnet18 : config
+
+val vgg11 : config
+
+val all : config list
+
+val min_resolution : config -> int
+(** Smallest input resolution for which every layer keeps a non-empty
+    feature map (AlexNet and GoogLeNet stems downsample aggressively). *)

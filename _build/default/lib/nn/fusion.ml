@@ -1,0 +1,25 @@
+let fp16 = 2.
+
+let output_bytes (op : Op.t) =
+  match op with
+  | Op.Gemm { m; n; repeat; _ } -> Some (float_of_int (m * n * repeat) *. fp16)
+  | Op.Conv { spec; _ } ->
+    let m, n, _ = Mikpoly_tensor.Conv_spec.gemm_shape spec in
+    Some (float_of_int (m * n) *. fp16)
+  | Op.Mem _ | Op.Comm _ -> None
+
+let fuse_epilogues ?(max_ratio = 4.) (g : Op.graph) =
+  (* One epilogue per producer: after fusing a Mem node into the preceding
+     GEMM/conv, the producer's write-back slot is consumed. *)
+  let rec fold acc producer_out = function
+    | [] -> List.rev acc
+    | (Op.Mem { bytes; _ } as mem) :: rest -> (
+      match producer_out with
+      | Some out when bytes <= max_ratio *. out -> fold acc None rest
+      | _ -> fold (mem :: acc) None rest)
+    | op :: rest -> fold (op :: acc) (output_bytes op) rest
+  in
+  Op.graph ~name:(g.name ^ "+fused") (fold [] None g.ops)
+
+let fused_ops ~(original : Op.graph) ~(fused : Op.graph) =
+  List.length original.ops - List.length fused.ops

@@ -1,0 +1,19 @@
+(** Graph-level epilogue fusion (extension — paper Section 7 lists
+    combining MikPoly with operator fusion as future work).
+
+    An elementwise operator (ReLU, bias, residual add over the same
+    activation) that immediately follows a GEMM/convolution can be fused
+    into the producer's write-back: the values are still in the PE's
+    registers when the C tile is stored, so the separate kernel's launch
+    and its read-modify-write traffic disappear. The rewrite is
+    conservative: a [Mem] node is fused only when its traffic is
+    commensurate with the producer's output (at most [max_ratio] times the
+    output bytes), i.e. when it really is an elementwise epilogue and not
+    a pooling/softmax-style operator over different data. *)
+
+val fuse_epilogues : ?max_ratio:float -> Op.graph -> Op.graph
+(** Fuse eligible [Mem] successors into their producers (default
+    [max_ratio] = 4, covering read+write plus a residual input). *)
+
+val fused_ops : original:Op.graph -> fused:Op.graph -> int
+(** Number of operators the rewrite removed. *)

@@ -1,0 +1,51 @@
+open Mikpoly_accel
+
+type gemm_backend = m:int -> n:int -> k:int -> (float, string) result
+
+type result = {
+  seconds : float;
+  gemm_seconds : float;
+  mem_seconds : float;
+  comm_seconds : float;
+  overhead_seconds : float;
+  invalid_ops : int;
+}
+
+let valid r = r.invalid_ops = 0
+
+let run (hw : Hardware.t) (g : Op.graph) ~gemm ?conv_gemm ?overhead_per_shape () =
+  let conv_gemm = Option.value conv_gemm ~default:gemm in
+  let dram_bytes_per_s = hw.dram_bytes_per_cycle *. hw.clock_hz in
+  let gemm_s = ref 0. and mem_s = ref 0. and comm_s = ref 0. in
+  let overhead_s = ref 0. and invalid = ref 0 in
+  let seen_shapes = Hashtbl.create 16 in
+  let time_gemm backend ~m ~n ~k ~repeat =
+    (match overhead_per_shape with
+    | Some f when not (Hashtbl.mem seen_shapes (m, n, k)) ->
+      Hashtbl.add seen_shapes (m, n, k) ();
+      overhead_s := !overhead_s +. f ~m ~n ~k
+    | _ -> ());
+    match backend ~m ~n ~k with
+    | Ok s -> gemm_s := !gemm_s +. (s *. float_of_int repeat)
+    | Error _ -> incr invalid
+  in
+  List.iter
+    (fun (op : Op.t) ->
+      match op with
+      | Gemm { m; n; k; repeat; _ } -> time_gemm gemm ~m ~n ~k ~repeat
+      | Conv { spec; _ } ->
+        let m, n, k = Mikpoly_tensor.Conv_spec.gemm_shape spec in
+        time_gemm conv_gemm ~m ~n ~k ~repeat:1
+      | Mem { bytes; _ } ->
+        mem_s := !mem_s +. (bytes /. dram_bytes_per_s) +. hw.launch_overhead_s
+      | Comm { bytes; gbps; _ } ->
+        comm_s := !comm_s +. (bytes /. (gbps *. 1e9)) +. hw.launch_overhead_s)
+    g.ops;
+  {
+    seconds = !gemm_s +. !mem_s +. !comm_s +. !overhead_s;
+    gemm_seconds = !gemm_s;
+    mem_seconds = !mem_s;
+    comm_seconds = !comm_s;
+    overhead_seconds = !overhead_s;
+    invalid_ops = !invalid;
+  }

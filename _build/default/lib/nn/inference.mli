@@ -1,0 +1,35 @@
+(** End-to-end inference engine.
+
+    Executes an operator graph by timing every GEMM/conv through a
+    pluggable backend (MikPoly, a vendor library, DietCode, …) on the
+    device simulator, and every memory-bound / collective operator
+    identically for all backends. Per-shape compilation overhead is paid
+    once per distinct shape (MikPoly's online polymerization cost of
+    Figures 8/9/12a); vendor libraries have no such term. *)
+
+type gemm_backend = m:int -> n:int -> k:int -> (float, string) result
+(** Returns device seconds for the GEMM, or an error for unsupported
+    shapes. *)
+
+type result = {
+  seconds : float;  (** total latency, including [overhead_seconds] *)
+  gemm_seconds : float;
+  mem_seconds : float;
+  comm_seconds : float;
+  overhead_seconds : float;  (** online compilation overhead *)
+  invalid_ops : int;  (** operators the backend could not run *)
+}
+
+val valid : result -> bool
+(** True when no operator failed. *)
+
+val run :
+  Mikpoly_accel.Hardware.t -> Op.graph -> gemm:gemm_backend ->
+  ?conv_gemm:gemm_backend ->
+  ?overhead_per_shape:(m:int -> n:int -> k:int -> float) -> unit -> result
+(** [conv_gemm] times the im2col-lowered convolutions (defaults to
+    [gemm]; lets the baseline pair cuDNN for convolutions with cuBLAS for
+    dense layers). [overhead_per_shape] is consulted once per distinct
+    GEMM shape (defaults to zero). Memory-bound operators run at DRAM
+    bandwidth plus a kernel-launch overhead; collectives at their declared
+    link bandwidth. *)

@@ -1,0 +1,93 @@
+type request = {
+  arrival_step : int;
+  prompt_len : int;
+  output_len : int;
+}
+
+type stats = {
+  total_seconds : float;
+  steps : int;
+  distinct_batch_sizes : int;
+  tokens_generated : int;
+}
+
+let synth_requests ~seed ~count ~max_prompt ~max_output =
+  let rng = Mikpoly_util.Prng.create seed in
+  List.init count (fun _ ->
+      {
+        arrival_step = Mikpoly_util.Prng.int rng (max 1 (2 * count));
+        prompt_len = Mikpoly_util.Prng.log_int_in rng 1 max_prompt;
+        output_len = Mikpoly_util.Prng.log_int_in rng 1 max_output;
+      })
+
+(* One engine step processing [tokens] tokens in flight: the four
+   projection GEMM families of every layer plus attention/collectives,
+   reusing the Llama per-layer structure. *)
+let step_graph ~tokens ~kv_tokens =
+  if tokens = 0 then None
+  else Some (Llama.decode_graph ~batch:tokens ~kv_len:(max 1 (kv_tokens / max 1 tokens)))
+
+type active = {
+  mutable remaining_output : int;
+  mutable kv : int;
+  mutable needs_prefill : int;  (** prompt tokens not yet consumed *)
+}
+
+let simulate hw ~gemm ?overhead_per_shape requests =
+  if requests = [] then invalid_arg "Inflight.simulate: no requests";
+  let pending = ref (List.sort (fun a b -> compare a.arrival_step b.arrival_step) requests) in
+  let active : active list ref = ref [] in
+  let total = ref 0. and steps = ref 0 and generated = ref 0 in
+  let batch_sizes = Hashtbl.create 32 in
+  let step = ref 0 in
+  while !pending <> [] || !active <> [] do
+    (* Admit arrivals. *)
+    let admitted, rest =
+      List.partition (fun r -> r.arrival_step <= !step) !pending
+    in
+    pending := rest;
+    active :=
+      !active
+      @ List.map
+          (fun r ->
+            { remaining_output = r.output_len; kv = 0; needs_prefill = r.prompt_len })
+          admitted;
+    (* Tokens in flight this step: whole prompts for new requests, one
+       decode token per running request. *)
+    let tokens =
+      List.fold_left
+        (fun acc a -> acc + if a.needs_prefill > 0 then a.needs_prefill else 1)
+        0 !active
+    in
+    let kv_tokens = List.fold_left (fun acc a -> acc + a.kv) 0 !active in
+    (match step_graph ~tokens ~kv_tokens with
+    | None -> ()
+    | Some graph ->
+      let r = Inference.run hw graph ~gemm ?overhead_per_shape () in
+      total := !total +. r.seconds;
+      Hashtbl.replace batch_sizes tokens ();
+      incr steps);
+    (* Advance request state. *)
+    active :=
+      List.filter
+        (fun a ->
+          if a.needs_prefill > 0 then begin
+            a.kv <- a.needs_prefill;
+            a.needs_prefill <- 0;
+            true
+          end
+          else begin
+            a.kv <- a.kv + 1;
+            a.remaining_output <- a.remaining_output - 1;
+            incr generated;
+            a.remaining_output > 0
+          end)
+        !active;
+    incr step
+  done;
+  {
+    total_seconds = !total;
+    steps = !steps;
+    distinct_batch_sizes = Hashtbl.length batch_sizes;
+    tokens_generated = !generated;
+  }

@@ -1,0 +1,35 @@
+(** In-flight (continuous) batching simulation — the paper's "Impact on
+    LLM Systems" discussion: MikPoly "is fully compatible with in-flight
+    batching technology, enabling dynamic runtime batch size adjustments".
+
+    The simulator drives a Llama2-13b serving loop: requests with random
+    prompt/output lengths arrive over time; every engine step batches all
+    requests in flight, so the token dimension of every GEMM changes from
+    step to step — the extreme dynamic-shape workload. Each distinct token
+    count is timed through a pluggable GEMM backend. *)
+
+type request = {
+  arrival_step : int;
+  prompt_len : int;
+  output_len : int;
+}
+
+type stats = {
+  total_seconds : float;  (** device time of the whole serving trace *)
+  steps : int;  (** engine iterations executed *)
+  distinct_batch_sizes : int;  (** distinct in-flight token counts seen *)
+  tokens_generated : int;
+}
+
+val synth_requests :
+  seed:int -> count:int -> max_prompt:int -> max_output:int -> request list
+(** Deterministic request trace with log-uniform lengths, arrivals spread
+    over the first [2·count] steps. *)
+
+val simulate :
+  Mikpoly_accel.Hardware.t -> gemm:Inference.gemm_backend ->
+  ?overhead_per_shape:(m:int -> n:int -> k:int -> float) -> request list ->
+  stats
+(** Run the serving loop until every request completes. Prompt tokens are
+    consumed in one prefill step per request (joining the in-flight batch);
+    each subsequent step decodes one token per active request. *)

@@ -1,0 +1,87 @@
+let hidden = 5120
+let ffn = 13824
+let heads = 40
+let layers = 40
+let tp = 4
+let head_dim = hidden / heads
+let nvlink_gbps = 300.
+
+type layer_gemm = {
+  label : string;
+  m : int;
+  k : int;
+  repeat : int;
+}
+
+let layer_gemms =
+  [
+    { label = "qkv_proj"; m = 3 * hidden / tp; k = hidden; repeat = 1 };
+    { label = "o_proj"; m = hidden; k = hidden / tp; repeat = 1 };
+    { label = "ffn_up"; m = ffn / tp; k = hidden; repeat = 2 };
+    { label = "ffn_down"; m = hidden; k = ffn / tp; repeat = 1 };
+  ]
+
+let gemm_shape g ~tokens = (g.m, tokens, g.k)
+
+let fp16 = 2.
+
+let layer_ops ~tokens ~attn =
+  let projections =
+    List.map
+      (fun g ->
+        let m, n, k = gemm_shape g ~tokens in
+        Op.gemm ~repeat:g.repeat ~label:g.label ~m ~n ~k ())
+      layer_gemms
+  in
+  let norms =
+    Op.mem ~label:"rmsnorm" ~bytes:(4. *. float_of_int (tokens * hidden) *. fp16)
+  in
+  let allreduce =
+    Op.comm ~label:"allreduce" ~bytes:(2. *. float_of_int (tokens * hidden) *. fp16)
+      ~gbps:nvlink_gbps
+  in
+  (norms :: projections) @ attn @ [ allreduce; allreduce ]
+
+let prefill_graph ~batch ~seq_len =
+  if batch < 1 || seq_len < 1 then invalid_arg "Llama.prefill_graph";
+  let tokens = batch * seq_len in
+  let heads_per_gpu = heads / tp in
+  let attn =
+    [
+      Op.gemm ~repeat:(batch * heads_per_gpu) ~label:"attn_scores" ~m:seq_len
+        ~n:seq_len ~k:head_dim ();
+      Op.mem ~label:"softmax"
+        ~bytes:(3. *. float_of_int (batch * heads_per_gpu * seq_len * seq_len) *. fp16);
+      Op.gemm ~repeat:(batch * heads_per_gpu) ~label:"attn_ctx" ~m:seq_len
+        ~n:head_dim ~k:seq_len ();
+    ]
+  in
+  let layer = layer_ops ~tokens ~attn in
+  Op.graph
+    ~name:(Printf.sprintf "llama2-13b-prefill@b%d-s%d" batch seq_len)
+    (List.concat (List.init layers (fun _ -> layer)))
+
+let decode_graph ~batch ~kv_len =
+  if batch < 1 || kv_len < 1 then invalid_arg "Llama.decode_graph";
+  let heads_per_gpu = heads / tp in
+  (* Decoding attention is a KV-cache scan: bandwidth bound. *)
+  let attn =
+    [
+      Op.mem ~label:"kv_attention"
+        ~bytes:
+          (2. *. float_of_int (batch * heads_per_gpu * kv_len * head_dim) *. fp16);
+    ]
+  in
+  let layer = layer_ops ~tokens:batch ~attn in
+  Op.graph
+    ~name:(Printf.sprintf "llama2-13b-decode@b%d-kv%d" batch kv_len)
+    (List.concat (List.init layers (fun _ -> layer)))
+
+let generation_seconds ~op_seconds ~batch ~seq_len ~output_len =
+  if output_len < 1 then invalid_arg "Llama.generation_seconds";
+  let prefill = op_seconds (prefill_graph ~batch ~seq_len) in
+  (* Decode cost grows with the KV cache; the midpoint step is
+     representative of the average. *)
+  let mid_kv = seq_len + (output_len / 2) in
+  let decode = op_seconds (decode_graph ~batch ~kv_len:mid_kv) in
+  prefill +. (float_of_int output_len *. decode)

@@ -1,0 +1,35 @@
+(** Llama2-13b under 4-way tensor parallelism (paper Section 5.2.4).
+
+    Shapes match Table 8's per-GPU GEMMs (hidden 5120, FFN 13824, 40
+    heads, 40 layers, TP = 4): qkv_proj M = 3·5120/4 = 3840, o_proj
+    K = 5120/4 = 1280, ffn up M = 13824/4 = 3456, ffn down K = 3456; the
+    dynamic dimension N is the number of tokens in flight. *)
+
+type layer_gemm = {
+  label : string;
+  m : int;
+  k : int;
+  repeat : int;  (** gate+up projections share the ffn-up shape *)
+}
+
+val layer_gemms : layer_gemm list
+(** The four Table-8 GEMM families. *)
+
+val gemm_shape : layer_gemm -> tokens:int -> int * int * int
+(** Concrete (M, N, K) for a token count. *)
+
+val prefill_graph : batch:int -> seq_len:int -> Op.graph
+(** One full forward pass over [batch·seq_len] tokens, including
+    per-layer attention, normalization and the two tensor-parallel
+    all-reduces. *)
+
+val decode_graph : batch:int -> kv_len:int -> Op.graph
+(** One autoregressive decoding step ([batch] tokens in flight) with a
+    KV-cache of [kv_len] entries. *)
+
+val generation_seconds :
+  op_seconds:(Op.graph -> float) -> batch:int -> seq_len:int ->
+  output_len:int -> float
+(** End-to-end latency of prefill plus [output_len] decode steps (the
+    Figure-11 setting uses output_len = 512), given an engine that times a
+    graph. *)

@@ -1,0 +1,56 @@
+type t =
+  | Gemm of { m : int; n : int; k : int; repeat : int; label : string }
+  | Conv of { spec : Mikpoly_tensor.Conv_spec.t; label : string }
+  | Mem of { bytes : float; label : string }
+  | Comm of { bytes : float; gbps : float; label : string }
+
+type graph = {
+  name : string;
+  ops : t list;
+}
+
+let gemm ?(repeat = 1) ~label ~m ~n ~k () =
+  if m < 1 || n < 1 || k < 1 || repeat < 1 then
+    invalid_arg "Op.gemm: non-positive dimension";
+  Gemm { m; n; k; repeat; label }
+
+let conv ~label spec = Conv { spec; label }
+
+let mem ~label ~bytes =
+  if bytes < 0. then invalid_arg "Op.mem: negative bytes";
+  Mem { bytes; label }
+
+let comm ~label ~bytes ~gbps =
+  if bytes < 0. || gbps <= 0. then invalid_arg "Op.comm: invalid parameters";
+  Comm { bytes; gbps; label }
+
+let graph ~name ops = { name; ops }
+
+let total_gemm_flops g =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Gemm { m; n; k; repeat; _ } ->
+        acc
+        +. (2. *. float_of_int m *. float_of_int n *. float_of_int k
+            *. float_of_int repeat)
+      | Conv { spec; _ } -> acc +. Mikpoly_tensor.Conv_spec.flops spec
+      | Mem _ | Comm _ -> acc)
+    0. g.ops
+
+let gemm_shapes g =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun op ->
+      let shape =
+        match op with
+        | Gemm { m; n; k; _ } -> Some (m, n, k)
+        | Conv { spec; _ } -> Some (Mikpoly_tensor.Conv_spec.gemm_shape spec)
+        | Mem _ | Comm _ -> None
+      in
+      match shape with
+      | Some s when not (Hashtbl.mem seen s) ->
+        Hashtbl.add seen s ();
+        Some s
+      | _ -> None)
+    g.ops

@@ -1,0 +1,38 @@
+(** Operator graphs for end-to-end model inference.
+
+    A model run is a sequence of operators: GEMMs (possibly repeated, e.g.
+    per attention head), convolutions (lowered to GEMM by the engine), and
+    non-GEMM memory-bound operators (softmax, layer-norm, pooling,
+    activations) plus tensor-parallel collectives, which every backend
+    executes identically — they dilute operator-level speedups into the
+    end-to-end numbers exactly as in the paper's Figures 8, 9 and 11. *)
+
+type t =
+  | Gemm of { m : int; n : int; k : int; repeat : int; label : string }
+  | Conv of { spec : Mikpoly_tensor.Conv_spec.t; label : string }
+  | Mem of { bytes : float; label : string }
+      (** DRAM-bandwidth-bound auxiliary operator. *)
+  | Comm of { bytes : float; gbps : float; label : string }
+      (** Interconnect collective (NVLink all-reduce). *)
+
+type graph = {
+  name : string;
+  ops : t list;
+}
+
+val gemm : ?repeat:int -> label:string -> m:int -> n:int -> k:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive dimensions or repeat. *)
+
+val conv : label:string -> Mikpoly_tensor.Conv_spec.t -> t
+
+val mem : label:string -> bytes:float -> t
+
+val comm : label:string -> bytes:float -> gbps:float -> t
+
+val graph : name:string -> t list -> graph
+
+val total_gemm_flops : graph -> float
+(** Useful GEMM/conv flops in the graph. *)
+
+val gemm_shapes : graph -> (int * int * int) list
+(** Distinct lowered GEMM shapes, in first-appearance order. *)

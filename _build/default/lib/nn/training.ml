@@ -1,0 +1,61 @@
+let fp16 = 2.
+
+let gemm_shapes_of_batch ~batch ~in_features ~out_features =
+  [
+    (* forward: Y[B,O] = X[B,I] · W[I,O] *)
+    (batch, out_features, in_features);
+    (* input gradient: dX[B,I] = dY[B,O] · Wᵀ[O,I] *)
+    (batch, in_features, out_features);
+    (* weight gradient: dW[I,O] = Xᵀ[I,B] · dY[B,O] — batch is K *)
+    (in_features, out_features, batch);
+  ]
+
+let dense_layer_step ~batch ~in_features ~out_features =
+  if batch < 1 || in_features < 1 || out_features < 1 then
+    invalid_arg "Training.dense_layer_step: non-positive dimension";
+  let shapes = gemm_shapes_of_batch ~batch ~in_features ~out_features in
+  let labels = [ "forward"; "grad_input"; "grad_weight" ] in
+  let gemms =
+    List.map2 (fun label (m, n, k) -> Op.gemm ~label ~m ~n ~k ()) labels shapes
+  in
+  let act_bytes = float_of_int (batch * out_features) *. fp16 in
+  let weight_bytes = float_of_int (in_features * out_features) *. fp16 in
+  Op.graph
+    ~name:(Printf.sprintf "dense-%dx%d@b%d" in_features out_features batch)
+    (gemms
+    @ [
+        Op.mem ~label:"activation_grad" ~bytes:(3. *. act_bytes);
+        (* optimizer update: read grad + weight, write weight. *)
+        Op.mem ~label:"optimizer" ~bytes:(3. *. weight_bytes);
+      ])
+
+let transformer_step (cfg : Transformer.config) ~batch ~seq_len =
+  if batch < 1 then invalid_arg "Training.transformer_step: batch < 1";
+  let tokens = batch * seq_len in
+  let h = cfg.hidden in
+  let projections =
+    [
+      ("qkv", 3 * h, h);
+      ("proj", h, h);
+      ("ffn_up", cfg.ffn, h);
+      ("ffn_down", h, cfg.ffn);
+    ]
+  in
+  let layer i =
+    List.concat_map
+      (fun (name, out_features, in_features) ->
+        let label product = Printf.sprintf "L%d.%s.%s" i name product in
+        List.map2
+          (fun product (m, n, k) -> Op.gemm ~label:(label product) ~m ~n ~k ())
+          [ "fwd"; "dx"; "dw" ]
+          (gemm_shapes_of_batch ~batch:tokens ~in_features ~out_features))
+      projections
+    @ [
+        Op.mem
+          ~label:(Printf.sprintf "L%d.attention+norms" i)
+          ~bytes:(10. *. float_of_int (tokens * h) *. fp16);
+      ]
+  in
+  Op.graph
+    ~name:(Printf.sprintf "%s-train@b%d-s%d" cfg.name batch seq_len)
+    (List.concat (List.init cfg.layers layer))

@@ -1,0 +1,23 @@
+(** Training-step graphs with dynamic batch sizes — the paper's first
+    motivating scenario (Section 2.1 (1): adaptive batch sizes during
+    training change the GEMM shapes every schedule step).
+
+    A training step of a dense/transformer layer runs three GEMM families:
+    the forward product, the input-gradient product (dX = dY·Wᵀ) and the
+    weight-gradient product (dW = Xᵀ·dY). The batch (or token) dimension
+    appears as M, N or K depending on the product, so dynamic batches
+    exercise all three dynamic-dimension positions. *)
+
+val dense_layer_step :
+  batch:int -> in_features:int -> out_features:int -> Op.graph
+(** Forward + backward of one dense layer at the given batch size, with
+    the optimizer's elementwise update as a memory-bound operator. *)
+
+val transformer_step : Transformer.config -> batch:int -> seq_len:int -> Op.graph
+(** One full forward+backward step of a transformer encoder: roughly 3×
+    the forward GEMM volume (forward, dX, dW per projection). *)
+
+val gemm_shapes_of_batch :
+  batch:int -> in_features:int -> out_features:int -> (int * int * int) list
+(** The three GEMM shapes a dense layer's step produces; exposed for
+    tests (the dynamic dimension moves across M/N/K). *)

@@ -1,0 +1,45 @@
+type config = {
+  name : string;
+  layers : int;
+  hidden : int;
+  heads : int;
+  ffn : int;
+}
+
+let bert_base = { name = "bert-base-uncased"; layers = 12; hidden = 768; heads = 12; ffn = 3072 }
+
+let distilbert =
+  { name = "distilbert-base-uncased"; layers = 6; hidden = 768; heads = 12; ffn = 3072 }
+
+let roberta = { name = "roberta-base"; layers = 12; hidden = 768; heads = 12; ffn = 3072 }
+
+let albert_xlarge =
+  { name = "albert-xlarge-v2"; layers = 24; hidden = 2048; heads = 16; ffn = 8192 }
+
+let all = [ bert_base; distilbert; roberta; albert_xlarge ]
+
+let graph cfg ~seq_len =
+  if seq_len < 1 then invalid_arg "Transformer.graph: seq_len < 1";
+  let s = seq_len and h = cfg.hidden in
+  let head_dim = h / cfg.heads in
+  let fp16 = 2. in
+  let act_bytes = float_of_int (s * h) *. fp16 in
+  let layer i =
+    let l = Printf.sprintf "L%d" i in
+    [
+      Op.gemm ~label:(l ^ ".qkv") ~m:s ~n:(3 * h) ~k:h ();
+      Op.gemm ~repeat:cfg.heads ~label:(l ^ ".attn_scores") ~m:s ~n:s ~k:head_dim ();
+      Op.mem ~label:(l ^ ".softmax")
+        ~bytes:(3. *. float_of_int (cfg.heads * s * s) *. fp16);
+      Op.gemm ~repeat:cfg.heads ~label:(l ^ ".attn_ctx") ~m:s ~n:head_dim ~k:s ();
+      Op.gemm ~label:(l ^ ".proj") ~m:s ~n:h ~k:h ();
+      Op.mem ~label:(l ^ ".residual_ln1") ~bytes:(4. *. act_bytes);
+      Op.gemm ~label:(l ^ ".ffn_up") ~m:s ~n:cfg.ffn ~k:h ();
+      Op.mem ~label:(l ^ ".gelu") ~bytes:(2. *. float_of_int (s * cfg.ffn) *. fp16);
+      Op.gemm ~label:(l ^ ".ffn_down") ~m:s ~n:h ~k:cfg.ffn ();
+      Op.mem ~label:(l ^ ".residual_ln2") ~bytes:(4. *. act_bytes);
+    ]
+  in
+  let embed = Op.mem ~label:"embeddings" ~bytes:(3. *. act_bytes) in
+  let ops = embed :: List.concat (List.init cfg.layers layer) in
+  Op.graph ~name:(Printf.sprintf "%s@seq%d" cfg.name s) ops

@@ -1,0 +1,27 @@
+(** Transformer language models of the paper's end-to-end GPU evaluation
+    (Section 5.2.2): bert-base-uncased, distilbert-base-uncased,
+    roberta-base, albert-xlarge-v2. The builder enumerates every operator
+    of an inference pass at a given (dynamic) sequence length. *)
+
+type config = {
+  name : string;
+  layers : int;
+  hidden : int;
+  heads : int;
+  ffn : int;
+}
+
+val bert_base : config
+
+val distilbert : config
+
+val roberta : config
+
+val albert_xlarge : config
+
+val all : config list
+
+val graph : config -> seq_len:int -> Op.graph
+(** One inference pass at batch 1 and the given sequence length: QKV /
+    attention / projection / FFN GEMMs per layer plus the memory-bound
+    softmax, layer-norm, activation and residual operators. *)

@@ -1,0 +1,1 @@
+lib/tensor/im2col.ml: Conv_spec Shape Tensor

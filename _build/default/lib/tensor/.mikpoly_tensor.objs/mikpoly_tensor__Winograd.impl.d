@@ -1,0 +1,1 @@
+lib/tensor/winograd.ml: Array Conv_spec Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/winograd.mli: Conv_spec Tensor

@@ -1,0 +1,34 @@
+let check_dims name t expected =
+  if Shape.dims (Tensor.shape t) <> expected then
+    invalid_arg (Printf.sprintf "Conv_ref.run: %s shape mismatch" name)
+
+let run (spec : Conv_spec.t) ~input ~weight =
+  let oh = Conv_spec.out_h spec and ow = Conv_spec.out_w spec in
+  check_dims "input" input [ spec.batch; spec.in_channels; spec.in_h; spec.in_w ];
+  check_dims "weight" weight
+    [ spec.out_channels; spec.in_channels; spec.kernel_h; spec.kernel_w ];
+  let out = Tensor.create (Shape.of_list [ spec.batch; spec.out_channels; oh; ow ]) in
+  for n = 0 to spec.batch - 1 do
+    for co = 0 to spec.out_channels - 1 do
+      for y = 0 to oh - 1 do
+        for x = 0 to ow - 1 do
+          let acc = ref 0. in
+          for ci = 0 to spec.in_channels - 1 do
+            for ky = 0 to spec.kernel_h - 1 do
+              for kx = 0 to spec.kernel_w - 1 do
+                let iy = (y * spec.stride_h) + ky - spec.pad_h in
+                let ix = (x * spec.stride_w) + kx - spec.pad_w in
+                if iy >= 0 && iy < spec.in_h && ix >= 0 && ix < spec.in_w then
+                  acc :=
+                    !acc
+                    +. Tensor.get input [| n; ci; iy; ix |]
+                       *. Tensor.get weight [| co; ci; ky; kx |]
+              done
+            done
+          done;
+          Tensor.set out [| n; co; y; x |] !acc
+        done
+      done
+    done
+  done;
+  out

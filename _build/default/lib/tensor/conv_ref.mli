@@ -1,0 +1,9 @@
+(** Direct reference convolution (NCHW) used to validate the im2col + GEMM
+    lowering path end to end. *)
+
+val run : Conv_spec.t -> input:Tensor.t -> weight:Tensor.t -> Tensor.t
+(** [run spec ~input ~weight] computes the cross-correlation of
+    [input : (batch, in_channels, in_h, in_w)] with
+    [weight : (out_channels, in_channels, kernel_h, kernel_w)], returning
+    the [(batch, out_channels, out_h, out_w)] output. Raises
+    [Invalid_argument] if the tensors do not match [spec]. *)

@@ -1,0 +1,57 @@
+type t = {
+  batch : int;
+  in_channels : int;
+  out_channels : int;
+  in_h : int;
+  in_w : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride_h : int;
+  stride_w : int;
+  pad_h : int;
+  pad_w : int;
+}
+
+let out_dim size kernel stride pad = ((size + (2 * pad) - kernel) / stride) + 1
+
+let out_h t = out_dim t.in_h t.kernel_h t.stride_h t.pad_h
+
+let out_w t = out_dim t.in_w t.kernel_w t.stride_w t.pad_w
+
+let make ?(stride = 1) ?pad ~batch ~in_channels ~out_channels ~in_h ~in_w ~kernel () =
+  let pad = match pad with Some p -> p | None -> kernel / 2 in
+  let t =
+    {
+      batch;
+      in_channels;
+      out_channels;
+      in_h;
+      in_w;
+      kernel_h = kernel;
+      kernel_w = kernel;
+      stride_h = stride;
+      stride_w = stride;
+      pad_h = pad;
+      pad_w = pad;
+    }
+  in
+  if batch <= 0 || in_channels <= 0 || out_channels <= 0 || in_h <= 0 || in_w <= 0
+     || kernel <= 0 || stride <= 0 || pad < 0
+  then invalid_arg "Conv_spec.make: non-positive dimension";
+  if out_h t <= 0 || out_w t <= 0 then invalid_arg "Conv_spec.make: empty output";
+  t
+
+let gemm_shape t =
+  let m = t.batch * out_h t * out_w t in
+  let n = t.out_channels in
+  let k = t.in_channels * t.kernel_h * t.kernel_w in
+  (m, n, k)
+
+let flops t =
+  let m, n, k = gemm_shape t in
+  2. *. float_of_int m *. float_of_int n *. float_of_int k
+
+let to_string t =
+  Printf.sprintf "conv(n=%d c=%d->%d hw=%dx%d k=%dx%d s=%d p=%d)" t.batch
+    t.in_channels t.out_channels t.in_h t.in_w t.kernel_h t.kernel_w t.stride_h
+    t.pad_h

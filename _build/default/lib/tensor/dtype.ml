@@ -1,0 +1,7 @@
+type t = F16 | F32
+
+let bytes = function F16 -> 2 | F32 -> 4
+
+let to_string = function F16 -> "fp16" | F32 -> "fp32"
+
+let equal a b = a = b

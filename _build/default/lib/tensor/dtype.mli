@@ -1,0 +1,15 @@
+(** Element types of tensors.
+
+    All numeric data in this reproduction is stored as 32-bit floats; the
+    dtype is tracked separately because the accelerator model needs element
+    *widths* (fp16 tensor-core traffic vs fp32 CUDA-core traffic) to account
+    for memory bytes, exactly as the paper's platforms do. *)
+
+type t = F16 | F32
+
+val bytes : t -> int
+(** Storage width in bytes: 2 for [F16], 4 for [F32]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

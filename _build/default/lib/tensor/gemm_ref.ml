@@ -1,0 +1,28 @@
+let dims2 t =
+  match Shape.dims (Tensor.shape t) with
+  | [ r; c ] -> (r, c)
+  | _ -> invalid_arg "Gemm_ref: expected rank-2 tensor"
+
+let run ~a ~b ~c =
+  let m, k = dims2 a in
+  let k', n = dims2 b in
+  let m', n' = dims2 c in
+  if k <> k' || m <> m' || n <> n' then invalid_arg "Gemm_ref.run: shape mismatch";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc := !acc +. (Tensor.get2 a i p *. Tensor.get2 b p j)
+      done;
+      Tensor.set2 c i j !acc
+    done
+  done
+
+let gemm a b =
+  let m, _ = dims2 a in
+  let _, n = dims2 b in
+  let c = Tensor.create (Shape.of_list [ m; n ]) in
+  run ~a ~b ~c;
+  c
+
+let flops ~m ~n ~k = 2. *. float_of_int m *. float_of_int n *. float_of_int k

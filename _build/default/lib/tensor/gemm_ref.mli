@@ -1,0 +1,11 @@
+(** Reference GEMM used as numerical ground truth for the executor tests. *)
+
+val run : a:Tensor.t -> b:Tensor.t -> c:Tensor.t -> unit
+(** [run ~a ~b ~c] computes [c <- a * b] for [a : MxK], [b : KxN],
+    [c : MxN]. Raises [Invalid_argument] on inconsistent shapes. *)
+
+val gemm : Tensor.t -> Tensor.t -> Tensor.t
+(** Allocating wrapper around {!run}. *)
+
+val flops : m:int -> n:int -> k:int -> float
+(** Floating point operations of an [MxNxK] GEMM (2·M·N·K). *)

@@ -1,0 +1,58 @@
+let unfold_input (spec : Conv_spec.t) input =
+  let oh = Conv_spec.out_h spec and ow = Conv_spec.out_w spec in
+  let m, _, k = Conv_spec.gemm_shape spec in
+  let a = Tensor.create (Shape.of_list [ m; k ]) in
+  for n = 0 to spec.batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        let row = (((n * oh) + y) * ow) + x in
+        for ci = 0 to spec.in_channels - 1 do
+          for ky = 0 to spec.kernel_h - 1 do
+            for kx = 0 to spec.kernel_w - 1 do
+              let col = (((ci * spec.kernel_h) + ky) * spec.kernel_w) + kx in
+              let iy = (y * spec.stride_h) + ky - spec.pad_h in
+              let ix = (x * spec.stride_w) + kx - spec.pad_w in
+              if iy >= 0 && iy < spec.in_h && ix >= 0 && ix < spec.in_w then
+                Tensor.set2 a row col (Tensor.get input [| n; ci; iy; ix |])
+            done
+          done
+        done
+      done
+    done
+  done;
+  a
+
+let reshape_weight (spec : Conv_spec.t) weight =
+  let _, n, k = Conv_spec.gemm_shape spec in
+  let b = Tensor.create (Shape.of_list [ k; n ]) in
+  for co = 0 to spec.out_channels - 1 do
+    for ci = 0 to spec.in_channels - 1 do
+      for ky = 0 to spec.kernel_h - 1 do
+        for kx = 0 to spec.kernel_w - 1 do
+          let row = (((ci * spec.kernel_h) + ky) * spec.kernel_w) + kx in
+          Tensor.set2 b row co (Tensor.get weight [| co; ci; ky; kx |])
+        done
+      done
+    done
+  done;
+  b
+
+let fold_output (spec : Conv_spec.t) c =
+  let oh = Conv_spec.out_h spec and ow = Conv_spec.out_w spec in
+  let out = Tensor.create (Shape.of_list [ spec.batch; spec.out_channels; oh; ow ]) in
+  for n = 0 to spec.batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        let row = (((n * oh) + y) * ow) + x in
+        for co = 0 to spec.out_channels - 1 do
+          Tensor.set out [| n; co; y; x |] (Tensor.get2 c row co)
+        done
+      done
+    done
+  done;
+  out
+
+let conv_via_gemm spec ~input ~weight ~gemm =
+  let a = unfold_input spec input in
+  let b = reshape_weight spec weight in
+  fold_output spec (gemm a b)

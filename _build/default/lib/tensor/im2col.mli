@@ -1,0 +1,23 @@
+(** Im2col lowering of convolution to GEMM.
+
+    The lowered problem is [C = A · B] with [A : M×K] the unfolded input
+    patches ([M = batch·out_h·out_w], [K = in_channels·kh·kw]), [B : K×N]
+    the reshaped weights ([N = out_channels]), matching
+    {!Conv_spec.gemm_shape}. *)
+
+val unfold_input : Conv_spec.t -> Tensor.t -> Tensor.t
+(** [unfold_input spec input] builds the patch matrix [A]. Out-of-image
+    (padding) elements are zero. *)
+
+val reshape_weight : Conv_spec.t -> Tensor.t -> Tensor.t
+(** [reshape_weight spec weight] builds [B : K×N]. *)
+
+val fold_output : Conv_spec.t -> Tensor.t -> Tensor.t
+(** [fold_output spec c] reshapes the GEMM result [C : M×N] back to the
+    NCHW output layout. *)
+
+val conv_via_gemm :
+  Conv_spec.t -> input:Tensor.t -> weight:Tensor.t ->
+  gemm:(Tensor.t -> Tensor.t -> Tensor.t) -> Tensor.t
+(** Full lowering pipeline around an arbitrary GEMM implementation (the
+    reference one, or a polymerized program executor). *)

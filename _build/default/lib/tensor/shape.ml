@@ -1,0 +1,31 @@
+type t = int array
+
+let of_list dims =
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.of_list: non-positive dimension")
+    dims;
+  if dims = [] then invalid_arg "Shape.of_list: empty shape";
+  Array.of_list dims
+
+let dims t = Array.to_list t
+
+let rank t = Array.length t
+
+let numel t = Array.fold_left ( * ) 1 t
+
+let dim t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Shape.dim: index out of range";
+  t.(i)
+
+let equal a b = a = b
+
+let to_string t =
+  "[" ^ String.concat "x" (List.map string_of_int (dims t)) ^ "]"
+
+let strides t =
+  let n = Array.length t in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.(i + 1)
+  done;
+  s

@@ -1,0 +1,25 @@
+(** Tensor shapes as immutable dimension lists. *)
+
+type t
+(** A shape; every dimension is strictly positive. *)
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] if any dimension is non-positive. *)
+
+val dims : t -> int list
+
+val rank : t -> int
+
+val numel : t -> int
+(** Product of the dimensions. *)
+
+val dim : t -> int -> int
+(** [dim t i] is the [i]-th dimension (0-based). *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** E.g. ["[4096x1024]"]. *)
+
+val strides : t -> int array
+(** Row-major strides, in elements. *)

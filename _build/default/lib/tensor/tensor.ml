@@ -1,0 +1,100 @@
+type ba = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  dtype : Dtype.t;
+  shape : Shape.t;
+  strides : int array;
+  data : ba;
+}
+
+let create ?(dtype = Dtype.F32) shape =
+  let n = Shape.numel shape in
+  let data = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+  Bigarray.Array1.fill data 0.;
+  { dtype; shape; strides = Shape.strides shape; data }
+
+let dtype t = t.dtype
+
+let shape t = t.shape
+
+let numel t = Shape.numel t.shape
+
+let byte_size t = numel t * Dtype.bytes t.dtype
+
+let offset t idx =
+  let rank = Array.length t.strides in
+  if Array.length idx <> rank then invalid_arg "Tensor: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to rank - 1 do
+    let d = Shape.dim t.shape i in
+    if idx.(i) < 0 || idx.(i) >= d then invalid_arg "Tensor: index out of bounds";
+    off := !off + (idx.(i) * t.strides.(i))
+  done;
+  !off
+
+let get t idx = Bigarray.Array1.get t.data (offset t idx)
+
+let set t idx v = Bigarray.Array1.set t.data (offset t idx) v
+
+let offset2 t i j =
+  if Array.length t.strides <> 2 then invalid_arg "Tensor: expected rank-2 tensor";
+  if i < 0 || i >= Shape.dim t.shape 0 || j < 0 || j >= Shape.dim t.shape 1 then
+    invalid_arg "Tensor: index out of bounds";
+  (i * t.strides.(0)) + j
+
+let get2 t i j = Bigarray.Array1.unsafe_get t.data (offset2 t i j)
+
+let set2 t i j v = Bigarray.Array1.unsafe_set t.data (offset2 t i j) v
+
+let add2 t i j v =
+  let off = offset2 t i j in
+  Bigarray.Array1.unsafe_set t.data off (Bigarray.Array1.unsafe_get t.data off +. v)
+
+let fill t v = Bigarray.Array1.fill t.data v
+
+let init_random rng t =
+  for i = 0 to numel t - 1 do
+    Bigarray.Array1.unsafe_set t.data i (Mikpoly_util.Prng.float rng 2. -. 1.)
+  done
+
+let copy t =
+  let dst = create ~dtype:t.dtype t.shape in
+  Bigarray.Array1.blit t.data dst.data;
+  dst
+
+let check_same_shape a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor: shape mismatch"
+
+let map2_into f a b dst =
+  check_same_shape a b;
+  check_same_shape a dst;
+  for i = 0 to numel a - 1 do
+    Bigarray.Array1.unsafe_set dst.data i
+      (f (Bigarray.Array1.unsafe_get a.data i) (Bigarray.Array1.unsafe_get b.data i))
+  done
+
+let max_abs_diff a b =
+  check_same_shape a b;
+  let worst = ref 0. in
+  for i = 0 to numel a - 1 do
+    let d =
+      abs_float
+        (Bigarray.Array1.unsafe_get a.data i -. Bigarray.Array1.unsafe_get b.data i)
+    in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let approx_equal ?(tolerance = 1e-4) a b =
+  check_same_shape a b;
+  let ok = ref true in
+  let i = ref 0 in
+  let n = numel a in
+  while !ok && !i < n do
+    let x = Bigarray.Array1.unsafe_get a.data !i
+    and y = Bigarray.Array1.unsafe_get b.data !i in
+    let scale = max 1. (max (abs_float x) (abs_float y)) in
+    if abs_float (x -. y) > tolerance *. scale then ok := false;
+    incr i
+  done;
+  !ok

@@ -1,0 +1,52 @@
+(** Dense row-major tensors backed by float32 Bigarrays.
+
+    The functional executor ([Mikpoly_ir.Executor]) runs polymerized
+    programs against these tensors to validate numerical correctness of any
+    micro-kernel composition against the reference operators. *)
+
+type t
+
+val create : ?dtype:Dtype.t -> Shape.t -> t
+(** Zero-initialised tensor. The optional [dtype] (default [F32]) only
+    affects byte accounting, not storage precision. *)
+
+val dtype : t -> Dtype.t
+
+val shape : t -> Shape.t
+
+val numel : t -> int
+
+val byte_size : t -> int
+(** [numel * Dtype.bytes dtype]. *)
+
+val get : t -> int array -> float
+(** Multi-index access; raises [Invalid_argument] on rank mismatch or
+    out-of-bounds indices. *)
+
+val set : t -> int array -> float -> unit
+
+val get2 : t -> int -> int -> float
+(** Fast path for rank-2 tensors. *)
+
+val set2 : t -> int -> int -> float -> unit
+
+val add2 : t -> int -> int -> float -> unit
+(** [add2 t i j v] accumulates [v] into element [(i, j)]. *)
+
+val fill : t -> float -> unit
+
+val init_random : Mikpoly_util.Prng.t -> t -> unit
+(** Fill with uniform values in [\[-1, 1)]. *)
+
+val copy : t -> t
+
+val map2_into : (float -> float -> float) -> t -> t -> t -> unit
+(** [map2_into f a b dst] writes [f a_i b_i] element-wise. Shapes must
+    match. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest element-wise absolute difference; shapes must match. *)
+
+val approx_equal : ?tolerance:float -> t -> t -> bool
+(** Element-wise comparison with absolute/relative tolerance
+    (default 1e-4). *)

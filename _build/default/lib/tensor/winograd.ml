@@ -1,0 +1,123 @@
+let supported (spec : Conv_spec.t) =
+  spec.kernel_h = 3 && spec.kernel_w = 3 && spec.stride_h = 1 && spec.stride_w = 1
+
+(* F(2,3) transform matrices:
+   B^T = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+   G   = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+   A^T = [1 1 1 0; 0 1 -1 -1] *)
+
+(* U = G g G^T for one 3x3 kernel g. *)
+let transform_kernel g =
+  (* rows of G applied to g: tmp = G g (4x3). *)
+  let tmp = Array.make_matrix 4 3 0. in
+  for c = 0 to 2 do
+    tmp.(0).(c) <- g.(0).(c);
+    tmp.(1).(c) <- 0.5 *. (g.(0).(c) +. g.(1).(c) +. g.(2).(c));
+    tmp.(2).(c) <- 0.5 *. (g.(0).(c) -. g.(1).(c) +. g.(2).(c));
+    tmp.(3).(c) <- g.(2).(c)
+  done;
+  let u = Array.make_matrix 4 4 0. in
+  for r = 0 to 3 do
+    u.(r).(0) <- tmp.(r).(0);
+    u.(r).(1) <- 0.5 *. (tmp.(r).(0) +. tmp.(r).(1) +. tmp.(r).(2));
+    u.(r).(2) <- 0.5 *. (tmp.(r).(0) -. tmp.(r).(1) +. tmp.(r).(2));
+    u.(r).(3) <- tmp.(r).(2)
+  done;
+  u
+
+(* V = B^T d B for one 4x4 input tile d. *)
+let transform_input d =
+  let tmp = Array.make_matrix 4 4 0. in
+  for c = 0 to 3 do
+    tmp.(0).(c) <- d.(0).(c) -. d.(2).(c);
+    tmp.(1).(c) <- d.(1).(c) +. d.(2).(c);
+    tmp.(2).(c) <- d.(2).(c) -. d.(1).(c);
+    tmp.(3).(c) <- d.(1).(c) -. d.(3).(c)
+  done;
+  let v = Array.make_matrix 4 4 0. in
+  for r = 0 to 3 do
+    v.(r).(0) <- tmp.(r).(0) -. tmp.(r).(2);
+    v.(r).(1) <- tmp.(r).(1) +. tmp.(r).(2);
+    v.(r).(2) <- tmp.(r).(2) -. tmp.(r).(1);
+    v.(r).(3) <- tmp.(r).(1) -. tmp.(r).(3)
+  done;
+  v
+
+(* Y = A^T m A for one 4x4 elementwise product m -> 2x2 output tile. *)
+let transform_output m =
+  let tmp = Array.make_matrix 2 4 0. in
+  for c = 0 to 3 do
+    tmp.(0).(c) <- m.(0).(c) +. m.(1).(c) +. m.(2).(c);
+    tmp.(1).(c) <- m.(1).(c) -. m.(2).(c) -. m.(3).(c)
+  done;
+  let y = Array.make_matrix 2 2 0. in
+  for r = 0 to 1 do
+    y.(r).(0) <- tmp.(r).(0) +. tmp.(r).(1) +. tmp.(r).(2);
+    y.(r).(1) <- tmp.(r).(1) -. tmp.(r).(2) -. tmp.(r).(3)
+  done;
+  y
+
+let run (spec : Conv_spec.t) ~input ~weight =
+  if not (supported spec) then
+    invalid_arg "Winograd.run: F(2,3) needs a stride-1 3x3 convolution";
+  let oh = Conv_spec.out_h spec and ow = Conv_spec.out_w spec in
+  let out = Tensor.create (Shape.of_list [ spec.batch; spec.out_channels; oh; ow ]) in
+  (* Pre-transform all kernels. *)
+  let u =
+    Array.init spec.out_channels (fun co ->
+        Array.init spec.in_channels (fun ci ->
+            let g =
+              Array.init 3 (fun ky ->
+                  Array.init 3 (fun kx -> Tensor.get weight [| co; ci; ky; kx |]))
+            in
+            transform_kernel g))
+  in
+  let tiles_y = (oh + 1) / 2 and tiles_x = (ow + 1) / 2 in
+  let d = Array.make_matrix 4 4 0. in
+  for n = 0 to spec.batch - 1 do
+    for ty = 0 to tiles_y - 1 do
+      for tx = 0 to tiles_x - 1 do
+        let m_acc =
+          Array.init spec.out_channels (fun _ -> Array.make_matrix 4 4 0.)
+        in
+        for ci = 0 to spec.in_channels - 1 do
+          (* Gather the 4x4 input tile (with padding). *)
+          for r = 0 to 3 do
+            for c = 0 to 3 do
+              let iy = (2 * ty) + r - spec.pad_h in
+              let ix = (2 * tx) + c - spec.pad_w in
+              d.(r).(c) <-
+                (if iy >= 0 && iy < spec.in_h && ix >= 0 && ix < spec.in_w then
+                   Tensor.get input [| n; ci; iy; ix |]
+                 else 0.)
+            done
+          done;
+          let v = transform_input d in
+          for co = 0 to spec.out_channels - 1 do
+            let uk = u.(co).(ci) and acc = m_acc.(co) in
+            for r = 0 to 3 do
+              for c = 0 to 3 do
+                acc.(r).(c) <- acc.(r).(c) +. (uk.(r).(c) *. v.(r).(c))
+              done
+            done
+          done
+        done;
+        for co = 0 to spec.out_channels - 1 do
+          let y = transform_output m_acc.(co) in
+          for r = 0 to 1 do
+            for c = 0 to 1 do
+              let oy = (2 * ty) + r and ox = (2 * tx) + c in
+              if oy < oh && ox < ow then Tensor.set out [| n; co; oy; ox |] y.(r).(c)
+            done
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let multiplies (spec : Conv_spec.t) =
+  let oh = Conv_spec.out_h spec and ow = Conv_spec.out_w spec in
+  let tiles = float_of_int (((oh + 1) / 2) * ((ow + 1) / 2)) in
+  float_of_int (spec.batch * spec.out_channels * spec.in_channels)
+  *. tiles *. 16.

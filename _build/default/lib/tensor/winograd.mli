@@ -1,0 +1,20 @@
+(** Winograd convolution F(2×2, 3×3).
+
+    The paper's convolution path is GEMM-based (im2col); Section 7 lists
+    Winograd as future work. This module implements the F(2,3) algorithm —
+    2×2 output tiles computed from 4×4 input tiles with 4×4 transformed
+    kernels, reducing the multiplications per output from 9 to 4 — as an
+    alternative lowering, validated against the direct reference
+    convolution. *)
+
+val supported : Conv_spec.t -> bool
+(** F(2,3) applies to stride-1 3×3 convolutions. *)
+
+val run : Conv_spec.t -> input:Tensor.t -> weight:Tensor.t -> Tensor.t
+(** Winograd convolution; raises [Invalid_argument] if the spec is not
+    {!supported}. Tensor layouts match {!Conv_ref.run}. *)
+
+val multiplies : Conv_spec.t -> float
+(** Element multiplications the Winograd algorithm performs (excluding
+    transforms) — 4/9 of the direct algorithm's, used by the benchmark
+    comparing the two lowerings. *)

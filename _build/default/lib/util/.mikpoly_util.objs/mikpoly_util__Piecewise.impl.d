@@ -1,0 +1,1 @@
+lib/util/piecewise.ml: Array List

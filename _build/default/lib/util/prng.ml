@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+(* Non-negative 62-bit value, safe to use as an OCaml [int]. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next_nonneg t mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let x = float_of_int (next_nonneg t) /. ldexp 1. 62 in
+  x *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let log_int_in t lo hi =
+  if lo < 1 || lo > hi then invalid_arg "Prng.log_int_in: invalid range";
+  if lo = hi then lo
+  else begin
+    let llo = log (float_of_int lo) and lhi = log (float_of_int (hi + 1)) in
+    let x = llo +. float t (lhi -. llo) in
+    let v = int_of_float (exp x) in
+    max lo (min hi v)
+  end

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator.
+
+    All workload generators in this repository draw from this splitmix64
+    generator so that every experiment is reproducible bit-for-bit across
+    runs and machines, independently of [Stdlib.Random] global state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Useful to give each workload category its own stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws a uniform integer in the inclusive range
+    [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val choice : t -> 'a array -> 'a
+(** [choice t arr] picks a uniformly random element. [arr] must be
+    non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val log_int_in : t -> int -> int -> int
+(** [log_int_in t lo hi] draws an integer in [\[lo, hi\]] whose logarithm is
+    uniform, biasing towards small values the way real-world tensor shapes
+    do. Requires [1 <= lo <= hi]. *)

@@ -1,0 +1,74 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let sum xs = List.fold_left ( +. ) 0. xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  sum xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = require_nonempty "Stats.geomean" xs in
+  List.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive value") xs;
+  let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  let xs = require_nonempty "Stats.stddev" xs in
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  let xs = require_nonempty "Stats.percentile" xs in
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let median xs = percentile 50. xs
+
+let minimum xs = List.fold_left min infinity (require_nonempty "Stats.minimum" xs)
+
+let maximum xs = List.fold_left max neg_infinity (require_nonempty "Stats.maximum" xs)
+
+let histogram ~bins xs =
+  let xs = require_nonempty "Stats.histogram" xs in
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = int_of_float ((x -. lo) /. width) in
+    let i = max 0 (min (bins - 1) i) in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter place xs;
+  Array.mapi
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. width) in
+      (b_lo, b_lo +. width, c))
+    counts
+
+let pearson pairs =
+  match pairs with
+  | [] | [ _ ] -> invalid_arg "Stats.pearson: need at least two samples"
+  | _ ->
+    let xs = List.map fst pairs and ys = List.map snd pairs in
+    let mx = mean xs and my = mean ys in
+    let num =
+      List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. pairs
+    in
+    let sx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.)) 0. xs) in
+    let sy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.)) 0. ys) in
+    if sx = 0. || sy = 0. then 0. else num /. (sx *. sy)

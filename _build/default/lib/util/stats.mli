@@ -1,0 +1,32 @@
+(** Small statistics helpers used by the benchmark harness and the
+    experiment drivers (speedup aggregation, percentile reporting). *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; the paper reports average speedups as means of ratios,
+    we expose both. All values must be positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val median : float list -> float
+(** Median (lower-interpolated for even lengths is averaged). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val sum : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over the value
+    range of [xs]. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient of paired samples; used to validate the
+    cost model against simulated time. *)

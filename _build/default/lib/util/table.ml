@@ -1,0 +1,53 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~header = { title; header; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: row width does not match header";
+  t.rev_rows <- row :: t.rev_rows
+
+let rows t = List.rev t.rev_rows
+
+let render t =
+  let all = t.header :: rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row (rows t) in
+  String.concat "\n" (("== " ^ t.title ^ " ==") :: render_row t.header :: sep :: body)
+
+let to_csv t =
+  let escape cell =
+    if String.contains cell ',' || String.contains cell '"' then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (List.map line (t.header :: rows t))
+
+let fmt_f x =
+  if Float.is_integer x && abs_float x < 1e9 then Printf.sprintf "%.0f" x
+  else if abs_float x >= 100. then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+
+let fmt_time_us seconds =
+  let abs = abs_float seconds in
+  if abs < 1e-6 then Printf.sprintf "%.0fns" (seconds *. 1e9)
+  else if abs < 1e-3 then Printf.sprintf "%.2fus" (seconds *. 1e6)
+  else if abs < 1. then Printf.sprintf "%.3fms" (seconds *. 1e3)
+  else Printf.sprintf "%.3fs" seconds

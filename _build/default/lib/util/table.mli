@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every experiment driver reports its result as a header plus rows of
+    cells; this module aligns the columns the way the paper's tables read. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** A fresh empty table with the given title and column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. The row must have as many cells as the header. *)
+
+val render : t -> string
+(** Render with aligned columns, a title line and a separator. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (cells containing commas are quoted). *)
+
+val rows : t -> string list list
+(** The accumulated rows, oldest first. *)
+
+val fmt_f : float -> string
+(** Compact float formatting used across reports ("3.14", "0.07"). *)
+
+val fmt_speedup : float -> string
+(** Speedup formatting ("1.49x"). *)
+
+val fmt_time_us : float -> string
+(** Time formatting from seconds to a human unit (ns/us/ms/s). *)

@@ -1,0 +1,1 @@
+lib/workloads/conv_suite.ml: Array List Mikpoly_tensor Mikpoly_util Prng

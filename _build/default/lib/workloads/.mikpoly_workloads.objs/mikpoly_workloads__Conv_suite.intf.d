@@ -1,0 +1,1 @@
+lib/workloads/conv_suite.mli: Mikpoly_tensor

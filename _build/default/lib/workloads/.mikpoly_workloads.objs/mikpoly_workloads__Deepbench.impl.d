@@ -1,0 +1,1 @@
+lib/workloads/deepbench.ml: Gemm_case List Mikpoly_util Prng

@@ -1,0 +1,1 @@
+lib/workloads/deepbench.mli: Gemm_case

@@ -1,0 +1,1 @@
+lib/workloads/gemm_case.mli:

@@ -1,0 +1,1 @@
+lib/workloads/model_shapes.ml: Cnn Fun List Llama Mikpoly_nn Mikpoly_util Op Transformer

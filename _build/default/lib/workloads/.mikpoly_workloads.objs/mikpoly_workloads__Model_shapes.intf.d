@@ -1,0 +1,1 @@
+lib/workloads/model_shapes.mli: Mikpoly_nn

@@ -1,0 +1,1 @@
+lib/workloads/real_world.ml: Gemm_case List Mikpoly_util Prng

@@ -1,0 +1,1 @@
+lib/workloads/real_world.mli: Gemm_case

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Conv_suite Deepbench List Real_world

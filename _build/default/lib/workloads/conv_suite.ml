@@ -1,0 +1,85 @@
+type row = {
+  model : string;
+  kernel : int;
+  stride : int;
+  spatial_range : int * int;
+  channels : (int * int) list;
+  count : int;
+}
+
+let rows =
+  [
+    (* AlexNet *)
+    { model = "alexnet"; kernel = 11; stride = 4; spatial_range = (64, 640);
+      channels = [ (3, 64) ]; count = 80 };
+    { model = "alexnet"; kernel = 3; stride = 1; spatial_range = (3, 39);
+      channels = [ (192, 384); (384, 256); (256, 256) ]; count = 240 };
+    (* GoogLeNet *)
+    { model = "googlenet"; kernel = 7; stride = 2; spatial_range = (64, 640);
+      channels = [ (3, 64) ]; count = 80 };
+    { model = "googlenet"; kernel = 1; stride = 1; spatial_range = (16, 160);
+      channels = [ (64, 64); (64, 192) ]; count = 160 };
+    { model = "googlenet"; kernel = 3; stride = 1; spatial_range = (8, 80);
+      channels = [ (96, 128); (128, 192); (16, 32); (32, 96) ]; count = 880 };
+    { model = "googlenet"; kernel = 1; stride = 1; spatial_range = (4, 40);
+      channels = [ (480, 192); (512, 160); (512, 128); (528, 112); (832, 256) ];
+      count = 1760 };
+    { model = "googlenet"; kernel = 3; stride = 1; spatial_range = (2, 40);
+      channels = [ (160, 320); (96, 208); (112, 224); (128, 256) ]; count = 240 };
+    { model = "googlenet"; kernel = 1; stride = 1; spatial_range = (2, 20);
+      channels = [ (832, 384); (832, 192); (384, 384) ]; count = 720 };
+    (* ResNet-18 *)
+    { model = "resnet"; kernel = 3; stride = 1; spatial_range = (16, 160);
+      channels = [ (64, 64) ]; count = 240 };
+    { model = "resnet"; kernel = 3; stride = 1; spatial_range = (8, 80);
+      channels = [ (128, 128); (64, 128) ]; count = 240 };
+    { model = "resnet"; kernel = 3; stride = 1; spatial_range = (4, 40);
+      channels = [ (256, 256); (128, 256) ]; count = 240 };
+    { model = "resnet"; kernel = 3; stride = 1; spatial_range = (2, 20);
+      channels = [ (512, 512); (256, 512) ]; count = 80 };
+    (* VGG-11 *)
+    { model = "vgg"; kernel = 3; stride = 1; spatial_range = (64, 640);
+      channels = [ (3, 64) ]; count = 77 };
+    { model = "vgg"; kernel = 3; stride = 1; spatial_range = (32, 320);
+      channels = [ (64, 128) ]; count = 80 };
+    { model = "vgg"; kernel = 3; stride = 1; spatial_range = (16, 160);
+      channels = [ (128, 256); (256, 256) ]; count = 128 };
+    { model = "vgg"; kernel = 3; stride = 1; spatial_range = (8, 80);
+      channels = [ (256, 512); (512, 512) ]; count = 80 };
+    { model = "vgg"; kernel = 3; stride = 1; spatial_range = (4, 40);
+      channels = [ (512, 512) ]; count = 80 };
+  ]
+
+let count = List.fold_left (fun acc r -> acc + r.count) 0 rows
+
+let categories () =
+  let open Mikpoly_util in
+  let rng = Prng.create 0xC04F in
+  List.concat_map
+    (fun row ->
+      let case_rng = Prng.split rng in
+      let channels = Array.of_list row.channels in
+      List.init row.count (fun _ ->
+          let spatial =
+            let lo, hi = row.spatial_range in
+            Prng.log_int_in case_rng lo hi
+          in
+          let cin, cout = Prng.choice case_rng channels in
+          (* Batch 2^0..2^7, clamped so batch·OH·OW stays under ~4M rows. *)
+          let rec pick_batch () =
+            let b = 1 lsl Prng.int_in case_rng 0 7 in
+            let out = (spatial / row.stride) + 1 in
+            if b * out * out > 4_000_000 then
+              if b = 1 then 1 else pick_batch ()
+            else b
+          in
+          let batch = pick_batch () in
+          let spec =
+            Mikpoly_tensor.Conv_spec.make ~stride:row.stride ~batch
+              ~in_channels:cin ~out_channels:cout ~in_h:spatial ~in_w:spatial
+              ~kernel:row.kernel ()
+          in
+          (spec, row.model)))
+    rows
+
+let cases () = List.map fst (categories ())

@@ -1,0 +1,28 @@
+(** The dynamic-shape convolution suite of Table 4: 5405 cases across
+    AlexNet, GoogLeNet, ResNet and VGG layer families.
+
+    Each table row fixes a filter size and a network stage; the dynamic
+    quantities are the stage's feature-map resolution (the bracketed range
+    in the table — input images are 64·i per Section 5.1, and deeper
+    stages see the down-sampled range) and the batch size (2^0…2^7).
+    Channel widths come from the cited model's stage. Batch is clamped so
+    the im2col-lowered M stays within a realistic device working set. *)
+
+type row = {
+  model : string;
+  kernel : int;  (** square filter size *)
+  stride : int;
+  spatial_range : int * int;  (** dynamic feature-map height/width *)
+  channels : (int * int) list;  (** (C_in, C_out) stage choices *)
+  count : int;  (** cases generated from this row, as printed in Table 4 *)
+}
+
+val rows : row list
+
+val cases : unit -> Mikpoly_tensor.Conv_spec.t list
+(** All cases, deterministic across calls. *)
+
+val count : int
+
+val categories : unit -> (Mikpoly_tensor.Conv_spec.t * string) list
+(** Cases tagged with their model name. *)

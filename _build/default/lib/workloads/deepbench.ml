@@ -1,0 +1,47 @@
+let count = 166
+
+let ranges = ((2, 10752), (1, 48000), (128, 500000))
+
+(* Published DeepBench GEMM shapes (training and inference server sets). *)
+let embedded_raw =
+  [
+    (1760, 16, 1760); (1760, 32, 1760); (1760, 64, 1760); (1760, 128, 1760);
+    (1760, 7000, 1760); (2048, 16, 2048); (2048, 32, 2048); (2048, 64, 2048);
+    (2048, 128, 2048); (2048, 7000, 2048); (2560, 16, 2560); (2560, 32, 2560);
+    (2560, 64, 2560); (2560, 128, 2560); (2560, 7000, 2560); (4096, 16, 4096);
+    (4096, 32, 4096); (4096, 64, 4096); (4096, 128, 4096); (4096, 7000, 4096);
+    (5124, 700, 2048); (35, 700, 2048); (5124, 700, 2560); (35, 700, 2560);
+    (5124, 1500, 2048); (35, 1500, 2048); (5124, 1500, 2560); (35, 1500, 2560);
+    (7680, 1, 2560); (7680, 2, 2560); (7680, 4, 2560); (3072, 1, 1024);
+    (3072, 2, 1024); (3072, 4, 1024); (512, 1, 500000); (1024, 1, 500000);
+    (512, 2, 500000); (1024, 2, 500000); (512, 4, 500000); (1024, 4, 500000);
+    (1024, 700, 512); (7680, 1500, 2560); (6144, 4, 2048); (6144, 8, 2048);
+    (6144, 16, 2048); (6144, 32, 2048);
+  ]
+
+let embedded =
+  List.map (fun (m, n, k) -> Gemm_case.make ~category:"deepbench" ~m ~n ~k)
+    embedded_raw
+
+let cases () =
+  let open Mikpoly_util in
+  let rng = Prng.create 0xDB160 in
+  let (m_lo, m_hi), (n_lo, n_hi), (k_lo, k_hi) = ranges in
+  let rec gen acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let m = Prng.log_int_in rng m_lo m_hi in
+      let n = Prng.log_int_in rng n_lo n_hi in
+      let k = Prng.log_int_in rng k_lo k_hi in
+      (* Keep the operator resident on a 40 GB device. *)
+      let bytes =
+        2.
+        *. ((float_of_int m *. float_of_int k)
+            +. (float_of_int k *. float_of_int n)
+            +. (float_of_int m *. float_of_int n))
+      in
+      if bytes > 16e9 then gen acc remaining
+      else gen (Gemm_case.make ~category:"deepbench" ~m ~n ~k :: acc) (remaining - 1)
+    end
+  in
+  embedded @ gen [] (count - List.length embedded)

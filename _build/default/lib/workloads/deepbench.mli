@@ -1,0 +1,17 @@
+(** The DeepBench GEMM suite of Table 3: 166 dynamic-shape cases.
+
+    A core of published DeepBench training/inference GEMM shapes is
+    embedded verbatim; the remainder is drawn (seeded, reproducibly) from
+    the dimension ranges Table 3 declares for the suite. *)
+
+val embedded : Gemm_case.t list
+(** The embedded published shapes. *)
+
+val ranges : (int * int) * (int * int) * (int * int)
+(** Declared (M, N, K) ranges of the suite, used both for generation and
+    as the ranges handed to DietCode/Nimble in Figure 10 / Table 5. *)
+
+val cases : unit -> Gemm_case.t list
+(** All 166 cases, deterministic across calls. *)
+
+val count : int

@@ -1,0 +1,14 @@
+type t = {
+  m : int;
+  n : int;
+  k : int;
+  category : string;
+}
+
+let make ~category ~m ~n ~k =
+  if m < 1 || n < 1 || k < 1 then invalid_arg "Gemm_case.make: non-positive dimension";
+  { m; n; k; category }
+
+let flops t = 2. *. float_of_int t.m *. float_of_int t.n *. float_of_int t.k
+
+let to_string t = Printf.sprintf "%s(%d,%d,%d)" t.category t.m t.n t.k

@@ -1,0 +1,15 @@
+(** One dynamic-shape GEMM test case of the Table-3 benchmark suites. *)
+
+type t = {
+  m : int;
+  n : int;
+  k : int;
+  category : string;  (** suite row the case was drawn from *)
+}
+
+val make : category:string -> m:int -> n:int -> k:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val flops : t -> float
+
+val to_string : t -> string

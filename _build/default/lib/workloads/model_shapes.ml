@@ -1,0 +1,45 @@
+open Mikpoly_nn
+
+let distinct shapes = List.sort_uniq compare shapes
+
+let transformer_shapes cfg ~seq_lens =
+  distinct
+    (List.concat_map
+       (fun seq_len -> Op.gemm_shapes (Transformer.graph cfg ~seq_len))
+       seq_lens)
+
+let cnn_shapes (cfg : Cnn.config) ~configs =
+  distinct
+    (List.concat_map
+       (fun (batch, resolution) ->
+         if resolution < Cnn.min_resolution cfg then []
+         else Op.gemm_shapes (cfg.build ~batch ~resolution))
+       configs)
+
+let llama_shapes ~token_counts =
+  distinct
+    (List.concat_map
+       (fun tokens ->
+         List.map (fun g -> Llama.gemm_shape g ~tokens) Llama.layer_gemms)
+       token_counts)
+
+let evaluation_inventory () =
+  let rng = Mikpoly_util.Prng.create 0x5E9 in
+  let seq_lens = List.init 150 (fun _ -> Mikpoly_util.Prng.int_in rng 5 500) in
+  let cnn_configs =
+    List.concat_map
+      (fun b -> List.init 10 (fun i -> (1 lsl b, 64 * (i + 1))))
+      (List.init 8 Fun.id)
+  in
+  List.map
+    (fun (cfg : Transformer.config) ->
+      (cfg.name, List.length (transformer_shapes cfg ~seq_lens)))
+    Transformer.all
+  @ List.map
+      (fun (cfg : Cnn.config) ->
+        (cfg.name, List.length (cnn_shapes cfg ~configs:cnn_configs)))
+      Cnn.all
+  @ [
+      ( "llama2-13b",
+        List.length (llama_shapes ~token_counts:(List.init 13 (fun i -> 1 lsl i))) );
+    ]

@@ -1,0 +1,21 @@
+(** Exact shape inventories of the end-to-end evaluation.
+
+    Enumerates every distinct (lowered) GEMM shape the paper's model zoo
+    produces across its dynamic ranges — the concrete workload MikPoly's
+    online stage faces in Figures 8, 9 and 11. Used by coverage tests and
+    reports ("how many distinct shapes does serving actually compile?"). *)
+
+val transformer_shapes :
+  Mikpoly_nn.Transformer.config -> seq_lens:int list -> (int * int * int) list
+(** Distinct GEMM shapes over the given sequence lengths. *)
+
+val cnn_shapes :
+  Mikpoly_nn.Cnn.config -> configs:(int * int) list -> (int * int * int) list
+(** Distinct lowered shapes over (batch, resolution) configurations. *)
+
+val llama_shapes : token_counts:int list -> (int * int * int) list
+(** Distinct per-GPU Llama2-13b projection shapes over token counts. *)
+
+val evaluation_inventory : unit -> (string * int) list
+(** (model, distinct shape count) over the paper's Figure 8/9 dynamic
+    ranges (150 sentence lengths; 8 batches × 10 resolutions). *)

@@ -1,0 +1,50 @@
+type row = {
+  category : string;
+  m_range : int * int;
+  n_range : int * int;
+  k_range : int * int;
+  count : int;
+}
+
+let rows =
+  [
+    (* Transformer operators: M tracks sequence length, N/K the hidden and
+       head dimensions. *)
+    { category = "xform-small"; m_range = (1, 256); n_range = (64, 3072);
+      k_range = (64, 3072); count = 299 };
+    { category = "xform-mid"; m_range = (1, 256); n_range = (257, 1024);
+      k_range = (256, 4096); count = 218 };
+    { category = "xform-large"; m_range = (1, 256); n_range = (1025, 16384);
+      k_range = (256, 4096); count = 97 };
+    (* CNN fully-connected layers: M is the batch dimension. *)
+    { category = "fc-mid"; m_range = (257, 1024); n_range = (1, 4096);
+      k_range = (256, 9216); count = 64 };
+    { category = "fc-large"; m_range = (1025, 8192); n_range = (1, 4096);
+      k_range = (256, 9216); count = 87 };
+    { category = "fc-resnet"; m_range = (257, 8192); n_range = (1, 4096);
+      k_range = (512, 2048); count = 136 };
+    { category = "fc-vgg"; m_range = (1025, 16384); n_range = (1, 8192);
+      k_range = (1024, 25088); count = 69 };
+  ]
+
+let count = List.fold_left (fun acc r -> acc + r.count) 0 rows
+
+let cases () =
+  let open Mikpoly_util in
+  let rng = Prng.create 0x7AB13 in
+  List.concat_map
+    (fun row ->
+      let case_rng = Prng.split rng in
+      List.init row.count (fun _ ->
+          let draw (lo, hi) = Prng.log_int_in case_rng lo hi in
+          Gemm_case.make ~category:row.category ~m:(draw row.m_range)
+            ~n:(draw row.n_range) ~k:(draw row.k_range)))
+    rows
+
+let ranges =
+  let env sel =
+    let lo = List.fold_left (fun acc r -> min acc (fst (sel r))) max_int rows in
+    let hi = List.fold_left (fun acc r -> max acc (snd (sel r))) 0 rows in
+    (lo, hi)
+  in
+  (env (fun r -> r.m_range), env (fun r -> r.n_range), env (fun r -> r.k_range))

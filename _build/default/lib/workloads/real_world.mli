@@ -1,0 +1,30 @@
+(** The real-world application GEMM suite of Table 3: shapes drawn from
+    Transformer-family models (BERT, DistilBERT, RoBERTa, ALBERT) and the
+    fully-connected layers of CNNs (AlexNet, GoogLeNet, ResNet, VGG),
+    organized in seven size-class rows with the per-row case counts the
+    table prints. M tracks the dynamic dimension (sequence length or batch
+    size); N and K take the models' hidden/FFN/head dimensions.
+
+    Note: the Table 3 scan in our source text is partially garbled; the
+    per-row counts (299/218/97/64/87/136/69 = 970 cases) are used as
+    printed and the dimension ranges are reconstructed from the models the
+    table cites (see DESIGN.md). *)
+
+type row = {
+  category : string;
+  m_range : int * int;
+  n_range : int * int;
+  k_range : int * int;
+  count : int;
+}
+
+val rows : row list
+
+val cases : unit -> Gemm_case.t list
+(** All 970 cases, deterministic across calls. *)
+
+val count : int
+
+val ranges : (int * int) * (int * int) * (int * int)
+(** Envelope of all rows' (M, N, K) ranges — what DietCode/Nimble are told
+    at compile time for this suite. *)

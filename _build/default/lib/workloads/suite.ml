@@ -1,0 +1,13 @@
+let table3_gemm () = Deepbench.cases () @ Real_world.cases ()
+
+let table3_ranges =
+  let (dm, dn, dk) = Deepbench.ranges in
+  let (rm, rn, rk) = Real_world.ranges in
+  let merge (a_lo, a_hi) (b_lo, b_hi) = (min a_lo b_lo, max a_hi b_hi) in
+  (merge dm rm, merge dn rn, merge dk rk)
+
+let table4_conv () = Conv_suite.categories ()
+
+let sample ~every cases =
+  if every <= 1 then cases
+  else List.filteri (fun i _ -> i mod every = 0) cases

@@ -1,0 +1,15 @@
+(** Aggregated benchmark suites used by the evaluation harness. *)
+
+val table3_gemm : unit -> Gemm_case.t list
+(** All Table-3 GEMM cases: DeepBench + real-world applications. *)
+
+val table3_ranges : (int * int) * (int * int) * (int * int)
+(** Envelope (M, N, K) ranges of Table 3 — the dynamic ranges declared to
+    DietCode and Nimble for Figure 10 / Table 5. *)
+
+val table4_conv : unit -> (Mikpoly_tensor.Conv_spec.t * string) list
+(** All Table-4 convolution cases with their model tag. *)
+
+val sample : every:int -> 'a list -> 'a list
+(** Deterministic systematic subsample (every [n]-th case), used by the
+    expensive oracle experiments; [every <= 1] returns the input. *)

@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Array Hardware Kernel_desc Kernel_model List Load Mikpoly_accel Mikpoly_tensor Pipeline Pipeline_sim Printf QCheck QCheck_alcotest Roofline Sched Simulator String Trace

@@ -1,0 +1,1 @@
+test/test_autosched.ml: Alcotest Autotuner Hardware Kernel_desc Kernel_model Lazy List Load Mikpoly_accel Mikpoly_autosched Mikpoly_tensor Perf_model QCheck QCheck_alcotest Search_space Simulator

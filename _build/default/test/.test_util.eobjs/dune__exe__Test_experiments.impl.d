@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Backends Exp List Mikpoly_experiments Mikpoly_util Registry String

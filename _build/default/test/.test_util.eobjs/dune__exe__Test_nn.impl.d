@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Cnn Fusion Hardware Inference Inflight List Llama Mikpoly_accel Mikpoly_nn Mikpoly_tensor Op Training Transformer

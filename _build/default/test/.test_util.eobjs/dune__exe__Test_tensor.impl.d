@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Conv_ref Conv_spec Dtype Gemm_ref Im2col List Mikpoly_tensor Mikpoly_util QCheck QCheck_alcotest Shape Tensor Winograd

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Heap List Mikpoly_util Piecewise Prng QCheck QCheck_alcotest Stats String Table

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Conv_suite Deepbench Fun Gemm_case Hashtbl List Mikpoly_nn Mikpoly_tensor Mikpoly_workloads Model_shapes Real_world Suite

