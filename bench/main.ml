@@ -97,6 +97,33 @@ let micro_tests () =
      Array.iteri (fun i _ -> bufs.b_tile.(i) <- 1.) bufs.b_tile;
      let unrolled = Mikpoly_ir.Kernel_exec.unrolled kd in
      stage "executor: unrolled 64x64x64 micro-kernel" (fun () -> unrolled bufs));
+    (* serving: the per-launch cache probe on the scheduler's hot path. *)
+    (let open Mikpoly_serve in
+     let cache = Shape_cache.create ~capacity:64 in
+     let i = ref 0 in
+     stage "serving: shape-cache find+add (64-way LRU)" (fun () ->
+         incr i;
+         let key = (256, !i mod 96, 512) in
+         match Shape_cache.find cache key with
+         | Some () -> ()
+         | None -> Shape_cache.add cache key ()));
+    (* serving: a full scheduler run over a small synthetic trace. *)
+    (let open Mikpoly_serve in
+     let engine = Scheduler.synthetic_engine () in
+     let trace =
+       Request.poisson ~seed:7 ~rate:50. ~count:32 ~max_prompt:64 ~max_output:8
+         ()
+     in
+     let config =
+       {
+         Scheduler.replicas = 2;
+         batcher = Batcher.Greedy { max_batch = 16 };
+         bucketing = Bucketing.Aligned 8;
+         cache_capacity = 32;
+       }
+     in
+     stage "serving: schedule 32 requests (synthetic engine)" (fun () ->
+         Scheduler.run config engine trace));
   ]
 
 let run_micro () =

@@ -155,6 +155,84 @@ let verify count npu =
       f.max_abs_diff f.program;
     1
 
+let serve quick csv npu replicas requests rate cache bucket batcher max_batch
+    window =
+  let open Mikpoly_serve in
+  let hw =
+    if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100
+  in
+  let bucketing =
+    match Bucketing.of_string bucket with
+    | Ok p -> p
+    | Error e ->
+      Printf.eprintf "bad --bucket: %s\n" e;
+      exit 2
+  in
+  let batcher =
+    match batcher with
+    | "greedy" -> Batcher.Greedy { max_batch }
+    | "timeout" -> Batcher.Timeout { max_batch; window }
+    | "slo" | "slo-aware" -> Batcher.Slo_aware { max_batch }
+    | s ->
+      Printf.eprintf "bad --batcher %S (greedy|timeout|slo)\n" s;
+      exit 2
+  in
+  if replicas < 1 || requests < 1 || cache < 0 || max_batch < 1
+     || not (rate > 0.) || window < 0.
+  then begin
+    Printf.eprintf
+      "serve: need --replicas >= 1, --requests >= 1, --cache >= 0, \
+       --max-batch >= 1, --rate > 0 and --window >= 0\n";
+    exit 2
+  end;
+  let count = if quick then min requests 16 else requests in
+  let trace =
+    Request.poisson ~seed:0x5E2 ~rate ~count
+      ~max_prompt:(if quick then 64 else 256)
+      ~max_output:(if quick then 8 else 48)
+      ()
+  in
+  let engine = Scheduler.mikpoly_engine (Mikpoly_core.Compiler.create hw) in
+  let config = { Scheduler.replicas; batcher; bucketing; cache_capacity = cache } in
+  let baseline =
+    {
+      config with
+      cache_capacity = 0;
+      bucketing = Bucketing.Exact;
+      batcher = Batcher.Greedy { max_batch };
+    }
+  in
+  let table =
+    Mikpoly_util.Table.create
+      ~title:
+        (Printf.sprintf "serve: %d req @ %g req/s on %s" count rate hw.name)
+      ~header:Mikpoly_serve.Metrics.header
+  in
+  let measure label cfg =
+    let m = Metrics.of_outcome (Scheduler.run cfg engine trace) in
+    Mikpoly_util.Table.add_row table (Metrics.to_row ~label m);
+    m
+  in
+  let label =
+    Printf.sprintf "cache-%d %s %s" cache (Bucketing.name bucketing)
+      (Batcher.name batcher)
+  in
+  let m = measure label config in
+  let b = measure "no-cache exact greedy" baseline in
+  if csv then print_endline (Mikpoly_util.Table.to_csv table)
+  else begin
+    print_endline (Mikpoly_util.Table.render table);
+    Printf.printf
+      "p95 %s vs %s no-cache; compile stall %s vs %s; SLO attainment %.0f%% vs %.0f%%\n"
+      (Mikpoly_util.Table.fmt_time_us m.Metrics.latency_p95)
+      (Mikpoly_util.Table.fmt_time_us b.Metrics.latency_p95)
+      (Mikpoly_util.Table.fmt_time_us m.Metrics.compile_stall_seconds)
+      (Mikpoly_util.Table.fmt_time_us b.Metrics.compile_stall_seconds)
+      (100. *. m.Metrics.slo_attainment)
+      (100. *. b.Metrics.slo_attainment)
+  end;
+  0
+
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Subsample heavy workloads.")
 
@@ -199,6 +277,44 @@ let patterns_cmd =
   let n = Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N") in
   Cmd.v (Cmd.info "patterns" ~doc) Term.(const show_patterns $ m $ n)
 
+let serve_cmd =
+  let doc = "Simulate an SLO-aware serving deployment over a request stream" in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  let replicas =
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N" ~doc:"Engine replicas.")
+  in
+  let requests =
+    Arg.(value & opt int 96 & info [ "requests" ] ~docv:"N" ~doc:"Trace length.")
+  in
+  let rate =
+    Arg.(value & opt float 30. & info [ "rate" ] ~docv:"R"
+           ~doc:"Mean arrival rate, requests/second.")
+  in
+  let cache =
+    Arg.(value & opt int 64 & info [ "cache" ] ~docv:"N"
+           ~doc:"Per-replica compiled-program cache capacity (0 disables).")
+  in
+  let bucket =
+    Arg.(value & opt string "aligned-8" & info [ "bucket" ] ~docv:"POLICY"
+           ~doc:"Token bucketing: exact, pow2, aligned-<q> or fixed-<c>.")
+  in
+  let batcher =
+    Arg.(value & opt string "greedy" & info [ "batcher" ] ~docv:"POLICY"
+           ~doc:"Admission: greedy, timeout or slo.")
+  in
+  let max_batch =
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Maximum in-flight batch per replica.")
+  in
+  let window =
+    Arg.(value & opt float 8e-3 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Batching window for --batcher timeout.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ quick_flag $ csv_flag $ npu $ replicas $ requests $ rate
+      $ cache $ bucket $ batcher $ max_batch $ window)
+
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
   let count = Arg.(value & opt int 25 & info [ "count" ] ~docv:"N") in
@@ -208,6 +324,7 @@ let verify_cmd =
 let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
-    [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; verify_cmd ]
+    [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
+      verify_cmd ]
 
 let () = exit (Cmd.eval' main)

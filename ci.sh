@@ -1,0 +1,22 @@
+#!/bin/sh
+# Continuous-integration entry point: build, run the full test suite,
+# then smoke-test the serving runtime end to end through the CLI.
+set -eu
+
+cd "$(dirname "$0")"
+
+if [ -f .ocamlformat ]; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== serving smoke test =="
+dune exec bin/mikpoly_cli.exe -- serve --quick
+
+echo "CI OK"

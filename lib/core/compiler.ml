@@ -6,11 +6,26 @@ type t = {
   config : Config.t;
   kernels : Kernel_set.t;
   cache : (int * int * int, Polymerize.compiled) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  size : int;
 }
 
 let create ?config hw =
   let config = match config with Some c -> c | None -> Config.default hw in
-  { hw; config; kernels = Kernel_set.create hw config; cache = Hashtbl.create 64 }
+  {
+    hw;
+    config;
+    kernels = Kernel_set.create hw config;
+    cache = Hashtbl.create 64;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 let hardware t = t.hw
 
@@ -21,13 +36,19 @@ let kernels t = t.kernels
 let compile t op =
   let key = Operator.gemm_shape op in
   match Hashtbl.find_opt t.cache key with
-  | Some c -> c
+  | Some c ->
+    t.cache_hits <- t.cache_hits + 1;
+    c
   | None ->
+    t.cache_misses <- t.cache_misses + 1;
     let c = Polymerize.polymerize t.kernels t.config op in
     Hashtbl.replace t.cache key c;
     c
 
 let cached t op = Hashtbl.mem t.cache (Operator.gemm_shape op)
+
+let cache_stats t =
+  { hits = t.cache_hits; misses = t.cache_misses; size = Hashtbl.length t.cache }
 
 let compile_fresh ?scorer t op = Polymerize.polymerize ?scorer t.kernels t.config op
 

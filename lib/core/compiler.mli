@@ -23,6 +23,17 @@ val cached : t -> Mikpoly_ir.Operator.t -> bool
 (** Whether the operator's shape already has a compiled program (i.e. a
     new execution would pay no polymerization overhead). *)
 
+type cache_stats = {
+  hits : int;  (** [compile] calls served from the per-shape memo *)
+  misses : int;  (** [compile] calls that ran the online search *)
+  size : int;  (** distinct shapes currently cached *)
+}
+
+val cache_stats : t -> cache_stats
+(** Observability for the per-shape memo, so serving metrics and tests
+    can measure memoization instead of inferring it. [cached] and
+    [compile_fresh] do not touch the counters. *)
+
 val compile_fresh :
   ?scorer:Polymerize.scorer -> t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
 (** Uncached compilation, optionally with an ablated or oracle scorer

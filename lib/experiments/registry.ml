@@ -22,6 +22,7 @@ let all =
     Exp_inflight.exp;
     Exp_batched.exp;
     Exp_costmodel.exp;
+    Exp_serving.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

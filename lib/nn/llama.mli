@@ -5,6 +5,10 @@
     K = 5120/4 = 1280, ffn up M = 13824/4 = 3456, ffn down K = 3456; the
     dynamic dimension N is the number of tokens in flight. *)
 
+val layers : int
+(** Decoder layer count (40); each layer launches every GEMM family
+    once per [repeat], which is what a per-launch compile cache pays. *)
+
 type layer_gemm = {
   label : string;
   m : int;

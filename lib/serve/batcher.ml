@@ -1,0 +1,92 @@
+type policy =
+  | Greedy of { max_batch : int }
+  | Timeout of {
+      max_batch : int;
+      window : float;
+    }
+  | Slo_aware of { max_batch : int }
+
+let max_batch = function
+  | Greedy { max_batch } | Timeout { max_batch; _ } | Slo_aware { max_batch } ->
+    max_batch
+
+let name = function
+  | Greedy _ -> "greedy"
+  | Timeout { window; _ } -> Printf.sprintf "timeout-%gms" (window *. 1e3)
+  | Slo_aware _ -> "slo-aware"
+
+let validate p =
+  if max_batch p < 1 then invalid_arg "Batcher: max_batch must be >= 1";
+  match p with
+  | Timeout { window; _ } when window < 0. ->
+    invalid_arg "Batcher: negative timeout window"
+  | _ -> ()
+
+type decision = {
+  admitted : Request.t list;
+  deferred : Request.t list;
+  dropped : Request.t list;
+}
+
+let take n xs =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go (max 0 n) [] xs
+
+let admit policy ~now ~in_flight ~waiting =
+  validate policy;
+  let cap = max 0 (max_batch policy - in_flight) in
+  let by_arrival = List.stable_sort Request.compare_arrival waiting in
+  match policy with
+  | Greedy _ ->
+    let admitted, deferred = take cap by_arrival in
+    { admitted; deferred; dropped = [] }
+  | Timeout { window; max_batch } ->
+    if List.length by_arrival + in_flight >= max_batch then
+      (* The queue alone fills the batch: no point waiting longer. *)
+      let admitted, deferred = take cap by_arrival in
+      { admitted; deferred; dropped = [] }
+    else
+      (* [now >= arrival +. window] (not [now -. arrival >= window]): the
+         event loop sleeps until exactly [arrival +. window], and the
+         subtracted form can round below [window] at that instant, which
+         would admit nothing and livelock the clock. *)
+      let eligible, young =
+        List.partition (fun (r : Request.t) -> now >= r.arrival +. window) by_arrival
+      in
+      let admitted, deferred = take cap eligible in
+      {
+        admitted;
+        deferred = List.stable_sort Request.compare_arrival (deferred @ young);
+        dropped = [];
+      }
+  | Slo_aware _ ->
+    let live, dropped =
+      List.partition (fun r -> now < Request.deadline r) by_arrival
+    in
+    let edf =
+      List.stable_sort
+        (fun (a : Request.t) (b : Request.t) ->
+          match compare (Request.deadline a) (Request.deadline b) with
+          | 0 -> compare a.id b.id
+          | c -> c)
+        live
+    in
+    let admitted, deferred = take cap edf in
+    { admitted; deferred; dropped }
+
+let next_eligible policy ~waiting =
+  match waiting with
+  | [] -> None
+  | _ ->
+    let min_arrival =
+      List.fold_left (fun acc (r : Request.t) -> min acc r.arrival) infinity waiting
+    in
+    (match policy with
+    | Greedy _ | Slo_aware _ -> Some min_arrival
+    | Timeout { window; max_batch } ->
+      if List.length waiting >= max_batch then Some min_arrival
+      else Some (min_arrival +. window))

@@ -1,0 +1,43 @@
+(** Continuous-batching admission policies.
+
+    Between engine steps a replica decides which waiting requests join
+    the in-flight batch. This generalizes the single-policy loop of
+    {!Mikpoly_nn.Inflight}:
+
+    - [Greedy]: admit oldest-first whenever a slot is free (vLLM-style
+      continuous batching);
+    - [Timeout]: hold arrivals back up to [window] seconds to form
+      larger batches, unless the queue alone can already fill the batch
+      (classic dynamic batching à la Triton);
+    - [Slo_aware]: earliest-deadline-first admission, shedding requests
+      whose end-to-end deadline has already passed instead of wasting
+      device time on them. *)
+
+type policy =
+  | Greedy of { max_batch : int }
+  | Timeout of {
+      max_batch : int;
+      window : float;  (** seconds a request may be held for batching *)
+    }
+  | Slo_aware of { max_batch : int }
+
+val name : policy -> string
+
+val max_batch : policy -> int
+
+type decision = {
+  admitted : Request.t list;  (** join the batch now, admission order *)
+  deferred : Request.t list;  (** stay queued *)
+  dropped : Request.t list;  (** shed (SLO-aware only) *)
+}
+
+val admit :
+  policy -> now:float -> in_flight:int -> waiting:Request.t list -> decision
+(** Partition the waiting queue. [in_flight] is the number of requests
+    already in the batch; at most [max_batch - in_flight] are admitted.
+    Every input request appears in exactly one output bucket. *)
+
+val next_eligible : policy -> waiting:Request.t list -> float option
+(** Earliest instant at which [admit] on an idle replica would admit at
+    least one request (or drop one, for [Slo_aware]) — the event time an
+    idle replica sleeps until. [None] iff the queue is empty. *)

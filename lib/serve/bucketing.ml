@@ -1,0 +1,57 @@
+type policy =
+  | Exact
+  | Aligned of int
+  | Pow2
+  | Fixed of int
+
+let name = function
+  | Exact -> "exact"
+  | Aligned q -> Printf.sprintf "aligned-%d" q
+  | Pow2 -> "pow2"
+  | Fixed c -> Printf.sprintf "fixed-%d" c
+
+let validate = function
+  | Aligned q when q < 1 -> invalid_arg "Bucketing: alignment must be >= 1"
+  | Fixed c when c < 1 -> invalid_arg "Bucketing: fixed capacity must be >= 1"
+  | _ -> ()
+
+let of_string s =
+  let quantum prefix mk =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some q when q >= 1 -> Some (Ok (mk q))
+      | _ -> Some (Error (Printf.sprintf "bad bucketing quantum in %S" s))
+    else None
+  in
+  match s with
+  | "exact" -> Ok Exact
+  | "pow2" -> Ok Pow2
+  | _ -> (
+    match quantum "aligned-" (fun q -> Aligned q) with
+    | Some r -> r
+    | None -> (
+      match quantum "fixed-" (fun c -> Fixed c) with
+      | Some r -> r
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown bucketing %S (expected exact, pow2, aligned-<q>, fixed-<c>)"
+             s)))
+
+let round_up_multiple n q = (n + q - 1) / q * q
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let bucket policy n =
+  validate policy;
+  if n < 1 then invalid_arg "Bucketing.bucket: token count must be >= 1";
+  match policy with
+  | Exact -> n
+  | Aligned q -> round_up_multiple n q
+  | Pow2 -> next_pow2 n
+  | Fixed c -> round_up_multiple n c
+
+let padded_ratio policy n = float_of_int (bucket policy n) /. float_of_int n

@@ -1,0 +1,35 @@
+(** Shape-bucketing (padding) policies for the dynamic token dimension.
+
+    Serving traffic makes the token count of every engine step unique;
+    bucketing rounds it up to a coarser grid so compiled programs recur
+    and the bounded {!Shape_cache} hits. The price is padded FLOPs: the
+    device executes the bucketed shape, not the exact one. The policies
+    span the design space the paper positions MikPoly against:
+
+    - [Exact]: no padding — maximal FLOP efficiency, minimal reuse
+      (MikPoly's µs-scale search makes this viable, unlike heavy JIT
+      compilers);
+    - [Aligned q]: round up to a multiple of [q], the paper-style
+      region/tile alignment (mild padding, high reuse);
+    - [Pow2]: round up to a power of two (classic bucketed serving);
+    - [Fixed c]: round up to a multiple of a static capacity [c] — the
+      static-padding baseline (Nimble-style worst-case compilation). *)
+
+type policy =
+  | Exact
+  | Aligned of int
+  | Pow2
+  | Fixed of int
+
+val name : policy -> string
+
+val of_string : string -> (policy, string) result
+(** Inverse of {!name}: "exact", "pow2", "aligned-<q>", "fixed-<c>". *)
+
+val bucket : policy -> int -> int
+(** Round a token count up to its bucket. Requires a positive count;
+    the result is always >= the input. *)
+
+val padded_ratio : policy -> int -> float
+(** [bucket policy n / n] — the padded-FLOPs multiplier charged to an
+    engine step whose GEMMs scale with the token dimension. *)

@@ -1,0 +1,112 @@
+open Mikpoly_util
+
+type t = {
+  requests : int;
+  completed : int;
+  dropped : int;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  ttft_p50 : float;
+  ttft_p95 : float;
+  tpot_mean : float;
+  throughput_rps : float;
+  goodput_rps : float;
+  slo_attainment : float;
+  tokens_per_second : float;
+  mean_queue_depth : float;
+  cache_hit_rate : float;
+  compile_stall_seconds : float;
+  padding_overhead : float;
+  makespan : float;
+  steps : int;
+}
+
+let latency (c : Scheduler.completed) =
+  c.finish -. c.request.Request.arrival
+
+let ttft (c : Scheduler.completed) =
+  c.first_token -. c.request.Request.arrival
+
+let slo_met (c : Scheduler.completed) =
+  let s = c.request.Request.slo in
+  ttft c <= s.Request.ttft && latency c <= s.Request.e2e
+
+let of_outcome (o : Scheduler.outcome) =
+  let pct p = function [] -> 0. | xs -> Stats.percentile p xs in
+  let lats = List.map latency o.completed in
+  let ttfts = List.map ttft o.completed in
+  let tpots =
+    List.filter_map
+      (fun (c : Scheduler.completed) ->
+        let n = c.request.Request.output_len - 1 in
+        if n <= 0 then None
+        else Some ((c.finish -. c.first_token) /. float_of_int n))
+      o.completed
+  in
+  let n_completed = List.length o.completed in
+  let n_dropped = List.length o.dropped in
+  let n_met = List.length (List.filter slo_met o.completed) in
+  let total = n_completed + n_dropped in
+  let per_second n =
+    if o.makespan > 0. then float_of_int n /. o.makespan else 0.
+  in
+  let out_tokens =
+    List.fold_left
+      (fun acc (c : Scheduler.completed) -> acc + c.request.Request.output_len)
+      0 o.completed
+  in
+  {
+    requests = total;
+    completed = n_completed;
+    dropped = n_dropped;
+    latency_p50 = pct 50. lats;
+    latency_p95 = pct 95. lats;
+    latency_p99 = pct 99. lats;
+    ttft_p50 = pct 50. ttfts;
+    ttft_p95 = pct 95. ttfts;
+    tpot_mean = (match tpots with [] -> 0. | l -> Stats.mean l);
+    throughput_rps = per_second n_completed;
+    goodput_rps = per_second n_met;
+    slo_attainment =
+      (if total = 0 then 1. else float_of_int n_met /. float_of_int total);
+    tokens_per_second = per_second out_tokens;
+    mean_queue_depth =
+      (if o.queue_samples = 0 then 0.
+       else float_of_int o.queue_depth_sum /. float_of_int o.queue_samples);
+    cache_hit_rate = Shape_cache.hit_rate (Shape_cache.total o.cache);
+    compile_stall_seconds = o.compile_stall_seconds;
+    padding_overhead =
+      (if o.actual_tokens = 0 then 0.
+       else
+         (float_of_int o.padded_tokens /. float_of_int o.actual_tokens) -. 1.);
+    makespan = o.makespan;
+    steps = o.steps;
+  }
+
+let header =
+  [
+    "config"; "req"; "done"; "drop"; "p50"; "p95"; "p99"; "ttft p95"; "tpot";
+    "goodput/s"; "SLO%"; "hit%"; "stall"; "pad%"; "queue";
+  ]
+
+let pc x = Printf.sprintf "%.0f%%" (100. *. x)
+
+let to_row ~label m =
+  [
+    label;
+    string_of_int m.requests;
+    string_of_int m.completed;
+    string_of_int m.dropped;
+    Table.fmt_time_us m.latency_p50;
+    Table.fmt_time_us m.latency_p95;
+    Table.fmt_time_us m.latency_p99;
+    Table.fmt_time_us m.ttft_p95;
+    Table.fmt_time_us m.tpot_mean;
+    Printf.sprintf "%.1f" m.goodput_rps;
+    pc m.slo_attainment;
+    pc m.cache_hit_rate;
+    Table.fmt_time_us m.compile_stall_seconds;
+    pc m.padding_overhead;
+    Printf.sprintf "%.1f" m.mean_queue_depth;
+  ]

@@ -1,0 +1,40 @@
+(** Serving-quality metrics over a {!Scheduler.outcome}.
+
+    The quantities a production serving dashboard tracks, computed with
+    {!Mikpoly_util.Stats}: latency percentiles, time-to-first-token,
+    time-per-output-token, goodput (requests completed within their SLO
+    per second), queue depth, program-cache hit rate and padding
+    overhead. *)
+
+type t = {
+  requests : int;  (** completed + dropped *)
+  completed : int;
+  dropped : int;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;  (** end-to-end seconds, arrival to completion *)
+  ttft_p50 : float;
+  ttft_p95 : float;  (** arrival to first decoded token *)
+  tpot_mean : float;  (** mean seconds per output token after the first *)
+  throughput_rps : float;  (** completed requests per second of makespan *)
+  goodput_rps : float;  (** SLO-met requests per second of makespan *)
+  slo_attainment : float;  (** SLO-met fraction of all requests *)
+  tokens_per_second : float;
+  mean_queue_depth : float;
+  cache_hit_rate : float;  (** over all replicas' shape caches *)
+  compile_stall_seconds : float;
+  padding_overhead : float;  (** padded/actual token ratio minus 1 *)
+  makespan : float;
+  steps : int;
+}
+
+val of_outcome : Scheduler.outcome -> t
+(** Total on any outcome, including the empty one (zero rates). A
+    request meets its SLO when both its TTFT and end-to-end budgets
+    hold; dropped requests never do. *)
+
+val header : string list
+(** Column names matching {!to_row}, with a leading "config" column. *)
+
+val to_row : label:string -> t -> string list
+(** One table row, formatted with {!Mikpoly_util.Table} helpers. *)

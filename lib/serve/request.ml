@@ -1,0 +1,72 @@
+type slo = {
+  ttft : float;
+  e2e : float;
+}
+
+type t = {
+  id : int;
+  arrival : float;
+  prompt_len : int;
+  output_len : int;
+  slo : slo;
+}
+
+let compare_arrival a b =
+  match compare a.arrival b.arrival with 0 -> compare a.id b.id | c -> c
+
+let deadline r = r.arrival +. r.slo.e2e
+
+let tokens r = r.prompt_len + r.output_len
+
+let slo_for ?(ttft_budget = 0.25) ?(tpot_budget = 0.02) ~output_len () =
+  if ttft_budget <= 0. || tpot_budget <= 0. then
+    invalid_arg "Request.slo_for: budgets must be positive";
+  { ttft = ttft_budget; e2e = ttft_budget +. (tpot_budget *. float_of_int output_len) }
+
+let exponential rng ~rate =
+  let u = Mikpoly_util.Prng.float rng 1.0 in
+  -.log (1. -. u) /. rate
+
+let draw rng ?ttft_budget ?tpot_budget ~id ~arrival ~max_prompt ~max_output () =
+  let prompt_len = Mikpoly_util.Prng.log_int_in rng 1 max_prompt in
+  let output_len = Mikpoly_util.Prng.log_int_in rng 1 max_output in
+  {
+    id;
+    arrival;
+    prompt_len;
+    output_len;
+    slo = slo_for ?ttft_budget ?tpot_budget ~output_len ();
+  }
+
+let check_lengths ~count ~max_prompt ~max_output =
+  if count < 0 then invalid_arg "Request: negative count";
+  if max_prompt < 1 || max_output < 1 then
+    invalid_arg "Request: max_prompt and max_output must be >= 1"
+
+let poisson ?ttft_budget ?tpot_budget ~seed ~rate ~count ~max_prompt ~max_output () =
+  if rate <= 0. then invalid_arg "Request.poisson: rate must be positive";
+  check_lengths ~count ~max_prompt ~max_output;
+  let rng = Mikpoly_util.Prng.create seed in
+  let clock = ref 0. in
+  List.init count (fun id ->
+      clock := !clock +. exponential rng ~rate;
+      draw rng ?ttft_budget ?tpot_budget ~id ~arrival:!clock ~max_prompt
+        ~max_output ())
+
+let bursty ?ttft_budget ?tpot_budget ~seed ~base_rate ~burst_rate ~period ~duty
+    ~count ~max_prompt ~max_output () =
+  if base_rate <= 0. || burst_rate <= 0. then
+    invalid_arg "Request.bursty: rates must be positive";
+  if period <= 0. || duty <= 0. || duty > 1. then
+    invalid_arg "Request.bursty: need period > 0 and 0 < duty <= 1";
+  check_lengths ~count ~max_prompt ~max_output;
+  let rng = Mikpoly_util.Prng.create seed in
+  let rate_at t =
+    let phase = Float.rem t period in
+    if phase < duty *. period then burst_rate else base_rate
+  in
+  let clock = ref 0. in
+  List.init count (fun id ->
+      clock := !clock +. exponential rng ~rate:(rate_at !clock);
+      draw rng ?ttft_budget ?tpot_budget ~id ~arrival:!clock ~max_prompt
+        ~max_output ())

@@ -1,0 +1,50 @@
+(** Serving requests and deterministic arrival traces.
+
+    A request is an LLM generation job: a prompt to prefill and a number
+    of output tokens to decode, arriving at a wall-clock instant with a
+    per-request latency SLO. Traces are generated from
+    {!Mikpoly_util.Prng} so every serving experiment is reproducible
+    bit-for-bit (the repo-wide determinism contract). *)
+
+type slo = {
+  ttft : float;  (** time-to-first-token budget, seconds from arrival *)
+  e2e : float;  (** end-to-end completion budget, seconds from arrival *)
+}
+
+type t = {
+  id : int;
+  arrival : float;  (** seconds since trace start *)
+  prompt_len : int;
+  output_len : int;
+  slo : slo;
+}
+
+val compare_arrival : t -> t -> int
+(** Order by arrival time, ties broken by id (total and deterministic). *)
+
+val deadline : t -> float
+(** [arrival +. slo.e2e]. *)
+
+val tokens : t -> int
+(** Total token work: [prompt_len + output_len]. *)
+
+val slo_for : ?ttft_budget:float -> ?tpot_budget:float -> output_len:int -> unit -> slo
+(** Default SLO shape: a fixed TTFT budget (default 250 ms) plus a
+    per-output-token budget (default 20 ms/token) for the end-to-end
+    deadline — longer generations get proportionally longer deadlines. *)
+
+val poisson :
+  ?ttft_budget:float -> ?tpot_budget:float -> seed:int -> rate:float ->
+  count:int -> max_prompt:int -> max_output:int -> unit -> t list
+(** [count] requests with exponential inter-arrival times at [rate]
+    requests/second; prompt and output lengths are log-uniform in
+    [\[1, max\]] the way real traffic skews. Sorted by arrival. *)
+
+val bursty :
+  ?ttft_budget:float -> ?tpot_budget:float -> seed:int -> base_rate:float ->
+  burst_rate:float -> period:float -> duty:float -> count:int ->
+  max_prompt:int -> max_output:int -> unit -> t list
+(** Piecewise-Poisson arrivals: within every [period] seconds the first
+    [duty] fraction runs at [burst_rate], the remainder at [base_rate] —
+    the diurnal / thundering-herd pattern serving systems must absorb.
+    Requires [0 < duty <= 1]. *)

@@ -1,0 +1,293 @@
+type engine = {
+  engine_name : string;
+  step_seconds : tokens:int -> kv_tokens:int -> float;
+  step_shapes : tokens:int -> ((int * int * int) * int) list;
+  compile_seconds : int * int * int -> float;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let mikpoly_engine compiler =
+  let hw = Mikpoly_core.Compiler.hardware compiler in
+  let dtype = (Mikpoly_core.Compiler.config compiler).Mikpoly_core.Config.dtype in
+  (* [operator_seconds] re-runs the device simulator on every call, and a
+     40-layer graph launches each family shape dozens of times — memoize
+     per shape for the engine's lifetime. *)
+  let gemm_memo = Hashtbl.create 1024 in
+  let gemm ~m ~n ~k =
+    if m < 1 || n < 1 || k < 1 then Error "non-positive GEMM dimension"
+    else (
+      match Hashtbl.find_opt gemm_memo (m, n, k) with
+      | Some s -> Ok s
+      | None ->
+        let op = Mikpoly_ir.Operator.gemm ~dtype ~m ~n ~k () in
+        let s = Mikpoly_core.Compiler.operator_seconds compiler op in
+        Hashtbl.replace gemm_memo (m, n, k) s;
+        Ok s)
+  in
+  (* The KV length only drives the bandwidth-bound attention scan;
+     bucketing it to a power of two keeps the step memo small. *)
+  let step_memo = Hashtbl.create 256 in
+  let step_seconds ~tokens ~kv_tokens =
+    if tokens < 1 then invalid_arg "Scheduler.step_seconds: tokens must be >= 1";
+    let kv_len = next_pow2 (max 1 (kv_tokens / max 1 tokens)) in
+    match Hashtbl.find_opt step_memo (tokens, kv_len) with
+    | Some s -> s
+    | None ->
+      let graph = Mikpoly_nn.Llama.decode_graph ~batch:tokens ~kv_len in
+      let r = Mikpoly_nn.Inference.run hw graph ~gemm () in
+      Hashtbl.replace step_memo (tokens, kv_len) r.Mikpoly_nn.Inference.seconds;
+      r.Mikpoly_nn.Inference.seconds
+  in
+  let step_shapes ~tokens =
+    List.map
+      (fun (g : Mikpoly_nn.Llama.layer_gemm) ->
+        (Mikpoly_nn.Llama.gemm_shape g ~tokens, g.repeat * Mikpoly_nn.Llama.layers))
+      Mikpoly_nn.Llama.layer_gemms
+  in
+  let compile_memo = Hashtbl.create 256 in
+  let compile_seconds (m, n, k) =
+    match Hashtbl.find_opt compile_memo (m, n, k) with
+    | Some s -> s
+    | None ->
+      let op = Mikpoly_ir.Operator.gemm ~dtype ~m ~n ~k () in
+      let c = Mikpoly_core.Compiler.compile compiler op in
+      let s = Mikpoly_core.Polymerize.modeled_search_seconds c in
+      Hashtbl.replace compile_memo (m, n, k) s;
+      s
+  in
+  {
+    engine_name = "mikpoly@" ^ hw.Mikpoly_accel.Hardware.name;
+    step_seconds;
+    step_shapes;
+    compile_seconds;
+  }
+
+let synthetic_engine ?(base = 2e-3) ?(per_token = 1e-4) ?(compile = 2e-4)
+    ?(shape_families = 2) () =
+  if base < 0. || per_token < 0. || compile < 0. || shape_families < 1 then
+    invalid_arg "Scheduler.synthetic_engine";
+  {
+    engine_name = "synthetic";
+    step_seconds =
+      (fun ~tokens ~kv_tokens ->
+        base
+        +. (per_token *. float_of_int tokens)
+        +. (1e-8 *. float_of_int kv_tokens));
+    step_shapes =
+      (fun ~tokens ->
+        List.init shape_families (fun i -> ((256 * (i + 1), tokens, 512), 4)));
+    compile_seconds = (fun _ -> compile);
+  }
+
+type config = {
+  replicas : int;
+  batcher : Batcher.policy;
+  bucketing : Bucketing.policy;
+  cache_capacity : int;
+}
+
+type completed = {
+  request : Request.t;
+  first_token : float;
+  finish : float;
+  replica : int;
+}
+
+type outcome = {
+  completed : completed list;
+  dropped : Request.t list;
+  steps : int;
+  makespan : float;
+  compile_stall_seconds : float;
+  actual_tokens : int;
+  padded_tokens : int;
+  cache : Shape_cache.stats list;
+  queue_depth_sum : int;
+  queue_samples : int;
+}
+
+type active_req = {
+  areq : Request.t;
+  mutable remaining : int;
+  mutable kv : int;
+  mutable prefill : int;  (** prompt tokens not yet consumed *)
+  mutable first_token : float;
+}
+
+type replica_state = {
+  idx : int;
+  mutable clock : float;  (** time the replica is next free *)
+  mutable waiting : Request.t list;  (** arrival order *)
+  mutable act : active_req list;
+  rcache : unit Shape_cache.t;
+}
+
+let run config engine requests =
+  if config.replicas < 1 then invalid_arg "Scheduler.run: replicas must be >= 1";
+  if config.cache_capacity < 0 then
+    invalid_arg "Scheduler.run: negative cache capacity";
+  let reps =
+    Array.init config.replicas (fun idx ->
+        {
+          idx;
+          clock = 0.;
+          waiting = [];
+          act = [];
+          rcache = Shape_cache.create ~capacity:config.cache_capacity;
+        })
+  in
+  let pending = ref (List.stable_sort Request.compare_arrival requests) in
+  let completed = ref [] in
+  let dropped = ref [] in
+  let steps = ref 0 in
+  let stall_total = ref 0. in
+  let actual_tokens = ref 0 in
+  let padded_tokens = ref 0 in
+  let qsum = ref 0 in
+  let qsamples = ref 0 in
+  let makespan = ref 0. in
+  let outstanding r = List.length r.waiting + List.length r.act in
+  let assign req =
+    (* Least outstanding work wins; ties go to the lowest index so the
+       routing is deterministic. *)
+    let best = ref reps.(0) in
+    Array.iter (fun r -> if outstanding r < outstanding !best then best := r) reps;
+    !best.waiting <- !best.waiting @ [ req ]
+  in
+  (* Time at which a replica can next make progress, None if it is idle
+     with an empty queue. *)
+  let next_time r =
+    if r.act <> [] then Some r.clock
+    else
+      match Batcher.next_eligible config.batcher ~waiting:r.waiting with
+      | None -> None
+      | Some t -> Some (max r.clock t)
+  in
+  let step r ~now =
+    let d =
+      Batcher.admit config.batcher ~now ~in_flight:(List.length r.act)
+        ~waiting:r.waiting
+    in
+    r.waiting <- d.Batcher.deferred;
+    dropped := !dropped @ d.Batcher.dropped;
+    r.act <-
+      r.act
+      @ List.map
+          (fun (q : Request.t) ->
+            {
+              areq = q;
+              remaining = q.output_len;
+              kv = 0;
+              prefill = q.prompt_len;
+              first_token = nan;
+            })
+          d.Batcher.admitted;
+    if r.act = [] then
+      (* Normally SLO shedding just emptied the queue. If a policy
+         admitted nothing from a non-empty queue on an idle replica, a
+         stuck clock would livelock the event loop — nudge it forward so
+         the simulation always terminates. *)
+      r.clock <-
+        (if d.Batcher.dropped <> [] then now else now +. 1e-6)
+    else begin
+      qsamples := !qsamples + 1;
+      qsum :=
+        !qsum + Array.fold_left (fun acc rr -> acc + List.length rr.waiting) 0 reps;
+      let tokens =
+        List.fold_left
+          (fun acc a -> acc + if a.prefill > 0 then a.prefill else 1)
+          0 r.act
+      in
+      let kv_tokens = List.fold_left (fun acc a -> acc + a.kv) 0 r.act in
+      let btokens = Bucketing.bucket config.bucketing tokens in
+      actual_tokens := !actual_tokens + tokens;
+      padded_tokens := !padded_tokens + btokens;
+      (* Every micro-kernel launch consults the program cache; only
+         misses pay the polymerization stall. At capacity 0 nothing is
+         retained, so all launches of a step recompile. *)
+      let stall = ref 0. in
+      List.iter
+        (fun (shape, launches) ->
+          for _ = 1 to launches do
+            match Shape_cache.find r.rcache shape with
+            | Some () -> ()
+            | None ->
+              stall := !stall +. engine.compile_seconds shape;
+              Shape_cache.add r.rcache shape ()
+          done)
+        (engine.step_shapes ~tokens:btokens);
+      let dt = engine.step_seconds ~tokens:btokens ~kv_tokens +. !stall in
+      stall_total := !stall_total +. !stall;
+      let fin = now +. dt in
+      r.act <-
+        List.filter
+          (fun a ->
+            if a.prefill > 0 then begin
+              a.kv <- a.prefill;
+              a.prefill <- 0;
+              true
+            end
+            else begin
+              a.kv <- a.kv + 1;
+              a.remaining <- a.remaining - 1;
+              if Float.is_nan a.first_token then a.first_token <- fin;
+              if a.remaining = 0 then begin
+                completed :=
+                  {
+                    request = a.areq;
+                    first_token = a.first_token;
+                    finish = fin;
+                    replica = r.idx;
+                  }
+                  :: !completed;
+                false
+              end
+              else true
+            end)
+          r.act;
+      r.clock <- fin;
+      makespan := max !makespan fin;
+      incr steps
+    end
+  in
+  let rec loop () =
+    let best = ref None in
+    Array.iter
+      (fun r ->
+        match next_time r with
+        | None -> ()
+        | Some t -> (
+          match !best with
+          | Some (bt, _) when bt <= t -> ()
+          | _ -> best := Some (t, r)))
+      reps;
+    match (!best, !pending) with
+    | None, [] -> ()
+    | None, p :: rest ->
+      pending := rest;
+      assign p;
+      loop ()
+    | Some (t, _), p :: rest when p.Request.arrival <= t ->
+      pending := rest;
+      assign p;
+      loop ()
+    | Some (t, r), _ ->
+      step r ~now:t;
+      loop ()
+  in
+  loop ();
+  {
+    completed = List.rev !completed;
+    dropped = !dropped;
+    steps = !steps;
+    makespan = !makespan;
+    compile_stall_seconds = !stall_total;
+    actual_tokens = !actual_tokens;
+    padded_tokens = !padded_tokens;
+    cache = Array.to_list (Array.map (fun r -> Shape_cache.stats r.rcache) reps);
+    queue_depth_sum = !qsum;
+    queue_samples = !qsamples;
+  }

@@ -1,0 +1,71 @@
+(** Multi-replica serving scheduler over the event clock.
+
+    Simulates a deployment of N engine replicas running continuous
+    batching on the MikPoly compiler: requests are routed to the least
+    loaded replica on arrival, each replica admits from its queue via a
+    {!Batcher} policy, pads the step's token count via a {!Bucketing}
+    policy, and executes one engine step whose GEMM programs come from a
+    bounded per-replica {!Shape_cache}. A cache miss charges the online
+    polymerization overhead (the modeled dispatch cost that
+    {!Mikpoly_core.Compiler.operator_seconds_with_overhead} charges
+    end-to-end runs) as a compile stall on the step's critical path — at
+    capacity 0 every micro-kernel launch pays it, which is what a
+    cache-less dynamic-shape system does. *)
+
+type engine = {
+  engine_name : string;
+  step_seconds : tokens:int -> kv_tokens:int -> float;
+      (** device time of one engine step with [tokens] in flight *)
+  step_shapes : tokens:int -> ((int * int * int) * int) list;
+      (** GEMM shapes a step compiles, with per-step launch counts
+          (shape, launches) — e.g. one per layer per projection family *)
+  compile_seconds : int * int * int -> float;
+      (** stall for polymerizing one uncached shape *)
+}
+
+val mikpoly_engine : Mikpoly_core.Compiler.t -> engine
+(** The Llama2-13b continuous-batching engine of
+    {!Mikpoly_nn.Inflight}, driven through the MikPoly compiler on the
+    compiler's platform. Step times are memoized per (token, KV) bucket;
+    compile stalls use the modeled online-search cost (DESIGN.md,
+    "Online overhead accounting"), so runs are deterministic. *)
+
+val synthetic_engine :
+  ?base:float -> ?per_token:float -> ?compile:float -> ?shape_families:int ->
+  unit -> engine
+(** A closed-form engine for tests and micro-benchmarks:
+    [base + per_token·tokens] seconds per step, a constant [compile]
+    stall per uncached shape, [shape_families] distinct GEMM shapes per
+    step (4 launches each). Fully deterministic. *)
+
+type config = {
+  replicas : int;
+  batcher : Batcher.policy;
+  bucketing : Bucketing.policy;
+  cache_capacity : int;  (** per replica; 0 disables program caching *)
+}
+
+type completed = {
+  request : Request.t;
+  first_token : float;  (** absolute time of the first decoded token *)
+  finish : float;
+  replica : int;
+}
+
+type outcome = {
+  completed : completed list;  (** completion order *)
+  dropped : Request.t list;  (** shed by the batcher *)
+  steps : int;
+  makespan : float;  (** time the last step finished *)
+  compile_stall_seconds : float;
+  actual_tokens : int;  (** token work before padding, summed over steps *)
+  padded_tokens : int;  (** token work actually executed *)
+  cache : Shape_cache.stats list;  (** per replica *)
+  queue_depth_sum : int;  (** total waiting requests, summed per step *)
+  queue_samples : int;
+}
+
+val run : config -> engine -> Request.t list -> outcome
+(** Simulate the full trace to drain. Deterministic for a deterministic
+    engine: the same configuration and trace produce the identical
+    outcome. The empty trace yields an empty outcome. *)

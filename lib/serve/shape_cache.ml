@@ -1,0 +1,117 @@
+type key = int * int * int
+
+type 'a entry = {
+  value : 'a;
+  mutable last_use : int;
+}
+
+type 'a t = {
+  cache_capacity : int;
+  table : (key, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Shape_cache.create: negative capacity";
+  {
+    cache_capacity = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let capacity (t : _ t) = t.cache_capacity
+
+let size (t : _ t) = Hashtbl.length t.table
+
+let mem (t : _ t) key = Hashtbl.mem t.table key
+
+let touch (t : _ t) e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let find (t : _ t) key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru (t : _ t) =
+  (* Ticks are unique, so the minimum is unambiguous regardless of the
+     hash table's iteration order. *)
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | _ -> Some (k, e.last_use))
+      t.table None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add (t : _ t) key value =
+  if t.cache_capacity > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some _ -> Hashtbl.remove t.table key
+    | None ->
+      if Hashtbl.length t.table >= t.cache_capacity then evict_lru t;
+      t.insertions <- t.insertions + 1);
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.table key { value; last_use = t.tick }
+  end
+
+let stats (t : _ t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+    capacity = t.cache_capacity;
+  }
+
+let hit_rate s =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0. else float_of_int s.hits /. float_of_int lookups
+
+let total stats_list =
+  List.fold_left
+    (fun acc s ->
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        insertions = acc.insertions + s.insertions;
+        evictions = acc.evictions + s.evictions;
+        size = acc.size + s.size;
+        capacity = acc.capacity + s.capacity;
+      })
+    { hits = 0; misses = 0; insertions = 0; evictions = 0; size = 0; capacity = 0 }
+    stats_list
+
+let lru_order (t : _ t) =
+  Hashtbl.fold (fun k e acc -> (e.last_use, k) :: acc) t.table []
+  |> List.sort compare |> List.map snd

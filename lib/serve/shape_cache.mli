@@ -1,0 +1,53 @@
+(** Bounded LRU cache of compiled programs, keyed by GEMM shape.
+
+    The compiler's own per-shape memo ({!Mikpoly_core.Compiler.compile})
+    is unbounded — fine for experiments, unacceptable for a long-running
+    serving replica where the stream of distinct dynamic shapes grows
+    without limit. This cache is the serving-side replacement: a fixed
+    capacity, least-recently-used eviction, and counters so the runtime
+    can report hit rate and compile-stall behaviour instead of inferring
+    it. A capacity of 0 models a cache-less system: every lookup misses
+    and nothing is retained. *)
+
+type key = int * int * int
+(** A GEMM shape (M, N, K). *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : capacity:int -> 'a t
+(** [capacity] must be >= 0; 0 caches nothing. *)
+
+val capacity : 'a t -> int
+
+val size : 'a t -> int
+
+val mem : 'a t -> key -> bool
+(** Membership without touching recency or counters. *)
+
+val find : 'a t -> key -> 'a option
+(** Counts a hit or a miss and, on hit, marks the entry most recently
+    used. *)
+
+val add : 'a t -> key -> 'a -> unit
+(** Insert (or refresh) a binding, evicting the least recently used
+    entry if the cache is full. No-op at capacity 0. *)
+
+val stats : 'a t -> stats
+
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 when no lookups happened. *)
+
+val total : stats list -> stats
+(** Field-wise sum, for aggregating per-replica caches. *)
+
+val lru_order : 'a t -> key list
+(** Current keys, least recently used first. Exposed for tests. *)

@@ -520,6 +520,65 @@ let test_kernel_store_rejects_garbage () =
     (Result.is_error
        (Kernel_store.load ~path:"/nonexistent/kernels.txt" gpu (Config.default gpu)))
 
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_kernel_store_rejects_truncated () =
+  let config = Config.default gpu in
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let path = tmp_file "mikpoly-kernels-trunc.txt" in
+  Kernel_store.save ~path config set;
+  let lines = read_lines path in
+  write_lines path (List.filteri (fun i _ -> i < List.length lines - 1) lines);
+  Alcotest.(check bool) "truncated file rejected" true
+    (Result.is_error (Kernel_store.load ~path gpu config));
+  Sys.remove path
+
+let test_kernel_store_rejects_version_bump () =
+  let config = Config.default gpu in
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let path = tmp_file "mikpoly-kernels-vers.txt" in
+  Kernel_store.save ~path config set;
+  (match read_lines path with
+  | magic :: rest ->
+    (* A future format revision must not parse as the current one. *)
+    Alcotest.(check bool) "magic carries a version" true
+      (String.length magic > 2
+      && String.sub magic (String.length magic - 2) 2 = "v1");
+    write_lines path ((String.sub magic 0 (String.length magic - 2) ^ "v2") :: rest)
+  | [] -> Alcotest.fail "empty artifact");
+  Alcotest.(check bool) "bumped version rejected" true
+    (Result.is_error (Kernel_store.load ~path gpu config));
+  Sys.remove path
+
+let test_kernel_store_load_or_create_repairs () =
+  let config = Config.default gpu in
+  let path = tmp_file "mikpoly-kernels-repair.txt" in
+  write_lines path [ "corrupt"; "artifact" ];
+  (* A broken artifact must fall back to retuning, not crash, and the
+     rewritten file must then load cleanly. *)
+  let set = Kernel_store.load_or_create ~path gpu config in
+  Alcotest.(check bool) "retuned a non-empty set" true (Kernel_set.size set > 0);
+  (match Kernel_store.load ~path gpu config with
+  | Ok reloaded ->
+    Alcotest.(check int) "repaired artifact loads" (Kernel_set.size set)
+      (Kernel_set.size reloaded)
+  | Error e -> Alcotest.fail ("repaired artifact rejected: " ^ e));
+  Sys.remove path
+
 let test_kernel_store_load_or_create () =
   let config = Config.default gpu in
   let path = tmp_file "mikpoly-kernels-loc.txt" in
@@ -539,6 +598,20 @@ let test_compiler_cache () =
   let c1 = Compiler.compile compiler op in
   let c2 = Compiler.compile compiler op in
   Alcotest.(check bool) "cached" true (c1 == c2)
+
+let test_compiler_cache_stats () =
+  (* A fresh compiler so hit/miss counters start from zero. *)
+  let compiler = Compiler.create Hardware.a100 in
+  let s0 = Compiler.cache_stats compiler in
+  Alcotest.(check int) "starts empty" 0 s0.Compiler.size;
+  Alcotest.(check int) "no hits yet" 0 s0.Compiler.hits;
+  let op = Operator.gemm ~m:320 ~n:192 ~k:256 () in
+  ignore (Compiler.compile compiler op);
+  ignore (Compiler.compile compiler op);
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "one miss" 1 s.Compiler.misses;
+  Alcotest.(check int) "one hit" 1 s.Compiler.hits;
+  Alcotest.(check int) "one entry" 1 s.Compiler.size
 
 let test_compiler_overhead_accounting () =
   let compiler = Lazy.force gpu_compiler in
@@ -625,11 +698,18 @@ let () =
           Alcotest.test_case "rejects mismatch" `Quick
             test_kernel_store_rejects_mismatch;
           Alcotest.test_case "rejects garbage" `Quick test_kernel_store_rejects_garbage;
+          Alcotest.test_case "rejects truncated" `Quick
+            test_kernel_store_rejects_truncated;
+          Alcotest.test_case "rejects version bump" `Quick
+            test_kernel_store_rejects_version_bump;
           Alcotest.test_case "load_or_create" `Quick test_kernel_store_load_or_create;
+          Alcotest.test_case "load_or_create repairs" `Quick
+            test_kernel_store_load_or_create_repairs;
         ] );
       ( "compiler",
         [
           Alcotest.test_case "cache" `Quick test_compiler_cache;
+          Alcotest.test_case "cache stats" `Quick test_compiler_cache_stats;
           Alcotest.test_case "overhead accounting" `Quick
             test_compiler_overhead_accounting;
         ] );
