@@ -18,6 +18,8 @@ let skip_experiments = Array.exists (( = ) "--skip-experiments") Sys.argv
 
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 
+let skip_telemetry = Array.exists (( = ) "--skip-telemetry") Sys.argv
+
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
   |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
@@ -161,6 +163,120 @@ let run_micro () =
     tests;
   print_endline (Mikpoly_util.Table.render table)
 
+(* --- Telemetry overhead: tracing-off and tracing-on vs uninstrumented ---
+
+   Times the two instrumented hot paths (online polymerization, the
+   serving scheduler) in three modes and writes the overhead ratios to
+   BENCH_telemetry.json. The tracing-off ratio is the number the no-op
+   sink design is judged by (test_telemetry asserts < 5% on the same
+   path); the tracing-on ratio is the price of actually capturing a
+   trace. Best-of-batches timing keeps the numbers stable under noise. *)
+
+let time_batch f reps =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let best_of f ~reps ~batches =
+  let best = ref infinity in
+  for _ = 1 to batches do
+    best := Float.min !best (time_batch f reps)
+  done;
+  !best
+
+let run_telemetry_overhead () =
+  let open Mikpoly_telemetry in
+  let reps = if quick then 5 else 20 in
+  let batches = if quick then 3 else 7 in
+  let gpu = Mikpoly_experiments.Backends.gpu () in
+  let kernels = Mikpoly_core.Compiler.kernels gpu in
+  let config = Mikpoly_core.Compiler.config gpu in
+  let odd_op = Mikpoly_ir.Operator.gemm ~m:777 ~n:1234 ~k:555 () in
+  let engine = Mikpoly_serve.Scheduler.synthetic_engine () in
+  let trace =
+    Mikpoly_serve.Request.poisson ~seed:7 ~rate:50. ~count:32 ~max_prompt:64
+      ~max_output:8 ()
+  in
+  let sched_config =
+    {
+      Mikpoly_serve.Scheduler.replicas = 2;
+      batcher = Mikpoly_serve.Batcher.Greedy { max_batch = 16 };
+      bucketing = Mikpoly_serve.Bucketing.Aligned 8;
+      cache_capacity = 32;
+    }
+  in
+  let measure f ~baseline =
+    (* baseline: uninstrumented where the API offers it (polymerize's
+       [~instrument:false]); otherwise tracing-off doubles as baseline. *)
+    Tracer.reset ();
+    Tracer.disable ();
+    let base = best_of baseline ~reps ~batches in
+    let off = best_of f ~reps ~batches in
+    Tracer.enable ();
+    let on =
+      let best = ref infinity in
+      for _ = 1 to batches do
+        Tracer.reset ();
+        (* spans from prior batches would only grow memory *)
+        best := Float.min !best (time_batch f reps)
+      done;
+      !best
+    in
+    Tracer.disable ();
+    Tracer.reset ();
+    (base, off, on)
+  in
+  let bench name f ~baseline =
+    let base, off, on = measure f ~baseline in
+    Printf.printf
+      "telemetry overhead %-28s base %s  off %s (%+.2f%%)  on %s (%+.2f%%)\n"
+      name
+      (Mikpoly_util.Table.fmt_time_us base)
+      (Mikpoly_util.Table.fmt_time_us off)
+      (100. *. ((off /. base) -. 1.))
+      (Mikpoly_util.Table.fmt_time_us on)
+      (100. *. ((on /. base) -. 1.));
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("uninstrumented_s", Json.Number base);
+        ("tracing_off_s", Json.Number off);
+        ("tracing_on_s", Json.Number on);
+        ("tracing_off_ratio", Json.Number (off /. base));
+        ("tracing_on_ratio", Json.Number (on /. base));
+      ]
+  in
+  let rows =
+    [
+      bench "polymerize_odd_shape"
+        (fun () -> Mikpoly_core.Polymerize.polymerize kernels config odd_op)
+        ~baseline:(fun () ->
+          Mikpoly_core.Polymerize.polymerize ~instrument:false kernels config
+            odd_op);
+      bench "serve_schedule_32_requests"
+        (fun () -> Mikpoly_serve.Scheduler.run sched_config engine trace)
+        ~baseline:(fun () ->
+          Mikpoly_serve.Scheduler.run sched_config engine trace);
+    ]
+  in
+  let path = "BENCH_telemetry.json" in
+  let json =
+    Json.Obj
+      [
+        ("reps_per_batch", Json.Number (float_of_int reps));
+        ("batches", Json.Number (float_of_int batches));
+        ("benchmarks", Json.List rows);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
-  if not skip_micro then run_micro ()
+  if not skip_micro then run_micro ();
+  if not skip_telemetry then run_telemetry_overhead ()

@@ -229,9 +229,117 @@ let serve quick csv npu replicas requests rate cache bucket batcher max_batch
       (Mikpoly_util.Table.fmt_time_us m.Metrics.compile_stall_seconds)
       (Mikpoly_util.Table.fmt_time_us b.Metrics.compile_stall_seconds)
       (100. *. m.Metrics.slo_attainment)
-      (100. *. b.Metrics.slo_attainment)
+      (100. *. b.Metrics.slo_attainment);
+    print_string (Mikpoly_telemetry.Report.telemetry_section ())
   end;
   0
+
+(* Run a target under the span tracer and export the observability
+   artifacts: a Chrome/Perfetto trace, the flat profile and the metrics
+   registry. "serve" drives the full stack (offline tuning at compiler
+   creation, online polymerization and device simulation inside the
+   engine, the serving scheduler on top); any experiment id profiles
+   that reproduction instead. *)
+let profile target quick npu trace_out top csv_metrics =
+  let open Mikpoly_telemetry in
+  Tracer.reset ();
+  Metrics.reset ();
+  Tracer.enable ();
+  let status =
+    match target with
+    | "serve" ->
+      let hw =
+        if npu then Mikpoly_accel.Hardware.ascend910
+        else Mikpoly_accel.Hardware.a100
+      in
+      let compiler = Mikpoly_core.Compiler.create hw in
+      let engine = Mikpoly_serve.Scheduler.mikpoly_engine compiler in
+      let count = if quick then 16 else 96 in
+      let trace =
+        Mikpoly_serve.Request.poisson ~seed:0x5E2 ~rate:30. ~count
+          ~max_prompt:(if quick then 64 else 256)
+          ~max_output:(if quick then 8 else 48)
+          ()
+      in
+      let config =
+        {
+          Mikpoly_serve.Scheduler.replicas = 2;
+          batcher = Mikpoly_serve.Batcher.Greedy { max_batch = 32 };
+          bucketing = Mikpoly_serve.Bucketing.Aligned 8;
+          cache_capacity = 64;
+        }
+      in
+      let outcome =
+        Tracer.with_span "profile.serve" (fun () ->
+            Mikpoly_serve.Scheduler.run config engine trace)
+      in
+      Printf.printf "profiled serve on %s: %d completed, %d steps, makespan %.3fs\n"
+        hw.name
+        (List.length outcome.Mikpoly_serve.Scheduler.completed)
+        outcome.steps outcome.makespan;
+      0
+    | id -> (
+      match Mikpoly_experiments.Registry.find id with
+      | Some e ->
+        let report = Mikpoly_experiments.Exp.run_traced e ~quick in
+        print_endline (Mikpoly_experiments.Exp.render report);
+        0
+      | None ->
+        Printf.eprintf "unknown profile target %S (serve or one of: %s)\n" id
+          (String.concat ", " Mikpoly_experiments.Registry.ids);
+        2)
+  in
+  Tracer.disable ();
+  if status <> 0 then status
+  else begin
+    (match trace_out with
+    | Some path ->
+      let n = Export_chrome.write ~path () in
+      Printf.printf
+        "wrote %d spans to %s (open in chrome://tracing or ui.perfetto.dev)\n" n
+        path
+    | None -> ());
+    print_string (Report.telemetry_section ~top ());
+    if csv_metrics then print_string (Export_csv.of_registry ());
+    0
+  end
+
+let validate_trace path =
+  let open Mikpoly_telemetry in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e ->
+    Printf.eprintf "cannot read %s: %s\n" path e;
+    1
+  | contents -> (
+    match Json.parse contents with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      1
+    | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List (_ :: _ as events)) ->
+        let spans =
+          List.filter
+            (fun ev -> Json.member "ph" ev = Some (Json.String "X"))
+            events
+        in
+        if spans = [] then begin
+          Printf.eprintf "%s: no complete ('X') span events\n" path;
+          1
+        end
+        else begin
+          Printf.printf "%s: valid Chrome trace, %d events (%d spans)\n" path
+            (List.length events) (List.length spans);
+          0
+        end
+      | _ ->
+        Printf.eprintf "%s: missing or empty traceEvents\n" path;
+        1))
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Subsample heavy workloads.")
@@ -321,10 +429,55 @@ let verify_cmd =
   let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const verify $ count $ npu)
 
+let profile_cmd =
+  let doc =
+    "Profile a serving run or an experiment under the span tracer and \
+     export a Chrome/Perfetto trace plus a flat profile"
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"What to profile: $(b,serve) or an experiment id (see $(b,list)).")
+  in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON file (chrome://tracing, \
+                ui.perfetto.dev).")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Profile rows to print.")
+  in
+  let csv_metrics =
+    Arg.(
+      value & flag
+      & info [ "csv-metrics" ] ~doc:"Also dump the metrics registry as CSV.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const profile $ target $ quick_flag $ npu $ trace_out $ top $ csv_metrics)
+
+let validate_trace_cmd =
+  let doc = "Check that FILE is a well-formed, non-empty Chrome trace" in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,profile).")
+  in
+  Cmd.v (Cmd.info "validate-trace" ~doc) Term.(const validate_trace $ path)
+
 let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      verify_cmd ]
+      verify_cmd; profile_cmd; validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

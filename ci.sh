@@ -19,4 +19,11 @@ dune runtest
 echo "== serving smoke test =="
 dune exec bin/mikpoly_cli.exe -- serve --quick
 
+echo "== profiling smoke test =="
+trace_out="${TMPDIR:-/tmp}/mikpoly_ci_trace.json"
+dune exec bin/mikpoly_cli.exe -- profile serve --quick --trace-out "$trace_out"
+test -s "$trace_out"
+dune exec bin/mikpoly_cli.exe -- validate-trace "$trace_out"
+rm -f "$trace_out"
+
 echo "CI OK"

@@ -37,16 +37,81 @@ let path_of (load : Load.t) =
       rest;
     p
 
+(* Telemetry: with tracing on, fold the scheduler's per-task callbacks
+   into one envelope span per program region (first task start to last
+   task finish) and emit them on the device's virtual cycle track. *)
+let region_envelopes works =
+  (* The schedulers filter out zero-count regions before dispatch, so
+     their region indices address the filtered list — map them back. *)
+  let orig_of_filtered =
+    List.mapi (fun i (w : Sched.region_work) -> (i, w)) works
+    |> List.filter (fun (_, (w : Sched.region_work)) -> w.count > 0)
+    |> List.map fst |> Array.of_list
+  in
+  let n = List.length works in
+  let t_min = Array.make (max 1 n) infinity in
+  let t_max = Array.make (max 1 n) neg_infinity in
+  let t_seen = Array.make (max 1 n) false in
+  let on_span ~pe:_ ~start ~finish ~warps:_ ~region =
+    let i = orig_of_filtered.(region) in
+    if start < t_min.(i) then t_min.(i) <- start;
+    if finish > t_max.(i) then t_max.(i) <- finish;
+    t_seen.(i) <- true
+  in
+  (on_span, t_min, t_max, t_seen)
+
+let emit_region_spans (hw : Hardware.t) (load : Load.t) works (t_min, t_max, t_seen) =
+  let track = "device/" ^ hw.name in
+  Mikpoly_telemetry.Tracer.set_units ~track ~per_second:hw.clock_hz;
+  let names =
+    List.map (fun (r : Load.region) -> Kernel_desc.name r.kernel) load.regions
+  in
+  (* On the analytic fallback no task events fire; regions stream through
+     the device sequentially, so cumulative analytic makespans bound the
+     spans instead. *)
+  let off = ref 0. in
+  List.iteri
+    (fun i ((w : Sched.region_work), name) ->
+      let start, finish =
+        if t_seen.(i) then (t_min.(i), t_max.(i))
+        else begin
+          let cap = float_of_int (hw.num_pes * w.blocks_per_pe) in
+          let span = float_of_int w.count /. cap *. w.duration in
+          let s = !off in
+          off := !off +. span;
+          (s, s +. span)
+        end
+      in
+      if w.count > 0 then
+        Mikpoly_telemetry.Tracer.emit ~track ~lane:i
+          ~attrs:
+            [ ("tasks", string_of_int w.count); ("warps", string_of_int w.warps) ]
+          ~name ~start ~finish ())
+    (List.combine works names)
+
 let run (hw : Hardware.t) (load : Load.t) =
   let path = path_of load in
   let works = List.map (region_work hw) load.regions in
+  let tracing =
+    Mikpoly_telemetry.Tracer.enabled () && load.regions <> []
+  in
+  let on_span, envelopes =
+    if tracing then begin
+      let on_span, t_min, t_max, t_seen = region_envelopes works in
+      (Some on_span, Some (t_min, t_max, t_seen))
+    end
+    else (None, None)
+  in
   let outcome =
     match hw.kind with
     | Gpu ->
-      Sched.schedule_gpu ~num_pes:hw.num_pes ~slot_capacity:(Hardware.slots hw path)
-        works
-    | Npu -> Sched.schedule_npu ~num_pes:hw.num_pes works
+      Sched.schedule_gpu ?on_span ~num_pes:hw.num_pes
+        ~slot_capacity:(Hardware.slots hw path) works
+    | Npu -> Sched.schedule_npu ?on_span ~num_pes:hw.num_pes works
   in
+  (match envelopes with
+  | Some env -> emit_region_spans hw load works env
+  | None -> ());
   let launches =
     float_of_int (List.length load.regions) *. hw.launch_overhead_s *. hw.clock_hz
   in

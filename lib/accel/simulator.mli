@@ -24,6 +24,13 @@ exception Kernel_does_not_fit of string
 (** Raised when a region's kernel cannot be resident on the device. *)
 
 val run : Hardware.t -> Load.t -> result
+(** Simulate the program. When the global telemetry tracer is enabled
+    ({!Mikpoly_telemetry.Tracer.enable}), additionally emits one span
+    per program region on the virtual [device/<hw.name>] track (units:
+    device cycles) covering the region's first task start to last task
+    finish — the device-side view of a polymerized program on the
+    shared timeline. With tracing off this path adds a single boolean
+    check and no allocation. *)
 
 val tflops : result -> useful_flops:float -> float
 (** Achieved useful TFLOPS given the operator's true flop count. *)

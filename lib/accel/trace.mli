@@ -4,21 +4,36 @@
     of warps over time. This module records each pipelined task's (PE,
     start, finish) from the event-driven scheduler and renders an ASCII
     timeline of device occupancy, so the case-study experiment can show
-    the idle second wave of GEMM-A and how GEMM-AB refills it. *)
+    the idle second wave of GEMM-A and how GEMM-AB refills it.
 
-type span = {
-  pe : int;
-  start : float;  (** cycles *)
-  finish : float;
-  warps : int;
-  region : int;  (** index of the program region the task belongs to *)
-}
+    Spans are the repo-wide {!Mikpoly_telemetry.Span.t}: this module is
+    a thin producer over that representation. Each task becomes a span
+    on the [device/<hw>] track whose [lane] is the PE, whose [name] is
+    the micro-kernel, timed in device cycles; the program-region index
+    and warp count ride in the attributes (use {!pe}, {!warps} and
+    {!region} rather than reading attributes directly). A recorded
+    trace can therefore be handed as-is to the telemetry exporters
+    (Chrome trace, profile report) with [units = clock_hz]. *)
+
+type span = Mikpoly_telemetry.Span.t
 
 type t = {
   spans : span list;
   makespan : float;
   num_pes : int;
+  track : string;  (** [device/<hw.name>], in cycles *)
+  clock_hz : float;  (** the track's units-per-second *)
 }
+
+val pe : span -> int
+(** The PE (GPU SM / NPU core) the task ran on — the span's lane. *)
+
+val warps : span -> int
+(** Warp slots the task held, from the [warps] attribute. *)
+
+val region : span -> int
+(** Index of the program region the task belongs to, from the [region]
+    attribute. *)
 
 val record : Hardware.t -> Load.t -> t
 (** Run the scheduler with span recording. Raises [Invalid_argument] if

@@ -1,30 +1,48 @@
 open Mikpoly_accel
 open Mikpoly_ir
+module Tm = Mikpoly_telemetry
+
+(* Always-on metrics mirrors of the per-compiler counters, so a serving
+   run's telemetry section shows memo behaviour across all compilers. *)
+let m_hits = Tm.Metrics.counter "compiler.cache.hits"
+
+let m_misses = Tm.Metrics.counter "compiler.cache.misses"
+
+let m_evictions = Tm.Metrics.counter "compiler.cache.evictions"
 
 type t = {
   hw : Hardware.t;
   config : Config.t;
   kernels : Kernel_set.t;
   cache : (int * int * int, Polymerize.compiled) Hashtbl.t;
+  fifo : (int * int * int) Queue.t;  (** insertion order, for eviction *)
+  cache_capacity : int;  (** 0 = unbounded *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 type cache_stats = {
   hits : int;
   misses : int;
+  evictions : int;
   size : int;
 }
 
-let create ?config hw =
+let create ?config ?(cache_capacity = 0) hw =
+  if cache_capacity < 0 then
+    invalid_arg "Compiler.create: negative cache capacity";
   let config = match config with Some c -> c | None -> Config.default hw in
   {
     hw;
     config;
     kernels = Kernel_set.create hw config;
     cache = Hashtbl.create 64;
+    fifo = Queue.create ();
+    cache_capacity;
     cache_hits = 0;
     cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let hardware t = t.hw
@@ -33,24 +51,62 @@ let config t = t.config
 
 let kernels t = t.kernels
 
-let compile t op =
+let insert t key c =
+  if t.cache_capacity > 0 then begin
+    if Hashtbl.length t.cache >= t.cache_capacity then begin
+      match Queue.take_opt t.fifo with
+      | Some victim ->
+        Hashtbl.remove t.cache victim;
+        t.cache_evictions <- t.cache_evictions + 1;
+        Tm.Metrics.incr m_evictions
+      | None -> ()
+    end;
+    Queue.add key t.fifo
+  end;
+  Hashtbl.replace t.cache key c
+
+let compile_lookup t op =
   let key = Operator.gemm_shape op in
   match Hashtbl.find_opt t.cache key with
   | Some c ->
     t.cache_hits <- t.cache_hits + 1;
+    Tm.Metrics.incr m_hits;
+    Tm.Tracer.annotate "cache" "hit";
     c
   | None ->
     t.cache_misses <- t.cache_misses + 1;
+    Tm.Metrics.incr m_misses;
+    Tm.Tracer.annotate "cache" "miss";
     let c = Polymerize.polymerize t.kernels t.config op in
-    Hashtbl.replace t.cache key c;
+    insert t key c;
     c
+
+let compile t op =
+  if not (Tm.Tracer.enabled ()) then compile_lookup t op
+  else begin
+    let m, n, k = Operator.gemm_shape op in
+    Tm.Tracer.with_span "compiler.compile"
+      ~attrs:[ ("shape", Printf.sprintf "%dx%dx%d" m n k) ]
+      (fun () -> compile_lookup t op)
+  end
 
 let cached t op = Hashtbl.mem t.cache (Operator.gemm_shape op)
 
 let cache_stats t =
-  { hits = t.cache_hits; misses = t.cache_misses; size = Hashtbl.length t.cache }
+  {
+    hits = t.cache_hits;
+    misses = t.cache_misses;
+    evictions = t.cache_evictions;
+    size = Hashtbl.length t.cache;
+  }
 
-let compile_fresh ?scorer t op = Polymerize.polymerize ?scorer t.kernels t.config op
+let reset_cache_stats t =
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_evictions <- 0
+
+let compile_fresh ?scorer ?instrument t op =
+  Polymerize.polymerize ?scorer ?instrument t.kernels t.config op
 
 let simulate t (c : Polymerize.compiled) = Simulator.run t.hw (Program.to_load c.program)
 

@@ -5,9 +5,13 @@
 
 type t
 
-val create : ?config:Config.t -> Mikpoly_accel.Hardware.t -> t
+val create :
+  ?config:Config.t -> ?cache_capacity:int -> Mikpoly_accel.Hardware.t -> t
 (** Runs (or reuses) the offline stage for the platform. Default
-    configuration is {!Config.default}. *)
+    configuration is {!Config.default}. [cache_capacity] bounds the
+    per-shape program memo: when full, the oldest insertion is evicted
+    (FIFO) and counted in {!cache_stats}. The default [0] keeps the
+    memo unbounded, the seed behaviour. *)
 
 val hardware : t -> Mikpoly_accel.Hardware.t
 
@@ -17,7 +21,10 @@ val kernels : t -> Kernel_set.t
 
 val compile : t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
 (** On-the-fly polymerization for the operator's runtime shape; memoized
-    per shape. *)
+    per shape. Hit/miss/eviction counts feed both {!cache_stats} and the
+    global [compiler.cache.*] telemetry counters; with the telemetry
+    tracer enabled each call additionally records a [compiler.compile]
+    span annotated with the shape and cache outcome. *)
 
 val cached : t -> Mikpoly_ir.Operator.t -> bool
 (** Whether the operator's shape already has a compiled program (i.e. a
@@ -26,6 +33,7 @@ val cached : t -> Mikpoly_ir.Operator.t -> bool
 type cache_stats = {
   hits : int;  (** [compile] calls served from the per-shape memo *)
   misses : int;  (** [compile] calls that ran the online search *)
+  evictions : int;  (** entries dropped by the [cache_capacity] bound *)
   size : int;  (** distinct shapes currently cached *)
 }
 
@@ -34,10 +42,15 @@ val cache_stats : t -> cache_stats
     can measure memoization instead of inferring it. [cached] and
     [compile_fresh] do not touch the counters. *)
 
+val reset_cache_stats : t -> unit
+(** Zero the hit/miss/eviction counters (cache contents are kept) —
+    test isolation for a shared compiler. *)
+
 val compile_fresh :
-  ?scorer:Polymerize.scorer -> t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
+  ?scorer:Polymerize.scorer -> ?instrument:bool -> t ->
+  Mikpoly_ir.Operator.t -> Polymerize.compiled
 (** Uncached compilation, optionally with an ablated or oracle scorer
-    (Figure 12b). *)
+    (Figure 12b). [instrument] is passed to {!Polymerize.polymerize}. *)
 
 val simulate : t -> Polymerize.compiled -> Mikpoly_accel.Simulator.result
 (** Time the compiled program on the platform simulator. *)

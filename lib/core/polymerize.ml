@@ -1,5 +1,18 @@
 open Mikpoly_accel
 open Mikpoly_ir
+module Tm = Mikpoly_telemetry
+
+(* Always-on search metrics; one increment/observation per polymerization,
+   negligible next to the search itself. *)
+let m_searches = Tm.Metrics.counter "polymerize.searches"
+
+let m_candidates =
+  Tm.Metrics.histogram "polymerize.candidates"
+    ~buckets:[| 10.; 100.; 1_000.; 10_000.; 100_000. |]
+
+let m_search_s =
+  Tm.Metrics.histogram "polymerize.search_seconds"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1. |]
 
 type scorer =
   | Model of Cost_model.objective
@@ -80,8 +93,7 @@ type choice = {
   c_fill : Kernel_set.entry option;  (** oracle: uniform fill for free slots *)
 }
 
-let polymerize ?(scorer = Model Cost_model.Full) (set : Kernel_set.t)
-    (config : Config.t) op =
+let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   if Array.length set.entries = 0 then
     invalid_arg "Polymerize.polymerize: empty kernel set";
   let t0 = Unix.gettimeofday () in
@@ -344,10 +356,22 @@ let polymerize ?(scorer = Model Cost_model.Full) (set : Kernel_set.t)
             (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
         primaries
   in
-  List.iter each_pattern config.patterns;
+  (* With tracing on, each pattern's exploration becomes a child span of
+     the search, annotated with its share of the candidate counts. *)
+  let run_pattern =
+    if not tracing then each_pattern
+    else fun p ->
+      Tm.Tracer.with_span ("polymerize.pattern." ^ Pattern.to_string p)
+        (fun () ->
+          let c0 = !candidates and p0 = !pruned in
+          each_pattern p;
+          Tm.Tracer.annotate "candidates" (string_of_int (!candidates - c0));
+          Tm.Tracer.annotate "pruned" (string_of_int (!pruned - p0)))
+  in
+  List.iter run_pattern config.patterns;
   (* Pattern I is always feasible; make sure it was explored even when the
      configuration omits it and every split pattern degenerated. *)
-  if !best = None then each_pattern I;
+  if !best = None then run_pattern I;
   let cost, winner = match !best with Some x -> x | None -> assert false in
   let assignment =
     match resolve winner with Some a -> a | None -> assert false
@@ -371,3 +395,27 @@ let polymerize ?(scorer = Model Cost_model.Full) (set : Kernel_set.t)
     pruned = !pruned;
     search_seconds = Unix.gettimeofday () -. t0;
   }
+
+let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
+    (set : Kernel_set.t) (config : Config.t) op =
+  let finish (c : compiled) =
+    if instrument then begin
+      Tm.Metrics.incr m_searches;
+      Tm.Metrics.observe m_candidates (float_of_int c.candidates);
+      Tm.Metrics.observe m_search_s c.search_seconds
+    end;
+    c
+  in
+  if not (instrument && Tm.Tracer.enabled ()) then
+    finish (search ~scorer ~tracing:false set config op)
+  else begin
+    let m, n, k = Operator.gemm_shape op in
+    Tm.Tracer.with_span "polymerize.search"
+      ~attrs:[ ("shape", Printf.sprintf "%dx%dx%d" m n k) ]
+      (fun () ->
+        let c = search ~scorer ~tracing:true set config op in
+        Tm.Tracer.annotate "pattern" (Pattern.to_string c.pattern);
+        Tm.Tracer.annotate "candidates" (string_of_int c.candidates);
+        Tm.Tracer.annotate "pruned" (string_of_int c.pruned);
+        finish c)
+  end

@@ -40,10 +40,18 @@ val col_cuts :
   cols:int -> max_cuts:int -> int list
 
 val polymerize :
-  ?scorer:scorer -> Kernel_set.t -> Config.t -> Mikpoly_ir.Operator.t -> compiled
+  ?scorer:scorer -> ?instrument:bool -> Kernel_set.t -> Config.t ->
+  Mikpoly_ir.Operator.t -> compiled
 (** Raises [Invalid_argument] on an empty kernel set. The result is always
     a valid program for the exact runtime shape — MikPoly has no
-    out-of-range failure mode. *)
+    out-of-range failure mode.
+
+    Every search feeds the always-on [polymerize.*] metrics (search
+    count, candidate and wall-time histograms); with the telemetry
+    tracer enabled it additionally records a [polymerize.search] span
+    with one child span per explored pattern. [instrument:false]
+    disables both — the uninstrumented baseline for the telemetry
+    overhead benchmark. *)
 
 val modeled_search_seconds : compiled -> float
 (** Online overhead charged to end-to-end runs: a fixed dispatch cost plus

@@ -14,6 +14,12 @@ type t = {
   run : quick:bool -> report;
 }
 
+let run_traced (t : t) ~quick =
+  Mikpoly_telemetry.Tracer.with_span
+    ("experiment." ^ t.id)
+    ~attrs:[ ("quick", string_of_bool quick) ]
+    (fun () -> t.run ~quick)
+
 let render (r : report) =
   let header = Printf.sprintf "==== %s: %s ====" r.id r.title in
   let tables = List.map Table.render r.tables in

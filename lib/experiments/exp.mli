@@ -17,6 +17,12 @@ type t = {
           runs); the full run reproduces the complete suite. *)
 }
 
+val run_traced : t -> quick:bool -> report
+(** [run] wrapped in an [experiment.<id>] root span on the wall-clock
+    track, so a profiled run attributes offline tuning, online search
+    and simulation time to the experiment that caused them. Identical
+    to [run] while the telemetry tracer is disabled. *)
+
 val render : report -> string
 
 val speedup_row :

@@ -1,3 +1,24 @@
+module Tm = Mikpoly_telemetry
+
+(* Always-on serving metrics plus (when tracing) per-phase spans on the
+   virtual "serve" track — one lane per replica, timestamps in simulated
+   seconds. *)
+let serve_track = "serve"
+
+let m_steps = Tm.Metrics.counter "serve.steps"
+
+let m_completed = Tm.Metrics.counter "serve.completed"
+
+let m_dropped = Tm.Metrics.counter "serve.dropped"
+
+let m_ttft =
+  Tm.Metrics.histogram "serve.ttft_seconds"
+    ~buckets:[| 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5. |]
+
+let m_stall =
+  Tm.Metrics.histogram "serve.compile_stall_seconds"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 |]
+
 type engine = {
   engine_name : string;
   step_seconds : tokens:int -> kv_tokens:int -> float;
@@ -129,6 +150,8 @@ let run config engine requests =
   if config.replicas < 1 then invalid_arg "Scheduler.run: replicas must be >= 1";
   if config.cache_capacity < 0 then
     invalid_arg "Scheduler.run: negative cache capacity";
+  let tracing = Tm.Tracer.enabled () in
+  if tracing then Tm.Tracer.set_units ~track:serve_track ~per_second:1.0;
   let reps =
     Array.init config.replicas (fun idx ->
         {
@@ -173,6 +196,19 @@ let run config engine requests =
     in
     r.waiting <- d.Batcher.deferred;
     dropped := !dropped @ d.Batcher.dropped;
+    if d.Batcher.dropped <> [] then
+      Tm.Metrics.add m_dropped (List.length d.Batcher.dropped);
+    (* Queue-phase attribution: one span per admitted request covering
+       arrival to admission. *)
+    if tracing then
+      List.iter
+        (fun (q : Request.t) ->
+          Tm.Tracer.emit ~track:serve_track ~lane:r.idx
+            ~attrs:[ ("request", string_of_int q.id) ]
+            ~name:"queue"
+            ~start:(Float.min q.arrival now)
+            ~finish:now ())
+        d.Batcher.admitted;
     r.act <-
       r.act
       @ List.map
@@ -222,6 +258,23 @@ let run config engine requests =
       let dt = engine.step_seconds ~tokens:btokens ~kv_tokens +. !stall in
       stall_total := !stall_total +. !stall;
       let fin = now +. dt in
+      Tm.Metrics.incr m_steps;
+      if !stall > 0. then Tm.Metrics.observe m_stall !stall;
+      if tracing then begin
+        Tm.Tracer.emit ~track:serve_track ~lane:r.idx
+          ~attrs:
+            [
+              ("batch", string_of_int (List.length r.act));
+              ("tokens", string_of_int btokens);
+              ("kv_tokens", string_of_int kv_tokens);
+            ]
+          ~name:"step" ~start:now ~finish:fin ();
+        if !stall > 0. then
+          Tm.Tracer.emit ~track:serve_track ~lane:r.idx ~name:"compile_stall"
+            ~start:now
+            ~finish:(now +. !stall)
+            ()
+      end;
       r.act <-
         List.filter
           (fun a ->
@@ -243,6 +296,19 @@ let run config engine requests =
                     replica = r.idx;
                   }
                   :: !completed;
+                let ttft = a.first_token -. a.areq.Request.arrival in
+                Tm.Metrics.incr m_completed;
+                Tm.Metrics.observe m_ttft ttft;
+                (* Whole-request span: arrival to last token, TTFT in the
+                   attributes so Perfetto shows the attribution inline. *)
+                if tracing then
+                  Tm.Tracer.emit ~track:serve_track ~lane:r.idx
+                    ~attrs:
+                      [
+                        ("request", string_of_int a.areq.Request.id);
+                        ("ttft_ms", Printf.sprintf "%.2f" (1e3 *. ttft));
+                      ]
+                    ~name:"request" ~start:a.areq.Request.arrival ~finish:fin ();
                 false
               end
               else true

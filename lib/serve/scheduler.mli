@@ -68,4 +68,12 @@ type outcome = {
 val run : config -> engine -> Request.t list -> outcome
 (** Simulate the full trace to drain. Deterministic for a deterministic
     engine: the same configuration and trace produce the identical
-    outcome. The empty trace yields an empty outcome. *)
+    outcome. The empty trace yields an empty outcome.
+
+    Telemetry: every run feeds the always-on [serve.*] metrics (steps,
+    completions, drops, TTFT and stall histograms). With the tracer
+    enabled ({!Mikpoly_telemetry.Tracer.enable}) it also records
+    per-phase spans on the virtual ["serve"] track (one lane per
+    replica, simulated seconds): [queue] per admitted request,
+    [step]/[compile_stall] per engine step, and a whole-request
+    [request] span whose attributes carry the TTFT attribution. *)

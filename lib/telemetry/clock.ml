@@ -1,0 +1,3 @@
+let t0 = Unix.gettimeofday ()
+
+let now () = Unix.gettimeofday () -. t0

@@ -1,0 +1,12 @@
+(** Wall-clock time source for host-side spans.
+
+    Times are seconds since process start, derived from
+    [Unix.gettimeofday] against a base captured at module
+    initialization, so span timestamps stay small and survive the
+    float-precision loss that absolute epoch seconds would suffer at
+    microsecond granularity. Virtual timelines (the device simulator's
+    cycle clock, the serving scheduler's simulated seconds) bypass this
+    module entirely and stamp spans with their own time values. *)
+
+val now : unit -> float
+(** Seconds elapsed since process start. *)

@@ -1,0 +1,38 @@
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let metrics_csv snap =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "kind,name,key,value\n";
+  let row kind name key value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%s\n" kind (escape name) (escape key) value)
+  in
+  List.iter
+    (fun (m : Metrics.metric) ->
+      match m with
+      | Metrics.Counter { name; value } ->
+        row "counter" name "value" (string_of_int value)
+      | Metrics.Gauge { name; value } -> row "gauge" name "value" (fmt_float value)
+      | Metrics.Histogram { name; buckets; counts; sum; count } ->
+        Array.iteri
+          (fun i c ->
+            let key =
+              if i < Array.length buckets then
+                "le=" ^ fmt_float buckets.(i)
+              else "le=+inf"
+            in
+            row "histogram" name key (string_of_int c))
+          counts;
+        row "histogram" name "sum" (fmt_float sum);
+        row "histogram" name "count" (string_of_int count))
+    snap;
+  Buffer.contents buf
+
+let of_registry () = metrics_csv (Metrics.snapshot ())

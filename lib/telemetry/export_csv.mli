@@ -1,0 +1,11 @@
+(** CSV dump of a metrics snapshot.
+
+    Columns are [kind,name,key,value]. Counters and gauges emit one
+    row with [key = "value"]; histograms expand to one row per bucket
+    ([key = "le=<bound>"], the overflow bucket as [le=+inf]) plus
+    [sum] and [count] rows. *)
+
+val metrics_csv : Metrics.snapshot -> string
+
+val of_registry : unit -> string
+(** {!metrics_csv} of the global registry's current snapshot. *)

@@ -1,0 +1,78 @@
+type row = {
+  track : string;
+  name : string;
+  calls : int;
+  total_s : float;
+  self_s : float;
+}
+
+let rows ~units spans =
+  (* Sum of direct-child durations per parent id, for self time. *)
+  let child_sum = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.parent <> Span.no_parent then
+        let prev =
+          match Hashtbl.find_opt child_sum s.parent with
+          | Some x -> x
+          | None -> 0.
+        in
+        Hashtbl.replace child_sum s.parent (prev +. Span.duration s))
+    spans;
+  let agg : (string * string, int * float * float) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (s : Span.t) ->
+      let per_second = units s.track in
+      let total = Span.duration s /. per_second in
+      let children =
+        (match Hashtbl.find_opt child_sum s.id with Some x -> x | None -> 0.)
+        /. per_second
+      in
+      let self = Float.max 0. (total -. children) in
+      let key = (s.track, s.name) in
+      let calls, t, sf =
+        match Hashtbl.find_opt agg key with
+        | Some x -> x
+        | None -> (0, 0., 0.)
+      in
+      Hashtbl.replace agg key (calls + 1, t +. total, sf +. self))
+    spans;
+  Hashtbl.fold
+    (fun (track, name) (calls, total_s, self_s) acc ->
+      { track; name; calls; total_s; self_s } :: acc)
+    agg []
+  |> List.sort (fun a b ->
+         match compare b.total_s a.total_s with
+         | 0 -> compare (a.track, a.name) (b.track, b.name)
+         | c -> c)
+
+let fmt_time s =
+  let a = Float.abs s in
+  if a < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if a < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if a < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let render ?(top = 20) ~units spans =
+  match rows ~units spans with
+  | [] -> "(no spans recorded)"
+  | all ->
+    let shown = List.filteri (fun i _ -> i < top) all in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-40s %-16s %8s %10s %10s\n" "span" "track" "calls"
+         "total" "self");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-16s %8d %10s %10s\n" r.name r.track r.calls
+             (fmt_time r.total_s) (fmt_time r.self_s)))
+      shown;
+    if List.length all > top then
+      Buffer.add_string buf
+        (Printf.sprintf "(%d more span names)\n" (List.length all - top));
+    Buffer.contents buf
+
+let of_tracer ?top () = render ?top ~units:Tracer.units (Tracer.spans ())

@@ -1,0 +1,27 @@
+(** Flat-text profile report: self/total time per span name.
+
+    Aggregates recorded spans by [(track, name)]: call count, total
+    (inclusive) time and self time (total minus the time spent in
+    direct children on the same track), all converted to seconds
+    through the per-track units. The classic first look at "where did
+    the time go" before opening the full trace in Perfetto. *)
+
+type row = {
+  track : string;
+  name : string;
+  calls : int;
+  total_s : float;
+  self_s : float;
+}
+
+val rows : units:(string -> float) -> Span.t list -> row list
+(** Sorted by total time, descending (ties by track/name). *)
+
+val fmt_time : float -> string
+(** Adaptive seconds formatting: ns / us / ms / s. *)
+
+val render : ?top:int -> units:(string -> float) -> Span.t list -> string
+(** Aligned table of the [top] (default 20) rows. *)
+
+val of_tracer : ?top:int -> unit -> string
+(** Render the global tracer's spans with its track units. *)

@@ -1,0 +1,26 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough JSON for the exporters and the CI trace validator —
+    no external dependency. The printer is deterministic (object keys
+    print in construction order, integers print without a fractional
+    part) so exported traces can be golden-tested byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering. Non-finite numbers print as
+    [null]; integral numbers below 1e15 print without a decimal point;
+    other numbers use shortest-ish ["%.12g"]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing whitespace
+    allowed). Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)

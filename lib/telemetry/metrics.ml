@@ -1,0 +1,164 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  buckets : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable count : int;
+}
+
+type cell = C of counter | G of gauge | H of histogram
+
+type t = {
+  tbl : (string, cell) Hashtbl.t;
+  mutable order : string list;  (** reverse registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let global = create ()
+
+let registry = function Some r -> r | None -> global
+
+let register r name cell =
+  Hashtbl.add r.tbl name cell;
+  r.order <- name :: r.order
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered as a different kind")
+
+let counter ?registry:reg name =
+  let r = registry reg in
+  match Hashtbl.find_opt r.tbl name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { c = 0 } in
+    register r name (C c);
+    c
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge ?registry:reg name =
+  let r = registry reg in
+  match Hashtbl.find_opt r.tbl name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { g = 0. } in
+    register r name (G g);
+    g
+
+let set g v = g.g <- v
+
+let gauge_value g = g.g
+
+let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
+
+let check_buckets b =
+  if Array.length b = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  for i = 1 to Array.length b - 1 do
+    if not (b.(i) > b.(i - 1)) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done
+
+let histogram ?registry:reg ?(buckets = default_buckets) name =
+  let r = registry reg in
+  match Hashtbl.find_opt r.tbl name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    check_buckets buckets;
+    let h =
+      {
+        buckets = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        sum = 0.;
+        count = 0;
+      }
+    in
+    register r name (H h);
+    h
+
+let observe h v =
+  let n = Array.length h.buckets in
+  let rec idx i = if i >= n || v <= h.buckets.(i) then i else idx (i + 1) in
+  let i = idx 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+type metric =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      buckets : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+type snapshot = metric list
+
+let metric_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+let snapshot ?registry:reg () =
+  let r = registry reg in
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find r.tbl name with
+      | C c -> Counter { name; value = c.c }
+      | G g -> Gauge { name; value = g.g }
+      | H h ->
+        Histogram
+          {
+            name;
+            buckets = Array.copy h.buckets;
+            counts = Array.copy h.counts;
+            sum = h.sum;
+            count = h.count;
+          })
+    r.order
+
+let find snap name = List.find_opt (fun m -> metric_name m = name) snap
+
+let diff ~before ~after =
+  List.filter_map
+    (fun m ->
+      match (m, find before (metric_name m)) with
+      | m, None -> Some m
+      | Counter { name; value }, Some (Counter b) ->
+        Some (Counter { name; value = value - b.value })
+      | (Gauge _ as g), Some (Gauge _) -> Some g
+      | Histogram h, Some (Histogram b)
+        when h.buckets = b.buckets ->
+        Some
+          (Histogram
+             {
+               h with
+               counts = Array.mapi (fun i c -> c - b.counts.(i)) h.counts;
+               sum = h.sum -. b.sum;
+               count = h.count - b.count;
+             })
+      | m, Some _ -> Some m)
+    after
+
+let reset ?registry:reg () =
+  let r = registry reg in
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.
+      | H h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0.;
+        h.count <- 0)
+    r.tbl

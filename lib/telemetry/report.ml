@@ -1,0 +1,44 @@
+let fmt_metric (m : Metrics.metric) =
+  match m with
+  | Metrics.Counter { name; value } -> Printf.sprintf "%s = %d" name value
+  | Metrics.Gauge { name; value } -> Printf.sprintf "%s = %g" name value
+  | Metrics.Histogram { name; sum; count; _ } ->
+    if count = 0 then Printf.sprintf "%s: count=0" name
+    else
+      let mean = sum /. float_of_int count in
+      (* only duration histograms get time units; the rest are plain
+         quantities (candidate counts, batch sizes, ...) *)
+      let shown =
+        if Filename.check_suffix name "_seconds"
+           || Filename.check_suffix name "_s"
+        then Export_profile.fmt_time mean
+        else Printf.sprintf "%g" mean
+      in
+      Printf.sprintf "%s: count=%d mean=%s" name count shown
+
+let non_zero (m : Metrics.metric) =
+  match m with
+  | Metrics.Counter { value; _ } -> value <> 0
+  | Metrics.Gauge { value; _ } -> value <> 0.
+  | Metrics.Histogram { count; _ } -> count <> 0
+
+let telemetry_section ?top () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== telemetry ==\n";
+  (if Tracer.span_count () = 0 then
+     Buffer.add_string buf
+       "(no spans recorded; capture a trace with `mikpoly_cli profile ... \
+        --trace-out FILE`)\n"
+   else begin
+     Buffer.add_string buf
+       (Printf.sprintf "-- span profile (%d spans) --\n" (Tracer.span_count ()));
+     Buffer.add_string buf (Export_profile.of_tracer ?top ())
+   end);
+  (match List.filter non_zero (Metrics.snapshot ()) with
+  | [] -> ()
+  | metrics ->
+    Buffer.add_string buf "-- metrics --\n";
+    List.iter
+      (fun m -> Buffer.add_string buf ("  " ^ fmt_metric m ^ "\n"))
+      metrics);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Human-readable telemetry section.
+
+    One renderer shared by the serving report and the CLI [profile]
+    subcommand: the flat profile of recorded spans (when tracing was
+    on) followed by the global metrics registry's non-zero values. *)
+
+val fmt_metric : Metrics.metric -> string
+(** One line, e.g. ["compiler.cache.hits = 42"] or
+    ["serve.ttft_s: count=96 mean=0.18s"]. *)
+
+val telemetry_section : ?top:int -> unit -> string
+(** The full section, headed ["== telemetry =="]. Zero-valued metrics
+    are elided; with tracing disabled the span profile is replaced by a
+    hint on how to capture one. *)

@@ -1,0 +1,31 @@
+type t = {
+  id : int;
+  parent : int;
+  track : string;
+  lane : int;
+  name : string;
+  start : float;
+  finish : float;
+  attrs : (string * string) list;
+}
+
+let no_parent = -1
+
+let make ?(id = 0) ?(parent = no_parent) ?(lane = 0) ?(attrs = []) ~track ~name
+    ~start ~finish () =
+  { id; parent; track; lane; name; start; finish; attrs }
+
+let duration s = s.finish -. s.start
+
+let attr s key = List.assoc_opt key s.attrs
+
+let int_attr ?(default = 0) s key =
+  match attr s key with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+
+let compare_start a b =
+  match compare a.track b.track with
+  | 0 -> (
+    match compare a.start b.start with 0 -> compare a.id b.id | c -> c)
+  | c -> c

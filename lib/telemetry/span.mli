@@ -1,0 +1,49 @@
+(** The single span representation used repo-wide.
+
+    A span is a named interval on a [track]. A track is one timeline
+    with its own time unit: the ["host"] track runs on the wall clock
+    (seconds, {!Clock.now}), while virtual tracks such as
+    ["device/a100"] (cycles) or ["serve"] (simulated seconds) are
+    stamped by the event-clock schedulers. {!Tracer} records the
+    per-track unit so exporters can place every track on one
+    microsecond timeline. Within a track, [lane] separates parallel
+    executors (a GPU PE, a serving replica) and maps to a Chrome-trace
+    thread id. *)
+
+type t = {
+  id : int;
+  parent : int;  (** id of the enclosing span; {!no_parent} for roots *)
+  track : string;
+  lane : int;
+  name : string;
+  start : float;  (** track-local time units *)
+  finish : float;
+  attrs : (string * string) list;
+}
+
+val no_parent : int
+(** Sentinel parent id ([-1]) marking a root span. *)
+
+val make :
+  ?id:int ->
+  ?parent:int ->
+  ?lane:int ->
+  ?attrs:(string * string) list ->
+  track:string ->
+  name:string ->
+  start:float ->
+  finish:float ->
+  unit ->
+  t
+
+val duration : t -> float
+(** [finish -. start], in track-local units. *)
+
+val attr : t -> string -> string option
+(** First attribute with the given key. *)
+
+val int_attr : ?default:int -> t -> string -> int
+(** Integer attribute lookup; [default] (0) when absent or unparsable. *)
+
+val compare_start : t -> t -> int
+(** Order by [(track, start, id)] — a total, deterministic order. *)

@@ -1,0 +1,123 @@
+type frame = {
+  f_id : int;
+  f_parent : int;
+  f_track : string;
+  f_lane : int;
+  f_name : string;
+  f_start : float;
+  mutable f_attrs : (string * string) list;  (** reverse order *)
+}
+
+type state = {
+  mutable on : bool;
+  mutable next_id : int;
+  mutable closed : Span.t list;  (** reverse close order *)
+  mutable n_closed : int;
+  stacks : (string, frame list ref) Hashtbl.t;
+  units_tbl : (string, float) Hashtbl.t;
+}
+
+let st =
+  {
+    on = false;
+    next_id = 0;
+    closed = [];
+    n_closed = 0;
+    stacks = Hashtbl.create 8;
+    units_tbl = Hashtbl.create 8;
+  }
+
+let wall_track = "host"
+
+let enabled () = st.on
+
+let enable () = st.on <- true
+
+let disable () = st.on <- false
+
+let reset () =
+  st.next_id <- 0;
+  st.closed <- [];
+  st.n_closed <- 0;
+  Hashtbl.reset st.stacks;
+  Hashtbl.reset st.units_tbl
+
+let set_units ~track ~per_second =
+  if st.on then begin
+    if not (per_second > 0.) then
+      invalid_arg "Tracer.set_units: per_second must be positive";
+    Hashtbl.replace st.units_tbl track per_second
+  end
+
+let units track =
+  match Hashtbl.find_opt st.units_tbl track with Some u -> u | None -> 1.0
+
+let stack track =
+  match Hashtbl.find_opt st.stacks track with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add st.stacks track r;
+    r
+
+let fresh_id () =
+  let i = st.next_id in
+  st.next_id <- i + 1;
+  i
+
+let push_closed s =
+  st.closed <- s :: st.closed;
+  st.n_closed <- st.n_closed + 1
+
+let emit ~track ?(lane = 0) ?(parent = Span.no_parent) ?(attrs = []) ~name
+    ~start ~finish () =
+  if st.on then
+    push_closed
+      (Span.make ~id:(fresh_id ()) ~parent ~lane ~attrs ~track ~name ~start
+         ~finish ())
+
+let annotate ?(track = wall_track) key value =
+  if st.on then
+    match !(stack track) with
+    | [] -> ()
+    | f :: _ -> f.f_attrs <- (key, value) :: f.f_attrs
+
+let with_span ?(track = wall_track) ?(lane = 0) ?(attrs = []) name fn =
+  if not st.on then fn ()
+  else begin
+    let sref = stack track in
+    let parent = match !sref with [] -> Span.no_parent | f :: _ -> f.f_id in
+    let f =
+      {
+        f_id = fresh_id ();
+        f_parent = parent;
+        f_track = track;
+        f_lane = lane;
+        f_name = name;
+        f_start = Clock.now ();
+        f_attrs = List.rev attrs;
+      }
+    in
+    sref := f :: !sref;
+    let close () =
+      let finish = Clock.now () in
+      (match !sref with
+      | g :: rest when g.f_id == f.f_id -> sref := rest
+      | _ -> sref := List.filter (fun g -> g.f_id <> f.f_id) !sref);
+      push_closed
+        (Span.make ~id:f.f_id ~parent:f.f_parent ~lane:f.f_lane
+           ~attrs:(List.rev f.f_attrs) ~track:f.f_track ~name:f.f_name
+           ~start:f.f_start ~finish ())
+    in
+    match fn () with
+    | v ->
+      close ();
+      v
+    | exception e ->
+      close ();
+      raise e
+  end
+
+let spans () = List.sort Span.compare_start st.closed
+
+let span_count () = st.n_closed

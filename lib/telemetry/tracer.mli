@@ -1,0 +1,76 @@
+(** Global structured span tracer.
+
+    The tracer is a process-wide sink. It ships with a no-op sink
+    installed: while {!enabled} is [false] every entry point reduces to
+    a single mutable-bool check and allocates nothing, so
+    instrumentation can live permanently on hot paths (the online
+    polymerization search, the serving scheduler's step loop). Call
+    {!enable} to swap in the recording sink.
+
+    Two ways to produce spans:
+    - {!with_span} brackets a host-side computation with wall-clock
+      timestamps ({!Clock.now}) and maintains a per-track stack so
+      nested calls produce parent-linked spans.
+    - {!emit} records a span with explicit, caller-supplied times — the
+      producer API for virtual timelines (device cycles, simulated
+      serving seconds) whose clocks the tracer does not own.
+
+    Each track carries a unit declaration ({!set_units}) — how many
+    track-local time units elapse per second — so exporters can convert
+    cycles, simulated seconds and wall seconds onto one timeline. *)
+
+val wall_track : string
+(** Name of the default wall-clock track (["host"]). *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Install the recording sink. *)
+
+val disable : unit -> unit
+(** Re-install the no-op sink. Recorded spans are kept until {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans, open stacks and track units; the
+    enabled/disabled state is unchanged. *)
+
+val set_units : track:string -> per_second:float -> unit
+(** Declare a track's time unit: [per_second] track units elapse per
+    second (wall tracks: [1.0]; a 1.41 GHz device cycle track:
+    [1.41e9]). No-op while disabled. *)
+
+val units : string -> float
+(** Declared units-per-second for a track; [1.0] when undeclared. *)
+
+val with_span :
+  ?track:string ->
+  ?lane:int ->
+  ?attrs:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f ()] inside a wall-clock span. The span
+    nests under the innermost open span on the same track and is
+    recorded even if [f] raises. When disabled this is exactly [f ()]. *)
+
+val annotate : ?track:string -> string -> string -> unit
+(** Attach an attribute to the innermost open span on the track;
+    silently ignored when disabled or when no span is open. Annotations
+    appear after the attributes passed at open, in call order. *)
+
+val emit :
+  track:string ->
+  ?lane:int ->
+  ?parent:int ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  start:float ->
+  finish:float ->
+  unit ->
+  unit
+(** Record a completed span with explicit track-local timestamps. *)
+
+val spans : unit -> Span.t list
+(** All recorded spans, sorted by {!Span.compare_start}. *)
+
+val span_count : unit -> int

@@ -402,7 +402,8 @@ let test_trace_spans_cover_tasks () =
     (List.length trace.spans);
   List.iter
     (fun (s : Trace.span) ->
-      Alcotest.(check bool) "pe in range" true (s.pe >= 0 && s.pe < gpu.num_pes);
+      Alcotest.(check bool) "pe in range" true
+        (Trace.pe s >= 0 && Trace.pe s < gpu.num_pes);
       Alcotest.(check bool) "positive span" true (s.finish > s.start);
       Alcotest.(check bool) "within makespan" true (s.finish <= trace.makespan +. 1e-6))
     trace.spans
@@ -435,7 +436,9 @@ let test_trace_npu_max_min () =
   let trace = Trace.record npu load in
   Alcotest.(check int) "64 spans" 64 (List.length trace.spans);
   let per_core = Array.make npu.num_pes 0 in
-  List.iter (fun (s : Trace.span) -> per_core.(s.pe) <- per_core.(s.pe) + 1) trace.spans;
+  List.iter
+    (fun (s : Trace.span) -> per_core.(Trace.pe s) <- per_core.(Trace.pe s) + 1)
+    trace.spans;
   Array.iter (fun c -> Alcotest.(check int) "two per core" 2 c) per_core
 
 let test_hardware_presets_valid () =

@@ -611,7 +611,35 @@ let test_compiler_cache_stats () =
   let s = Compiler.cache_stats compiler in
   Alcotest.(check int) "one miss" 1 s.Compiler.misses;
   Alcotest.(check int) "one hit" 1 s.Compiler.hits;
-  Alcotest.(check int) "one entry" 1 s.Compiler.size
+  Alcotest.(check int) "one entry" 1 s.Compiler.size;
+  Alcotest.(check int) "unbounded cache never evicts" 0 s.Compiler.evictions
+
+let test_compiler_cache_eviction () =
+  let compiler = Compiler.create ~cache_capacity:1 Hardware.a100 in
+  let op_a = Operator.gemm ~m:320 ~n:192 ~k:256 () in
+  let op_b = Operator.gemm ~m:192 ~n:320 ~k:256 () in
+  ignore (Compiler.compile compiler op_a);
+  ignore (Compiler.compile compiler op_b);
+  (* FIFO at capacity 1: compiling B evicted A *)
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "one eviction" 1 s.Compiler.evictions;
+  Alcotest.(check int) "still one entry" 1 s.Compiler.size;
+  ignore (Compiler.compile compiler op_a);
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "A was gone: three misses" 3 s.Compiler.misses;
+  Alcotest.(check int) "two evictions" 2 s.Compiler.evictions;
+  Compiler.reset_cache_stats compiler;
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "reset: hits" 0 s.Compiler.hits;
+  Alcotest.(check int) "reset: misses" 0 s.Compiler.misses;
+  Alcotest.(check int) "reset: evictions" 0 s.Compiler.evictions;
+  (* cache contents survive a stats reset *)
+  ignore (Compiler.compile compiler op_a);
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "entry kept across reset" 1 s.Compiler.hits;
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Compiler.create: negative cache capacity") (fun () ->
+      ignore (Compiler.create ~cache_capacity:(-1) Hardware.a100))
 
 let test_compiler_overhead_accounting () =
   let compiler = Lazy.force gpu_compiler in
@@ -710,6 +738,8 @@ let () =
         [
           Alcotest.test_case "cache" `Quick test_compiler_cache;
           Alcotest.test_case "cache stats" `Quick test_compiler_cache_stats;
+          Alcotest.test_case "cache eviction" `Quick
+            test_compiler_cache_eviction;
           Alcotest.test_case "overhead accounting" `Quick
             test_compiler_overhead_accounting;
         ] );
