@@ -7,7 +7,8 @@
    polymerization search, the Equation-2 cost model, the device simulator,
    …) — the quantities Figure 12a's overhead analysis depends on.
 
-   Usage: main.exe [--quick] [--skip-experiments] [--skip-micro] [ids...] *)
+   Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
+          [--skip-telemetry] [--skip-parallel] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -19,6 +20,8 @@ let skip_experiments = Array.exists (( = ) "--skip-experiments") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 
 let skip_telemetry = Array.exists (( = ) "--skip-telemetry") Sys.argv
+
+let skip_parallel = Array.exists (( = ) "--skip-parallel") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -276,7 +279,93 @@ let run_telemetry_overhead () =
     (fun () -> output_string oc (Json.to_string json));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Parallel search scaling: jobs sweep over the Table-3 GEMM suite ---
+
+   Polymerizes the whole suite at jobs ∈ {1, 2, 4, 8}, checks every
+   chosen program is byte-identical to the sequential one (the
+   determinism contract), and writes per-jobs wall times and speedup
+   ratios to BENCH_parallel.json. Speedups are whatever the host
+   actually delivers — on a single-core box the ratios hover around or
+   below 1.0 (the machinery only pays off with real cores). *)
+
+let run_parallel_bench () =
+  let open Mikpoly_telemetry in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let gpu = Mikpoly_experiments.Backends.gpu () in
+  let kernels = Mikpoly_core.Compiler.kernels gpu in
+  let config = Mikpoly_core.Compiler.config gpu in
+  let cases =
+    let all = Mikpoly_workloads.Suite.table3_gemm () in
+    if quick then List.filteri (fun i _ -> i mod 4 = 0) all else all
+  in
+  let ops =
+    List.map
+      (fun (c : Mikpoly_workloads.Gemm_case.t) ->
+        Mikpoly_ir.Operator.gemm ~m:c.m ~n:c.n ~k:c.k ())
+      cases
+  in
+  let sweep jobs =
+    let t0 = Unix.gettimeofday () in
+    let programs =
+      List.map
+        (fun op ->
+          let c =
+            Mikpoly_core.Polymerize.polymerize ~instrument:false ~jobs kernels
+              config op
+          in
+          Mikpoly_ir.Program.to_string c.program)
+        ops
+    in
+    (Unix.gettimeofday () -. t0, programs)
+  in
+  ignore (sweep 1);
+  (* warm the domain pool and the allocator before timing *)
+  let timed = List.map (fun j -> (j, sweep j)) job_counts in
+  let _, (_, reference) = List.hd timed in
+  List.iter
+    (fun (j, (_, programs)) ->
+      if programs <> reference then begin
+        Printf.eprintf
+          "parallel bench: programs at jobs=%d differ from jobs=1\n" j;
+        exit 1
+      end)
+    timed;
+  let t1 = match timed with (_, (t, _)) :: _ -> t | [] -> nan in
+  let rows =
+    List.map
+      (fun (j, (t, _)) ->
+        Printf.printf
+          "parallel search jobs=%d  %d shapes in %s  (speedup %.2fx)\n" j
+          (List.length ops)
+          (Mikpoly_util.Table.fmt_time_us t)
+          (t1 /. t);
+        Json.Obj
+          [
+            ("jobs", Json.Number (float_of_int j));
+            ("wall_seconds", Json.Number t);
+            ("speedup_vs_jobs1", Json.Number (t1 /. t));
+            ("programs_identical", Json.Bool true);
+          ])
+      timed
+  in
+  let path = "BENCH_parallel.json" in
+  let json =
+    Json.Obj
+      [
+        ("suite", Json.String "table3_gemm");
+        ("shapes", Json.Number (float_of_int (List.length ops)));
+        ("host_cores", Json.Number (float_of_int (Domain.recommended_domain_count ())));
+        ("sweep", Json.List rows);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
-  if not skip_telemetry then run_telemetry_overhead ()
+  if not skip_telemetry then run_telemetry_overhead ();
+  if not skip_parallel then run_parallel_bench ()

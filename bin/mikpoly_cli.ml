@@ -3,7 +3,18 @@
 
 open Cmdliner
 
-let run_experiments ids quick csv =
+(* One process-wide jobs default: every subcommand sets it before doing
+   work, and the search/tuning/serving layers inherit it through
+   [Domain_pool.resolve_jobs] (Config.search_jobs = 0). *)
+let set_jobs jobs =
+  if jobs < 0 then (
+    Printf.eprintf "bad --jobs: %d (expected 0 = auto or a positive count)\n" jobs;
+    exit 2);
+  Mikpoly_util.Domain_pool.set_default_jobs
+    (if jobs = 0 then Mikpoly_util.Domain_pool.recommended_jobs () else jobs)
+
+let run_experiments jobs ids quick csv =
+  set_jobs jobs;
   let experiments =
     match ids with
     | [] -> Mikpoly_experiments.Registry.all
@@ -36,7 +47,8 @@ let list_experiments () =
     Mikpoly_experiments.Registry.all;
   0
 
-let compile_shape m n k npu =
+let compile_shape jobs m n k npu =
+  set_jobs jobs;
   let hw = if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100 in
   let compiler = Mikpoly_core.Compiler.create hw in
   let op = Mikpoly_ir.Operator.gemm ~m ~n ~k () in
@@ -54,7 +66,8 @@ let compile_shape m n k npu =
     (100. *. sim.sm_efficiency) sim.waves;
   0
 
-let offline npu save load_path =
+let offline jobs npu save load_path =
+  set_jobs jobs;
   let hw = if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100 in
   let config = Mikpoly_core.Config.default hw in
   let set =
@@ -155,8 +168,9 @@ let verify count npu =
       f.max_abs_diff f.program;
     1
 
-let serve quick csv npu replicas requests rate cache bucket batcher max_batch
-    window =
+let serve jobs quick csv npu replicas requests rate cache bucket batcher
+    max_batch window =
+  set_jobs jobs;
   let open Mikpoly_serve in
   let hw =
     if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100
@@ -240,7 +254,8 @@ let serve quick csv npu replicas requests rate cache bucket batcher max_batch
    creation, online polymerization and device simulation inside the
    engine, the serving scheduler on top); any experiment id profiles
    that reproduction instead. *)
-let profile target quick npu trace_out top csv_metrics =
+let profile jobs target quick npu trace_out top csv_metrics =
+  set_jobs jobs;
   let open Mikpoly_telemetry in
   Tracer.reset ();
   Metrics.reset ();
@@ -344,6 +359,16 @@ let validate_trace path =
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Subsample heavy workloads.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel polymerization search, offline \
+           tuning and serving precompile (0 = auto-detect, capped at 8; 1 \
+           = sequential). The chosen programs are identical for every \
+           value.")
+
 let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV.")
 
 let ids_arg =
@@ -352,7 +377,7 @@ let ids_arg =
 let run_cmd =
   let doc = "Run paper-experiment reproductions" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids_arg $ quick_flag $ csv_flag)
+    Term.(const run_experiments $ jobs_arg $ ids_arg $ quick_flag $ csv_flag)
 
 let list_cmd =
   let doc = "List available experiments" in
@@ -364,7 +389,8 @@ let compile_cmd =
   let n = Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N") in
   let k = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K") in
   let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
-  Cmd.v (Cmd.info "compile" ~doc) Term.(const compile_shape $ m $ n $ k $ npu)
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const compile_shape $ jobs_arg $ m $ n $ k $ npu)
 
 let offline_cmd =
   let doc = "Run (or load) the offline stage and print the tuned kernel set" in
@@ -377,7 +403,8 @@ let offline_cmd =
     Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
            ~doc:"Load the kernel set from FILE instead of tuning.")
   in
-  Cmd.v (Cmd.info "offline" ~doc) Term.(const offline $ npu $ save $ load)
+  Cmd.v (Cmd.info "offline" ~doc)
+    Term.(const offline $ jobs_arg $ npu $ save $ load)
 
 let patterns_cmd =
   let doc = "Visualize the nine polymerization patterns (Figure 5)" in
@@ -420,8 +447,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ quick_flag $ csv_flag $ npu $ replicas $ requests $ rate
-      $ cache $ bucket $ batcher $ max_batch $ window)
+      const serve $ jobs_arg $ quick_flag $ csv_flag $ npu $ replicas
+      $ requests $ rate $ cache $ bucket $ batcher $ max_batch $ window)
 
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
@@ -462,7 +489,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const profile $ target $ quick_flag $ npu $ trace_out $ top $ csv_metrics)
+      const profile $ jobs_arg $ target $ quick_flag $ npu $ trace_out $ top
+      $ csv_metrics)
 
 let validate_trace_cmd =
   let doc = "Check that FILE is a well-formed, non-empty Chrome trace" in

@@ -26,4 +26,20 @@ test -s "$trace_out"
 dune exec bin/mikpoly_cli.exe -- validate-trace "$trace_out"
 rm -f "$trace_out"
 
+echo "== multicore smoke test =="
+# The same serving and profiling paths under 4 worker domains: exercises
+# the parallel search, the concurrent precompile fan-out and the
+# domain-safe tracer; validate-trace checks the merged per-domain span
+# buffers still export a loadable Chrome trace.
+dune exec bin/mikpoly_cli.exe -- serve --quick --jobs 4
+trace_out="${TMPDIR:-/tmp}/mikpoly_ci_trace_j4.json"
+dune exec bin/mikpoly_cli.exe -- profile serve --quick --jobs 4 --trace-out "$trace_out"
+test -s "$trace_out"
+dune exec bin/mikpoly_cli.exe -- validate-trace "$trace_out"
+rm -f "$trace_out"
+
+echo "== parallel scaling bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry
+test -s BENCH_parallel.json
+
 echo "CI OK"

@@ -26,13 +26,27 @@ let size_tflops hw kd ~size =
   let flops = 2. *. (float_of_int size ** 3.) in
   flops /. seconds /. 1e12
 
-let generate ?(n_gen = 32) ?(n_syn = 12) ?(n_mik = 40) ?(n_pred = 5120)
-    ?(dtype = Mikpoly_tensor.Dtype.F16) ?(path = Hardware.Matrix)
-    ?(codegen_eff = 0.88) ?(rank_style = Champion) hw =
+let generate ?(jobs = 0) ?(n_gen = 32) ?(n_syn = 12) ?(n_mik = 40)
+    ?(n_pred = 5120) ?(dtype = Mikpoly_tensor.Dtype.F16)
+    ?(path = Hardware.Matrix) ?(codegen_eff = 0.88) ?(rank_style = Champion)
+    hw =
+  let jobs = Mikpoly_util.Domain_pool.resolve_jobs jobs in
+  (* Candidate scoring and g_predict learning are pure per-kernel maps —
+     the bulk of the offline stage — so they fan out over the shared
+     domain pool; order-preserving [map_array] keeps the result list
+     identical to the sequential one. *)
+  let pmap f l =
+    if jobs > 1 then
+      Array.to_list
+        (Mikpoly_util.Domain_pool.map_array
+           (Mikpoly_util.Domain_pool.global ~jobs ())
+           f (Array.of_list l))
+    else List.map f l
+  in
   let candidates = Search_space.enumerate hw ~n_gen ~dtype ~path ~codegen_eff in
   let sizes = Array.of_list (synthetic_sizes ~n_syn) in
   let perfs =
-    List.map
+    pmap
       (fun kd -> (kd, Array.map (fun s -> size_tflops hw kd ~size:s) sizes))
       candidates
   in
@@ -80,6 +94,6 @@ let generate ?(n_gen = 32) ?(n_syn = 12) ?(n_mik = 40) ?(n_pred = 5120)
         incr kept
       end)
     ranked;
-  List.rev_map
+  pmap
     (fun (kd, rank_score) -> { model = Perf_model.learn ~n_pred hw kd; rank_score })
-    !top
+    (List.rev !top)

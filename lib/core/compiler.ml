@@ -10,12 +10,21 @@ let m_misses = Tm.Metrics.counter "compiler.cache.misses"
 
 let m_evictions = Tm.Metrics.counter "compiler.cache.evictions"
 
+(* A cached program plus its recency; [last_use] is a strictly
+   increasing tick (unique per touch), so the LRU victim — the minimum —
+   is unambiguous. Same idiom as [Serve.Shape_cache]. *)
+type slot = {
+  compiled : Polymerize.compiled;
+  mutable last_use : int;
+}
+
 type t = {
   hw : Hardware.t;
   config : Config.t;
   kernels : Kernel_set.t;
-  cache : (int * int * int, Polymerize.compiled) Hashtbl.t;
-  fifo : (int * int * int) Queue.t;  (** insertion order, for eviction *)
+  lock : Mutex.t;  (** guards cache, tick and the stats counters *)
+  cache : (int * int * int, slot) Hashtbl.t;
+  mutable tick : int;
   cache_capacity : int;  (** 0 = unbounded *)
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -37,8 +46,9 @@ let create ?config ?(cache_capacity = 0) hw =
     hw;
     config;
     kernels = Kernel_set.create hw config;
+    lock = Mutex.create ();
     cache = Hashtbl.create 64;
-    fifo = Queue.create ();
+    tick = 0;
     cache_capacity;
     cache_hits = 0;
     cache_misses = 0;
@@ -51,35 +61,72 @@ let config t = t.config
 
 let kernels t = t.kernels
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.last_use <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= slot.last_use -> acc
+        | _ -> Some (key, slot))
+      t.cache None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.cache key;
+    t.cache_evictions <- t.cache_evictions + 1;
+    Tm.Metrics.incr m_evictions
+  | None -> ()
+
+(* Caller holds the lock. *)
 let insert t key c =
-  if t.cache_capacity > 0 then begin
-    if Hashtbl.length t.cache >= t.cache_capacity then begin
-      match Queue.take_opt t.fifo with
-      | Some victim ->
-        Hashtbl.remove t.cache victim;
-        t.cache_evictions <- t.cache_evictions + 1;
-        Tm.Metrics.incr m_evictions
-      | None -> ()
-    end;
-    Queue.add key t.fifo
-  end;
-  Hashtbl.replace t.cache key c
+  if t.cache_capacity > 0 && Hashtbl.length t.cache >= t.cache_capacity then
+    evict_lru t;
+  let slot = { compiled = c; last_use = 0 } in
+  touch t slot;
+  Hashtbl.replace t.cache key slot
 
 let compile_lookup t op =
   let key = Operator.gemm_shape op in
-  match Hashtbl.find_opt t.cache key with
+  let hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some slot ->
+          touch t slot;
+          t.cache_hits <- t.cache_hits + 1;
+          Some slot.compiled
+        | None ->
+          t.cache_misses <- t.cache_misses + 1;
+          None)
+  in
+  match hit with
   | Some c ->
-    t.cache_hits <- t.cache_hits + 1;
     Tm.Metrics.incr m_hits;
     Tm.Tracer.annotate "cache" "hit";
     c
   | None ->
-    t.cache_misses <- t.cache_misses + 1;
     Tm.Metrics.incr m_misses;
     Tm.Tracer.annotate "cache" "miss";
+    (* Search outside the lock so concurrent compiles of distinct shapes
+       overlap; on insert, re-check whether a racing domain won — the
+       search is deterministic, so adopting either result is sound, and
+       keeping the incumbent preserves its recency. *)
     let c = Polymerize.polymerize t.kernels t.config op in
-    insert t key c;
-    c
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some slot ->
+          touch t slot;
+          slot.compiled
+        | None ->
+          insert t key c;
+          c)
 
 let compile t op =
   if not (Tm.Tracer.enabled ()) then compile_lookup t op
@@ -90,20 +137,23 @@ let compile t op =
       (fun () -> compile_lookup t op)
   end
 
-let cached t op = Hashtbl.mem t.cache (Operator.gemm_shape op)
+let cached t op =
+  locked t (fun () -> Hashtbl.mem t.cache (Operator.gemm_shape op))
 
 let cache_stats t =
-  {
-    hits = t.cache_hits;
-    misses = t.cache_misses;
-    evictions = t.cache_evictions;
-    size = Hashtbl.length t.cache;
-  }
+  locked t (fun () ->
+      {
+        hits = t.cache_hits;
+        misses = t.cache_misses;
+        evictions = t.cache_evictions;
+        size = Hashtbl.length t.cache;
+      })
 
 let reset_cache_stats t =
-  t.cache_hits <- 0;
-  t.cache_misses <- 0;
-  t.cache_evictions <- 0
+  locked t (fun () ->
+      t.cache_hits <- 0;
+      t.cache_misses <- 0;
+      t.cache_evictions <- 0)
 
 let compile_fresh ?scorer ?instrument t op =
   Polymerize.polymerize ?scorer ?instrument t.kernels t.config op

@@ -9,9 +9,10 @@ val create :
   ?config:Config.t -> ?cache_capacity:int -> Mikpoly_accel.Hardware.t -> t
 (** Runs (or reuses) the offline stage for the platform. Default
     configuration is {!Config.default}. [cache_capacity] bounds the
-    per-shape program memo: when full, the oldest insertion is evicted
-    (FIFO) and counted in {!cache_stats}. The default [0] keeps the
-    memo unbounded, the seed behaviour. *)
+    per-shape program memo: when full, the least-recently-used entry is
+    evicted (hits refresh recency, like [Serve.Shape_cache]) and counted
+    in {!cache_stats}. The default [0] keeps the memo unbounded, the
+    seed behaviour. *)
 
 val hardware : t -> Mikpoly_accel.Hardware.t
 
@@ -24,7 +25,13 @@ val compile : t -> Mikpoly_ir.Operator.t -> Polymerize.compiled
     per shape. Hit/miss/eviction counts feed both {!cache_stats} and the
     global [compiler.cache.*] telemetry counters; with the telemetry
     tracer enabled each call additionally records a [compiler.compile]
-    span annotated with the shape and cache outcome. *)
+    span annotated with the shape and cache outcome.
+
+    Domain-safe: the memo is mutex-guarded, with the search itself run
+    outside the lock so concurrent compiles of distinct shapes overlap.
+    Two domains racing on the same uncached shape may both search (the
+    deterministic search makes either result correct); exactly one
+    insertion wins and both count a miss. *)
 
 val cached : t -> Mikpoly_ir.Operator.t -> bool
 (** Whether the operator's shape already has a compiled program (i.e. a

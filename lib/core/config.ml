@@ -15,6 +15,7 @@ type t = {
   rank_style : Mikpoly_autosched.Autotuner.rank_style;
   search_launch_term : bool;
   cut_style : [ `Wave_aligned | `Remainder_only ];
+  search_jobs : int;
 }
 
 let default (hw : Hardware.t) =
@@ -35,6 +36,7 @@ let default (hw : Hardware.t) =
       rank_style = Mikpoly_autosched.Autotuner.Champion;
       search_launch_term = true;
       cut_style = `Wave_aligned;
+      search_jobs = 0;
     }
   | Npu ->
     {
@@ -52,6 +54,7 @@ let default (hw : Hardware.t) =
       rank_style = Mikpoly_autosched.Autotuner.Champion;
       search_launch_term = true;
       cut_style = `Wave_aligned;
+      search_jobs = 0;
     }
 
 let with_path path t =

@@ -23,6 +23,13 @@ type t = {
   cut_style : [ `Wave_aligned | `Remainder_only ];
       (** split-point heuristic: wave-boundary candidates vs only the
           maximal full-tile cut (ablation knob; default wave-aligned) *)
+  search_jobs : int;
+      (** worker domains for the online search and offline tuning:
+          [0] (default) inherits {!Mikpoly_util.Domain_pool.default_jobs}
+          (the CLI's [--jobs] flag), [1] forces sequential, [n > 1]
+          uses [n] domains. Never affects which program is chosen —
+          the parallel search is deterministic — so it is excluded
+          from {!cache_key}. *)
 }
 
 val default : Mikpoly_accel.Hardware.t -> t

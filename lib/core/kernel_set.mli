@@ -17,10 +17,15 @@ type t = {
 }
 
 val create : Mikpoly_accel.Hardware.t -> Config.t -> t
-(** Runs the offline stage (or returns the memoized result). *)
+(** Runs the offline stage (or returns the memoized result). Domain-safe:
+    the memo is mutex-guarded and the lock is held across the tuning
+    pass, so concurrent callers for the same (platform, config) tune
+    exactly once. Candidate evaluation inside the tuning pass is
+    parallelized per [Config.search_jobs]. *)
 
 val clear_cache : unit -> unit
-(** Drop memoized kernel sets (used by hyper-parameter sweeps). *)
+(** Drop memoized kernel sets (used by hyper-parameter sweeps).
+    Domain-safe. *)
 
 val size : t -> int
 

@@ -1,6 +1,7 @@
 open Mikpoly_accel
 open Mikpoly_ir
 module Tm = Mikpoly_telemetry
+module Dp = Mikpoly_util.Domain_pool
 
 (* Always-on search metrics; one increment/observation per polymerization,
    negligible next to the search itself. *)
@@ -46,11 +47,16 @@ let axis_cuts ?(style = `Wave_aligned) ~tile ~other_tile ~cap ~axis_len
     let tiles_other = ceil_div other_len other_tile in
     let full_waves = ceil_div (q_full * tiles_other) cap in
     let acc = ref [] and count = ref 0 in
+    (* The walk visits q values in non-increasing order, so a duplicate
+       can only equal the most recent cut — one comparison replaces the
+       O(cuts) membership scan of the old [List.mem] dedupe. *)
+    let last_added = ref max_int in
     let add q =
       if q >= 1 && q <= q_full then begin
         let cut = q * tile in
-        if cut > 0 && cut < axis_len && not (List.mem cut !acc) then begin
+        if cut > 0 && cut < axis_len && cut < !last_added then begin
           acc := cut :: !acc;
+          last_added := cut;
           incr count
         end
       end
@@ -93,7 +99,38 @@ type choice = {
   c_fill : Kernel_set.entry option;  (** oracle: uniform fill for free slots *)
 }
 
-let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
+(* Total order on equal-cost candidates: (pattern, cuts, pinned kernel
+   ranks, fill rank). The search keeps the smallest (cost, key), so the
+   winner is independent of enumeration order — the property that makes
+   the domain-parallel search bit-identical to the sequential one. *)
+type tie_key = Pattern.t * int list * int list * int
+
+let choice_key (ch : choice) : tie_key =
+  ( ch.c_pattern,
+    ch.c_cuts,
+    List.map (fun (e : Kernel_set.entry) -> e.rank) ch.c_pins,
+    match ch.c_fill with Some e -> e.rank | None -> -1 )
+
+(* One enumeration unit of the candidate space: a pattern together with
+   one pinned primary kernel (or the whole of Pattern I). Units are the
+   grain the domain pool distributes; each carries its own incumbent,
+   counters and best-single memo so workers never share mutable state —
+   only the atomic cost bound, which is monotone and therefore safe to
+   share for pruning. *)
+type unit_state = {
+  mutable l_best : (float * tie_key * choice) option;
+  mutable l_cand : int;
+  mutable l_pruned : int;
+  memo : (int * int, Kernel_set.entry * float) Hashtbl.t;
+}
+
+type unit_result = {
+  u_best : (float * tie_key * choice) option;
+  u_cand : int;
+  u_pruned : int;
+}
+
+let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   if Array.length set.entries = 0 then
     invalid_arg "Polymerize.polymerize: empty kernel set";
   let t0 = Unix.gettimeofday () in
@@ -148,11 +185,25 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   in
   let primaries = take config.primary_kernels in
   let secondaries = take config.secondary_kernels in
-  (* Best single kernel for a free region, memoized per extent. *)
-  let memo : (int * int, Kernel_set.entry * float) Hashtbl.t = Hashtbl.create 64 in
-  let best_single rows cols =
+  (* Shared branch-and-bound state: the lowest full-candidate cost found
+     by any domain so far. Monotonically non-increasing, so pruning a
+     partial sum that strictly exceeds it can never discard a candidate
+     tying the eventual minimum — which keeps the winner (and its
+     tie-break) independent of domain scheduling. *)
+  let bound = Atomic.make infinity in
+  let rec lower_bound c =
+    let b = Atomic.get bound in
+    if c < b && not (Atomic.compare_and_set bound b c) then lower_bound c
+  in
+  let fresh_state () =
+    { l_best = None; l_cand = 0; l_pruned = 0; memo = Hashtbl.create 64 }
+  in
+  (* Best single kernel for a free region, memoized per extent (one memo
+     per unit: [best_single] is a pure function of the extent, so private
+     memos cost a little recompute but no determinism). *)
+  let best_single st rows cols =
     let key = (rows, cols) in
-    match Hashtbl.find_opt memo key with
+    match Hashtbl.find_opt st.memo key with
     | Some hit -> hit
     | None ->
       let best_e = ref entries.(0) and best_c = ref infinity in
@@ -164,19 +215,18 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
         end
       done;
       let hit = (!best_e, !best_c) in
-      Hashtbl.add memo key hit;
+      Hashtbl.add st.memo key hit;
       hit
   in
-  let best : (float * choice) option ref = ref None in
-  let best_cost () = match !best with Some (c, _) -> c | None -> infinity in
-  let candidates = ref 0 and pruned = ref 0 in
-  let record cost choice =
-    match !best with
-    | Some (c, _) when c <= cost -> ()
-    | _ -> best := Some (cost, choice)
+  let record st cost choice =
+    let key = choice_key choice in
+    (match st.l_best with
+    | Some (bc, bk, _) when (bc, bk) <= (cost, key) -> ()
+    | _ -> st.l_best <- Some (cost, key, choice));
+    lower_bound cost
   in
   (* Resolve a choice into concrete (rect, kernel) pairs. *)
-  let resolve (ch : choice) =
+  let resolve st (ch : choice) =
     match Pattern.decompose ch.c_pattern ~m ~n ~cuts:ch.c_cuts with
     | None -> None
     | Some rects ->
@@ -187,7 +237,7 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
           let e =
             match ch.c_fill with
             | Some e -> e
-            | None -> fst (best_single r.rows r.cols)
+            | None -> fst (best_single st r.rows r.cols)
           in
           (r, e) :: zip rs []
         | r :: rs, p :: ps -> (r, p) :: zip rs ps
@@ -195,26 +245,27 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
       Some (zip rects ch.c_pins)
   in
   (* Model scoring of a generic (multi-cut) choice, with region-order
-     pruning against the incumbent. *)
-  let score_choice_model (ch : choice) =
-    match resolve ch with
+     pruning against the global bound. Pruning is strict (>): a partial
+     sum equal to the incumbent may still win the tie-break. *)
+  let score_choice_model st (ch : choice) =
+    match resolve st ch with
     | None -> ()
     | Some assignment ->
-      incr candidates;
-      let limit = best_cost () in
+      st.l_cand <- st.l_cand + 1;
+      let limit = Atomic.get bound in
       let rec go acc = function
-        | [] -> record acc ch
+        | [] -> record st acc ch
         | ((r : Pattern.rect), e) :: rest ->
           let acc = acc +. rcost_dims e r.rows r.cols in
-          if acc >= limit then incr pruned else go acc rest
+          if acc > limit then st.l_pruned <- st.l_pruned + 1 else go acc rest
       in
       go 0. assignment
   in
-  let score_choice_simulate (ch : choice) =
-    match resolve ch with
+  let score_choice_simulate st (ch : choice) =
+    match resolve st ch with
     | None -> ()
     | Some assignment ->
-      incr candidates;
+      st.l_cand <- st.l_cand + 1;
       let regions =
         List.map
           (fun ((r : Pattern.rect), (e : Kernel_set.entry)) ->
@@ -227,154 +278,189 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
       let load =
         Load.make ~regions ~footprint_bytes:(Operator.footprint_bytes op)
       in
-      record (Simulator.run set.hw load).cycles ch
+      record st (Simulator.run set.hw load).cycles ch
   in
   let choice pattern cuts pins fill =
     { c_pattern = pattern; c_cuts = cuts; c_pins = pins; c_fill = fill }
   in
   (* Under the oracle, a choice with free slots is additionally enumerated
      with every secondary kernel as a uniform fill. *)
-  let consider ?(has_free = false) pattern cuts pins =
+  let consider st ?(has_free = false) pattern cuts pins =
     match scorer with
-    | Model _ -> score_choice_model (choice pattern cuts pins None)
+    | Model _ -> score_choice_model st (choice pattern cuts pins None)
     | Simulate ->
-      score_choice_simulate (choice pattern cuts pins None);
+      score_choice_simulate st (choice pattern cuts pins None);
       if has_free then
         Array.iter
-          (fun e -> score_choice_simulate (choice pattern cuts pins (Some e)))
+          (fun e -> score_choice_simulate st (choice pattern cuts pins (Some e)))
           secondaries
   in
-  (* Fast allocation-free paths for the single-cut patterns. *)
-  let pattern_one () =
+  (* Fast allocation-free path for Pattern I (a single unit). *)
+  let pattern_one st =
     match scorer with
     | Model _ ->
       for i = 0 to n_entries - 1 do
-        incr candidates;
+        st.l_cand <- st.l_cand + 1;
         let e = entries.(i) in
         let c = rcost_dims e m n in
-        record c (choice I [] [ e ] None)
+        record st c (choice I [] [ e ] None)
       done
     | Simulate ->
-      Array.iter (fun e -> score_choice_simulate (choice I [] [ e ] None)) entries
+      Array.iter (fun e -> score_choice_simulate st (choice I [] [ e ] None)) entries
   in
-  let pattern_two () =
-    Array.iter
-      (fun (e1 : Kernel_set.entry) ->
+  let pattern_two st (e1 : Kernel_set.entry) =
+    List.iter
+      (fun r ->
+        match scorer with
+        | Model _ ->
+          st.l_cand <- st.l_cand + 1;
+          let c1 = rcost_dims e1 r n in
+          if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
+          else begin
+            let e2, c2 = best_single st (m - r) n in
+            record st (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
+          end
+        | Simulate -> consider st ~has_free:true II [ r ] [ e1 ])
+      (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
+  in
+  let pattern_three st (e1 : Kernel_set.entry) =
+    List.iter
+      (fun c ->
+        match scorer with
+        | Model _ ->
+          st.l_cand <- st.l_cand + 1;
+          let c1 = rcost_dims e1 m c in
+          if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
+          else begin
+            let e2, c2 = best_single st m (n - c) in
+            record st (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
+          end
+        | Simulate -> consider st ~has_free:true III [ c ] [ e1 ])
+      (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
+  in
+  let two_cut_pattern st pattern (e1 : Kernel_set.entry) =
+    let rcs = row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
+    let ccs = col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
+    List.iter
+      (fun r ->
         List.iter
-          (fun r ->
-            match scorer with
-            | Model _ ->
-              incr candidates;
-              let c1 = rcost_dims e1 r n in
-              if c1 >= best_cost () then incr pruned
-              else begin
-                let e2, c2 = best_single (m - r) n in
-                record (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
-              end
-            | Simulate -> consider ~has_free:true II [ r ] [ e1 ])
-          (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
-      primaries
+          (fun c -> consider st ~has_free:true pattern [ r; c ] [ e1 ])
+          ccs)
+      rcs
   in
-  let pattern_three () =
-    Array.iter
-      (fun (e1 : Kernel_set.entry) ->
-        List.iter
-          (fun c ->
-            match scorer with
-            | Model _ ->
-              incr candidates;
-              let c1 = rcost_dims e1 m c in
-              if c1 >= best_cost () then incr pruned
-              else begin
-                let e2, c2 = best_single m (n - c) in
-                record (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
-              end
-            | Simulate -> consider ~has_free:true III [ c ] [ e1 ])
-          (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
-      primaries
+  let run_unit_body st (pattern : Pattern.t) (e1 : Kernel_set.entry option) =
+    match (pattern, e1) with
+    | I, _ -> pattern_one st
+    | _, None -> assert false
+    | II, Some e1 -> pattern_two st e1
+    | III, Some e1 -> pattern_three st e1
+    | (IV | V | VI), Some e1 -> two_cut_pattern st pattern e1
+    | VII, Some e1 ->
+      List.iter
+        (fun r1 ->
+          Array.iter
+            (fun (e2 : Kernel_set.entry) ->
+              List.iter
+                (fun dr ->
+                  if r1 + dr < m then
+                    consider st ~has_free:true VII [ r1; r1 + dr ] [ e1; e2 ])
+                (row_cuts ~style:config.cut_style e2 ~rows:(m - r1) ~cols:n ~max_cuts:2))
+            secondaries)
+        (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
+    | VIII, Some e1 ->
+      List.iter
+        (fun c1 ->
+          Array.iter
+            (fun (e2 : Kernel_set.entry) ->
+              List.iter
+                (fun dc ->
+                  if c1 + dc < n then
+                    consider st ~has_free:true VIII [ c1; c1 + dc ] [ e1; e2 ])
+                (col_cuts ~style:config.cut_style e2 ~rows:m ~cols:(n - c1) ~max_cuts:2))
+            secondaries)
+        (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
+    | IX, Some e1 ->
+      List.iter
+        (fun r ->
+          Array.iter
+            (fun (e2 : Kernel_set.entry) ->
+              List.iter
+                (fun c -> consider st ~has_free:true IX [ r; c ] [ e1; e2 ])
+                (col_cuts ~style:config.cut_style e2 ~rows:(m - r) ~cols:n ~max_cuts:2))
+            secondaries)
+        (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
   in
-  let two_cut_pattern pattern =
-    Array.iter
-      (fun (e1 : Kernel_set.entry) ->
-        let rcs = row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
-        let ccs = col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts in
-        List.iter
-          (fun r ->
-            List.iter
-              (fun c -> consider ~has_free:true pattern [ r; c ] [ e1 ])
-              ccs)
-          rcs)
-      primaries
+  let run_unit (pattern, e1) =
+    let st = fresh_state () in
+    run_unit_body st pattern e1;
+    { u_best = st.l_best; u_cand = st.l_cand; u_pruned = st.l_pruned }
   in
-  let each_pattern (pattern : Pattern.t) =
-    match pattern with
-    | I -> pattern_one ()
-    | II -> pattern_two ()
-    | III -> pattern_three ()
-    | IV | V | VI -> two_cut_pattern pattern
-    | VII ->
-      Array.iter
-        (fun (e1 : Kernel_set.entry) ->
-          List.iter
-            (fun r1 ->
-              Array.iter
-                (fun (e2 : Kernel_set.entry) ->
-                  List.iter
-                    (fun dr ->
-                      if r1 + dr < m then
-                        consider ~has_free:true VII [ r1; r1 + dr ] [ e1; e2 ])
-                    (row_cuts ~style:config.cut_style e2 ~rows:(m - r1) ~cols:n ~max_cuts:2))
-                secondaries)
-            (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
-        primaries
-    | VIII ->
-      Array.iter
-        (fun (e1 : Kernel_set.entry) ->
-          List.iter
-            (fun c1 ->
-              Array.iter
-                (fun (e2 : Kernel_set.entry) ->
-                  List.iter
-                    (fun dc ->
-                      if c1 + dc < n then
-                        consider ~has_free:true VIII [ c1; c1 + dc ] [ e1; e2 ])
-                    (col_cuts ~style:config.cut_style e2 ~rows:m ~cols:(n - c1) ~max_cuts:2))
-                secondaries)
-            (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
-        primaries
-    | IX ->
-      Array.iter
-        (fun (e1 : Kernel_set.entry) ->
-          List.iter
-            (fun r ->
-              Array.iter
-                (fun (e2 : Kernel_set.entry) ->
-                  List.iter
-                    (fun c -> consider ~has_free:true IX [ r; c ] [ e1; e2 ])
-                    (col_cuts ~style:config.cut_style e2 ~rows:(m - r) ~cols:n ~max_cuts:2))
-                secondaries)
-            (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts))
-        primaries
+  (* The candidate space, flattened to (pattern × primary) units in
+     configuration order; the reduction below folds unit results in this
+     same fixed order, so the outcome cannot depend on which domain ran
+     which unit. *)
+  let units =
+    Array.of_list
+      (List.concat_map
+         (fun (p : Pattern.t) ->
+           match p with
+           | I -> [ (p, None) ]
+           | _ ->
+             Array.to_list (Array.map (fun e -> (p, Some e)) primaries))
+         config.patterns)
   in
-  (* With tracing on, each pattern's exploration becomes a child span of
-     the search, annotated with its share of the candidate counts. *)
-  let run_pattern =
-    if not tracing then each_pattern
-    else fun p ->
-      Tm.Tracer.with_span ("polymerize.pattern." ^ Pattern.to_string p)
-        (fun () ->
-          let c0 = !candidates and p0 = !pruned in
-          each_pattern p;
-          Tm.Tracer.annotate "candidates" (string_of_int (!candidates - c0));
-          Tm.Tracer.annotate "pruned" (string_of_int (!pruned - p0)))
+  let results =
+    if jobs > 1 then
+      Dp.map_array (Dp.global ~jobs ()) run_unit units
+    else if not tracing then Array.map run_unit units
+    else begin
+      (* Sequential tracing keeps the per-pattern child spans: units of
+         one pattern are contiguous by construction. *)
+      let res = Array.make (Array.length units) { u_best = None; u_cand = 0; u_pruned = 0 } in
+      let i = ref 0 in
+      let n_units = Array.length units in
+      while !i < n_units do
+        let p = fst units.(!i) in
+        Tm.Tracer.with_span ("polymerize.pattern." ^ Pattern.to_string p)
+          (fun () ->
+            let c0 = ref 0 and p0 = ref 0 in
+            while !i < n_units && fst units.(!i) = p do
+              let r = run_unit units.(!i) in
+              res.(!i) <- r;
+              c0 := !c0 + r.u_cand;
+              p0 := !p0 + r.u_pruned;
+              incr i
+            done;
+            Tm.Tracer.annotate "candidates" (string_of_int !c0);
+            Tm.Tracer.annotate "pruned" (string_of_int !p0))
+      done;
+      res
+    end
   in
-  List.iter run_pattern config.patterns;
+  let merge (best, cand, pruned) (r : unit_result) =
+    let best =
+      match (best, r.u_best) with
+      | None, b | b, None -> b
+      | (Some (bc, bk, _) as cur), (Some (rc, rk, _) as inc) ->
+        if (rc, rk) < (bc, bk) then inc else cur
+    in
+    (best, cand + r.u_cand, pruned + r.u_pruned)
+  in
+  let best, candidates, pruned =
+    Array.fold_left merge (None, 0, 0) results
+  in
   (* Pattern I is always feasible; make sure it was explored even when the
      configuration omits it and every split pattern degenerated. *)
-  if !best = None then run_pattern I;
-  let cost, winner = match !best with Some x -> x | None -> assert false in
+  let best, candidates, pruned =
+    match best with
+    | Some _ -> (best, candidates, pruned)
+    | None -> merge (best, candidates, pruned) (run_unit (Pattern.I, None))
+  in
+  let cost, _, winner = match best with Some x -> x | None -> assert false in
   let assignment =
-    match resolve winner with Some a -> a | None -> assert false
+    match resolve (fresh_state ()) winner with
+    | Some a -> a
+    | None -> assert false
   in
   let regions =
     List.map
@@ -391,13 +477,18 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
     program;
     predicted_cost = cost;
     pattern = winner.c_pattern;
-    candidates = !candidates;
-    pruned = !pruned;
+    candidates;
+    pruned;
     search_seconds = Unix.gettimeofday () -. t0;
   }
 
-let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
+let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true) ?jobs
     (set : Kernel_set.t) (config : Config.t) op =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Dp.resolve_jobs config.search_jobs
+  in
   let finish (c : compiled) =
     if instrument then begin
       Tm.Metrics.incr m_searches;
@@ -407,13 +498,19 @@ let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
     c
   in
   if not (instrument && Tm.Tracer.enabled ()) then
-    finish (search ~scorer ~tracing:false set config op)
+    finish (search ~scorer ~tracing:false ~jobs set config op)
   else begin
     let m, n, k = Operator.gemm_shape op in
     Tm.Tracer.with_span "polymerize.search"
-      ~attrs:[ ("shape", Printf.sprintf "%dx%dx%d" m n k) ]
+      ~attrs:
+        [
+          ("shape", Printf.sprintf "%dx%dx%d" m n k);
+          ("search.jobs", string_of_int jobs);
+        ]
       (fun () ->
-        let c = search ~scorer ~tracing:true set config op in
+        if jobs > 1 then
+          Tm.Tracer.annotate "parallel.domains" (string_of_int jobs);
+        let c = search ~scorer ~tracing:true ~jobs set config op in
         Tm.Tracer.annotate "pattern" (Pattern.to_string c.pattern);
         Tm.Tracer.annotate "candidates" (string_of_int c.candidates);
         Tm.Tracer.annotate "pruned" (string_of_int c.pruned);

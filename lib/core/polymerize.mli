@@ -40,18 +40,31 @@ val col_cuts :
   cols:int -> max_cuts:int -> int list
 
 val polymerize :
-  ?scorer:scorer -> ?instrument:bool -> Kernel_set.t -> Config.t ->
-  Mikpoly_ir.Operator.t -> compiled
+  ?scorer:scorer -> ?instrument:bool -> ?jobs:int -> Kernel_set.t ->
+  Config.t -> Mikpoly_ir.Operator.t -> compiled
 (** Raises [Invalid_argument] on an empty kernel set. The result is always
     a valid program for the exact runtime shape — MikPoly has no
     out-of-range failure mode.
 
+    [jobs] sets the worker-domain count for the search ([1] =
+    sequential); when omitted it resolves [Config.search_jobs] through
+    {!Mikpoly_util.Domain_pool.resolve_jobs}. The search is partitioned
+    into (pattern × primary kernel) units executed on the shared domain
+    pool with a common atomic cost bound; because pruning is strict and
+    ties break on a total (pattern, cuts, kernel-rank) key, the chosen
+    program, pattern and [predicted_cost] are bit-identical for every
+    job count. The [candidates]/[pruned] tallies are exact under
+    [jobs = 1] but scheduling-dependent above (a faster domain tightens
+    the bound earlier, pruning more for the others).
+
     Every search feeds the always-on [polymerize.*] metrics (search
     count, candidate and wall-time histograms); with the telemetry
     tracer enabled it additionally records a [polymerize.search] span
-    with one child span per explored pattern. [instrument:false]
-    disables both — the uninstrumented baseline for the telemetry
-    overhead benchmark. *)
+    carrying [search.jobs] — with one child span per explored pattern
+    when sequential, or a [parallel.domains] annotation when parallel
+    (worker domains skip child spans to keep parent linkage coherent).
+    [instrument:false] disables both — the uninstrumented baseline for
+    the telemetry overhead benchmark. *)
 
 val modeled_search_seconds : compiled -> float
 (** Online overhead charged to end-to-end runs: a fixed dispatch cost plus

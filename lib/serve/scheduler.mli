@@ -65,10 +65,20 @@ type outcome = {
   queue_samples : int;
 }
 
-val run : config -> engine -> Request.t list -> outcome
+val run : ?jobs:int -> config -> engine -> Request.t list -> outcome
 (** Simulate the full trace to drain. Deterministic for a deterministic
     engine: the same configuration and trace produce the identical
     outcome. The empty trace yields an empty outcome.
+
+    [jobs] ([0], the default, inherits
+    {!Mikpoly_util.Domain_pool.default_jobs}; [1] forces sequential)
+    controls a concurrent precompile phase: with [jobs > 1] the GEMM
+    shapes reachable from the batcher's admissible bucketed token counts
+    are compiled up front on [jobs] worker domains through the engine's
+    mutex-guarded memos, before the (inherently sequential) event loop
+    runs. This accelerates the harness's wall clock only — the simulated
+    outcome, including per-replica compile stalls, is identical for
+    every job count.
 
     Telemetry: every run feeds the always-on [serve.*] metrics (steps,
     completions, drops, TTFT and stall histograms). With the tracer

@@ -1,8 +1,14 @@
-type counter = { mutable c : int }
+(* Domain-safety: counters and gauges are atomics (an increment stays a
+   single lock-free RMW, cheap enough for hot paths shared by pool
+   workers); histograms serialize observations behind a per-histogram
+   mutex (observations are orders of magnitude rarer than counter
+   bumps); registration and snapshots take the registry lock. *)
+type counter = int Atomic.t
 
-type gauge = { mutable g : float }
+type gauge = float Atomic.t
 
 type histogram = {
+  hlock : Mutex.t;
   buckets : float array;
   counts : int array;
   mutable sum : float;
@@ -12,51 +18,56 @@ type histogram = {
 type cell = C of counter | G of gauge | H of histogram
 
 type t = {
+  rlock : Mutex.t;
   tbl : (string, cell) Hashtbl.t;
   mutable order : string list;  (** reverse registration order *)
 }
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let create () = { rlock = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
 
 let global = create ()
 
 let registry = function Some r -> r | None -> global
 
-let register r name cell =
-  Hashtbl.add r.tbl name cell;
-  r.order <- name :: r.order
-
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered as a different kind")
 
+(* Get-or-create under the registry lock so two domains asking for the
+   same name concurrently always share one cell. *)
+let intern r name make classify =
+  Mutex.lock r.rlock;
+  let cell =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock r.rlock)
+      (fun () ->
+        match Hashtbl.find_opt r.tbl name with
+        | Some c -> c
+        | None ->
+          let c = make () in
+          Hashtbl.add r.tbl name c;
+          r.order <- name :: r.order;
+          c)
+  in
+  classify cell
+
 let counter ?registry:reg name =
-  let r = registry reg in
-  match Hashtbl.find_opt r.tbl name with
-  | Some (C c) -> c
-  | Some _ -> kind_error name
-  | None ->
-    let c = { c = 0 } in
-    register r name (C c);
-    c
+  intern (registry reg) name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> c | _ -> kind_error name)
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c
 
-let add c n = c.c <- c.c + n
+let add c n = ignore (Atomic.fetch_and_add c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c
 
 let gauge ?registry:reg name =
-  let r = registry reg in
-  match Hashtbl.find_opt r.tbl name with
-  | Some (G g) -> g
-  | Some _ -> kind_error name
-  | None ->
-    let g = { g = 0. } in
-    register r name (G g);
-    g
+  intern (registry reg) name
+    (fun () -> G (Atomic.make 0.))
+    (function G g -> g | _ -> kind_error name)
 
-let set g v = g.g <- v
+let set g v = Atomic.set g v
 
-let gauge_value g = g.g
+let gauge_value g = Atomic.get g
 
 let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
 
@@ -68,30 +79,28 @@ let check_buckets b =
   done
 
 let histogram ?registry:reg ?(buckets = default_buckets) name =
-  let r = registry reg in
-  match Hashtbl.find_opt r.tbl name with
-  | Some (H h) -> h
-  | Some _ -> kind_error name
-  | None ->
-    check_buckets buckets;
-    let h =
-      {
-        buckets = Array.copy buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        sum = 0.;
-        count = 0;
-      }
-    in
-    register r name (H h);
-    h
+  intern (registry reg) name
+    (fun () ->
+      check_buckets buckets;
+      H
+        {
+          hlock = Mutex.create ();
+          buckets = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.;
+          count = 0;
+        })
+    (function H h -> h | _ -> kind_error name)
 
 let observe h v =
   let n = Array.length h.buckets in
   let rec idx i = if i >= n || v <= h.buckets.(i) then i else idx (i + 1) in
   let i = idx 0 in
+  Mutex.lock h.hlock;
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
-  h.count <- h.count + 1
+  h.count <- h.count + 1;
+  Mutex.unlock h.hlock
 
 type metric =
   | Counter of { name : string; value : int }
@@ -111,21 +120,31 @@ let metric_name = function
 
 let snapshot ?registry:reg () =
   let r = registry reg in
-  List.rev_map
-    (fun name ->
-      match Hashtbl.find r.tbl name with
-      | C c -> Counter { name; value = c.c }
-      | G g -> Gauge { name; value = g.g }
-      | H h ->
-        Histogram
-          {
-            name;
-            buckets = Array.copy h.buckets;
-            counts = Array.copy h.counts;
-            sum = h.sum;
-            count = h.count;
-          })
-    r.order
+  Mutex.lock r.rlock;
+  let snap =
+    List.rev_map
+      (fun name ->
+        match Hashtbl.find r.tbl name with
+        | C c -> Counter { name; value = Atomic.get c }
+        | G g -> Gauge { name; value = Atomic.get g }
+        | H h ->
+          Mutex.lock h.hlock;
+          let m =
+            Histogram
+              {
+                name;
+                buckets = Array.copy h.buckets;
+                counts = Array.copy h.counts;
+                sum = h.sum;
+                count = h.count;
+              }
+          in
+          Mutex.unlock h.hlock;
+          m)
+      r.order
+  in
+  Mutex.unlock r.rlock;
+  snap
 
 let find snap name = List.find_opt (fun m -> metric_name m = name) snap
 
@@ -152,13 +171,17 @@ let diff ~before ~after =
 
 let reset ?registry:reg () =
   let r = registry reg in
+  Mutex.lock r.rlock;
   Hashtbl.iter
     (fun _ cell ->
       match cell with
-      | C c -> c.c <- 0
-      | G g -> g.g <- 0.
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.
       | H h ->
+        Mutex.lock h.hlock;
         Array.fill h.counts 0 (Array.length h.counts) 0;
         h.sum <- 0.;
-        h.count <- 0)
-    r.tbl
+        h.count <- 0;
+        Mutex.unlock h.hlock)
+    r.tbl;
+  Mutex.unlock r.rlock

@@ -8,84 +8,112 @@ type frame = {
   mutable f_attrs : (string * string) list;  (** reverse order *)
 }
 
-type state = {
-  mutable on : bool;
-  mutable next_id : int;
+(* Each domain records into its own buffer (per-track open-span stacks
+   plus a closed-span list), reached through domain-local storage, so
+   spans produced concurrently by pool workers never interleave or
+   corrupt each other's parent linkage. Buffers register themselves in
+   a global list under [reg_lock] and are merged at flush time
+   ([spans]/[span_count]); span ids come from one atomic counter so
+   they stay process-unique. *)
+type buffer = {
   mutable closed : Span.t list;  (** reverse close order *)
   mutable n_closed : int;
   stacks : (string, frame list ref) Hashtbl.t;
-  units_tbl : (string, float) Hashtbl.t;
 }
 
-let st =
-  {
-    on = false;
-    next_id = 0;
-    closed = [];
-    n_closed = 0;
-    stacks = Hashtbl.create 8;
-    units_tbl = Hashtbl.create 8;
-  }
+let on = Atomic.make false
+
+let next_id = Atomic.make 0
+
+let reg_lock = Mutex.create ()
+
+let buffers : buffer list ref = ref []
+
+let units_tbl : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let new_buffer () =
+  let b = { closed = []; n_closed = 0; stacks = Hashtbl.create 8 } in
+  Mutex.lock reg_lock;
+  buffers := b :: !buffers;
+  Mutex.unlock reg_lock;
+  b
+
+let buffer_key = Domain.DLS.new_key new_buffer
+
+let buffer () = Domain.DLS.get buffer_key
 
 let wall_track = "host"
 
-let enabled () = st.on
+let enabled () = Atomic.get on
 
-let enable () = st.on <- true
+let enable () = Atomic.set on true
 
-let disable () = st.on <- false
+let disable () = Atomic.set on false
 
+(* Reset and flush walk every domain's buffer; they assume no domain is
+   concurrently recording (call them between parallel regions, as the
+   CLI and bench drivers do). *)
 let reset () =
-  st.next_id <- 0;
-  st.closed <- [];
-  st.n_closed <- 0;
-  Hashtbl.reset st.stacks;
-  Hashtbl.reset st.units_tbl
+  Atomic.set next_id 0;
+  Mutex.lock reg_lock;
+  List.iter
+    (fun b ->
+      b.closed <- [];
+      b.n_closed <- 0;
+      Hashtbl.reset b.stacks)
+    !buffers;
+  Hashtbl.reset units_tbl;
+  Mutex.unlock reg_lock
 
 let set_units ~track ~per_second =
-  if st.on then begin
+  if Atomic.get on then begin
     if not (per_second > 0.) then
       invalid_arg "Tracer.set_units: per_second must be positive";
-    Hashtbl.replace st.units_tbl track per_second
+    Mutex.lock reg_lock;
+    Hashtbl.replace units_tbl track per_second;
+    Mutex.unlock reg_lock
   end
 
 let units track =
-  match Hashtbl.find_opt st.units_tbl track with Some u -> u | None -> 1.0
+  Mutex.lock reg_lock;
+  let u =
+    match Hashtbl.find_opt units_tbl track with Some u -> u | None -> 1.0
+  in
+  Mutex.unlock reg_lock;
+  u
 
-let stack track =
-  match Hashtbl.find_opt st.stacks track with
+let stack b track =
+  match Hashtbl.find_opt b.stacks track with
   | Some r -> r
   | None ->
     let r = ref [] in
-    Hashtbl.add st.stacks track r;
+    Hashtbl.add b.stacks track r;
     r
 
-let fresh_id () =
-  let i = st.next_id in
-  st.next_id <- i + 1;
-  i
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
-let push_closed s =
-  st.closed <- s :: st.closed;
-  st.n_closed <- st.n_closed + 1
+let push_closed b s =
+  b.closed <- s :: b.closed;
+  b.n_closed <- b.n_closed + 1
 
 let emit ~track ?(lane = 0) ?(parent = Span.no_parent) ?(attrs = []) ~name
     ~start ~finish () =
-  if st.on then
-    push_closed
+  if Atomic.get on then
+    push_closed (buffer ())
       (Span.make ~id:(fresh_id ()) ~parent ~lane ~attrs ~track ~name ~start
          ~finish ())
 
 let annotate ?(track = wall_track) key value =
-  if st.on then
-    match !(stack track) with
+  if Atomic.get on then
+    match !(stack (buffer ()) track) with
     | [] -> ()
     | f :: _ -> f.f_attrs <- (key, value) :: f.f_attrs
 
 let with_span ?(track = wall_track) ?(lane = 0) ?(attrs = []) name fn =
-  if not st.on then fn ()
+  if not (Atomic.get on) then fn ()
   else begin
-    let sref = stack track in
+    let b = buffer () in
+    let sref = stack b track in
     let parent = match !sref with [] -> Span.no_parent | f :: _ -> f.f_id in
     let f =
       {
@@ -104,7 +132,7 @@ let with_span ?(track = wall_track) ?(lane = 0) ?(attrs = []) name fn =
       (match !sref with
       | g :: rest when g.f_id == f.f_id -> sref := rest
       | _ -> sref := List.filter (fun g -> g.f_id <> f.f_id) !sref);
-      push_closed
+      push_closed b
         (Span.make ~id:f.f_id ~parent:f.f_parent ~lane:f.f_lane
            ~attrs:(List.rev f.f_attrs) ~track:f.f_track ~name:f.f_name
            ~start:f.f_start ~finish ())
@@ -118,6 +146,14 @@ let with_span ?(track = wall_track) ?(lane = 0) ?(attrs = []) name fn =
       raise e
   end
 
-let spans () = List.sort Span.compare_start st.closed
+let spans () =
+  Mutex.lock reg_lock;
+  let all = List.concat_map (fun b -> b.closed) !buffers in
+  Mutex.unlock reg_lock;
+  List.sort Span.compare_start all
 
-let span_count () = st.n_closed
+let span_count () =
+  Mutex.lock reg_lock;
+  let n = List.fold_left (fun acc b -> acc + b.n_closed) 0 !buffers in
+  Mutex.unlock reg_lock;
+  n

@@ -17,7 +17,16 @@
 
     Each track carries a unit declaration ({!set_units}) — how many
     track-local time units elapse per second — so exporters can convert
-    cycles, simulated seconds and wall seconds onto one timeline. *)
+    cycles, simulated seconds and wall seconds onto one timeline.
+
+    The tracer is domain-safe: every domain records into its own
+    buffer (open-span stacks and closed-span list) reached through
+    domain-local storage, and span ids come from one atomic counter,
+    so spans produced concurrently by a {!Mikpoly_util.Domain_pool}
+    region never interleave or corrupt parent linkage. {!spans},
+    {!span_count} and {!reset} merge/clear all per-domain buffers and
+    must not race with concurrent recording — call them between
+    parallel regions. *)
 
 val wall_track : string
 (** Name of the default wall-clock track (["host"]). *)

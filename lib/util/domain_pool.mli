@@ -1,0 +1,93 @@
+(** Fixed-size OCaml 5 domain pool with work-stealing deques.
+
+    One pool drives every parallel stage of the harness: the online
+    polymerization search, the offline autotuner's candidate evaluation
+    and the serving scheduler's concurrent shape precompilation. A pool
+    of [jobs] workers comprises the submitting domain plus [jobs - 1]
+    spawned domains; a parallel region partitions its index range into
+    chunks, deals each worker a contiguous run of chunks, and lets idle
+    workers steal from the tail of their peers' deques, so irregular
+    per-index cost (the common case in candidate search) balances
+    automatically.
+
+    Degradation is always graceful and always sequential-equivalent:
+    a [jobs = 1] pool, a submission from inside a worker (nested
+    parallelism) and a submission while the pool is already busy all
+    run the body inline on the calling domain. Bodies therefore must
+    not rely on actually running concurrently.
+
+    Exceptions raised by a body cancel the remaining chunks of the
+    region; the first exception (by wall-clock, not index order) is
+    re-raised on the submitting domain with its backtrace. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] new domains). Raises
+    [Invalid_argument] when [jobs < 1]. A [jobs = 1] pool spawns
+    nothing and runs every region inline. *)
+
+val jobs : t -> int
+(** Worker count the pool was created with (including the caller). *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. Submitting to a shut-down
+    pool runs sequentially. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] — even on exceptions. *)
+
+val parallel_for :
+  t -> ?chunk:int -> start:int -> stop:int -> (int -> unit) -> unit
+(** [parallel_for t ~start ~stop f] runs [f i] for every
+    [start <= i < stop], in parallel across the pool. [chunk] is the
+    number of consecutive indices per stealable task (default: the
+    range split ~4 ways per worker). Within a chunk, indices run in
+    order; across chunks, order is unspecified. *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] — element [i] of the result is [f a.(i)], so
+    the output is deterministic and independent of the job count
+    whenever [f] is pure. *)
+
+val map_reduce :
+  t ->
+  ?chunk:int ->
+  start:int ->
+  stop:int ->
+  map:(int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  'a ->
+  'a
+(** [map_reduce t ~start ~stop ~map ~reduce init]: chunk-wise
+    map-then-fold. Each chunk folds its indices in order; the per-chunk
+    results are folded left-to-right in chunk order starting from
+    [init]. The grouping depends only on [chunk] (default 1), never on
+    the job count, so for an associative [reduce] the result is
+    identical at any job count — the deterministic-reduction contract
+    the search layers build on. *)
+
+(** {1 Process-wide default} *)
+
+val recommended_jobs : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count ()] capped at [cap] (default 8). *)
+
+val default_jobs : unit -> int
+(** The process-wide default job count consulted by layers whose
+    configuration says "inherit" ([search_jobs = 0]). Initially 1, so
+    nothing in the system goes parallel unless asked to. *)
+
+val set_default_jobs : int -> unit
+(** Set the process default (clamped to [>= 1]). If the shared global
+    pool exists at a different size it is shut down and lazily
+    recreated on next use. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs j] is [default_jobs ()] when [j <= 0], else [j] —
+    the decoding rule for "0 = inherit" job knobs. *)
+
+val global : ?jobs:int -> unit -> t
+(** The shared lazily-created pool. Created at
+    [max jobs (default_jobs ())] workers; if a later call requests
+    more workers than the pool has, it is replaced by a larger one
+    (callers must not hold references across such growth). *)

@@ -620,7 +620,7 @@ let test_compiler_cache_eviction () =
   let op_b = Operator.gemm ~m:192 ~n:320 ~k:256 () in
   ignore (Compiler.compile compiler op_a);
   ignore (Compiler.compile compiler op_b);
-  (* FIFO at capacity 1: compiling B evicted A *)
+  (* at capacity 1, LRU degenerates to FIFO: compiling B evicted A *)
   let s = Compiler.cache_stats compiler in
   Alcotest.(check int) "one eviction" 1 s.Compiler.evictions;
   Alcotest.(check int) "still one entry" 1 s.Compiler.size;
@@ -647,6 +647,92 @@ let test_compiler_overhead_accounting () =
   let plain = Compiler.operator_seconds compiler op in
   let with_oh = Compiler.operator_seconds_with_overhead compiler op in
   Alcotest.(check bool) "overhead adds" true (with_oh > plain)
+
+let test_compiler_cache_lru_touch_on_hit () =
+  let compiler = Compiler.create ~cache_capacity:2 Hardware.a100 in
+  let op_a = Operator.gemm ~m:320 ~n:192 ~k:256 () in
+  let op_b = Operator.gemm ~m:192 ~n:320 ~k:256 () in
+  let op_c = Operator.gemm ~m:256 ~n:256 ~k:256 () in
+  ignore (Compiler.compile compiler op_a);
+  ignore (Compiler.compile compiler op_b);
+  (* hitting A refreshes its recency, so B becomes the LRU victim — the
+     behaviour that distinguishes true LRU from insertion-order FIFO *)
+  ignore (Compiler.compile compiler op_a);
+  ignore (Compiler.compile compiler op_c);
+  Alcotest.(check bool) "A survived its touch" true (Compiler.cached compiler op_a);
+  Alcotest.(check bool) "B (least recent) evicted" false
+    (Compiler.cached compiler op_b);
+  Alcotest.(check bool) "C present" true (Compiler.cached compiler op_c);
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "one hit" 1 s.Compiler.hits;
+  Alcotest.(check int) "three misses" 3 s.Compiler.misses;
+  Alcotest.(check int) "one eviction" 1 s.Compiler.evictions
+
+(* --- Parallel search determinism --- *)
+
+(* The domain-parallel search contract: the chosen program, pattern and
+   predicted cost are bit-identical at every job count. The
+   candidates/pruned tallies are intentionally excluded — with a shared
+   bound they depend on domain scheduling. *)
+let compiled_fingerprint (c : Polymerize.compiled) =
+  ( Pattern.to_string c.Polymerize.pattern,
+    c.Polymerize.predicted_cost,
+    Program.to_string c.Polymerize.program )
+
+let check_jobs_invariant ?scorer compiler cases =
+  let kernels = Compiler.kernels compiler in
+  let config = Compiler.config compiler in
+  List.iter
+    (fun (case : Mikpoly_workloads.Gemm_case.t) ->
+      let op = Operator.gemm ~m:case.m ~n:case.n ~k:case.k () in
+      let at jobs =
+        compiled_fingerprint
+          (Polymerize.polymerize ?scorer ~instrument:false ~jobs kernels
+             config op)
+      in
+      Alcotest.(check (triple string (float 0.) string))
+        (Mikpoly_workloads.Gemm_case.to_string case)
+        (at 1) (at 4))
+    cases
+
+let test_parallel_search_deterministic_gpu () =
+  let cases =
+    List.filteri (fun i _ -> i mod 16 = 0) (Mikpoly_workloads.Suite.table3_gemm ())
+  in
+  check_jobs_invariant (Lazy.force gpu_compiler) cases
+
+let test_parallel_search_deterministic_npu () =
+  (* all nine patterns in play *)
+  let cases =
+    List.filteri (fun i _ -> i mod 64 = 0) (Mikpoly_workloads.Suite.table3_gemm ())
+  in
+  check_jobs_invariant (Lazy.force npu_compiler) cases
+
+let test_parallel_oracle_deterministic () =
+  let cases =
+    List.filteri (fun i _ -> i mod 128 = 0) (Mikpoly_workloads.Suite.table3_gemm ())
+  in
+  check_jobs_invariant ~scorer:Polymerize.Simulate (Lazy.force gpu_compiler)
+    cases
+
+let test_kernel_set_concurrent_create () =
+  Kernel_set.clear_cache ();
+  let config = Config.default gpu in
+  let tunes () =
+    match
+      Mikpoly_telemetry.Metrics.find
+        (Mikpoly_telemetry.Metrics.snapshot ())
+        "offline.tunes"
+    with
+    | Some (Mikpoly_telemetry.Metrics.Counter { value; _ }) -> value
+    | _ -> 0
+  in
+  let before = tunes () in
+  let d1 = Domain.spawn (fun () -> Kernel_set.create gpu config) in
+  let d2 = Domain.spawn (fun () -> Kernel_set.create gpu config) in
+  let s1 = Domain.join d1 and s2 = Domain.join d2 in
+  Alcotest.(check bool) "both domains share the memoized set" true (s1 == s2);
+  Alcotest.(check int) "offline stage ran exactly once" 1 (tunes () - before)
 
 let () =
   Alcotest.run "core"
@@ -740,7 +826,20 @@ let () =
           Alcotest.test_case "cache stats" `Quick test_compiler_cache_stats;
           Alcotest.test_case "cache eviction" `Quick
             test_compiler_cache_eviction;
+          Alcotest.test_case "LRU touch on hit" `Quick
+            test_compiler_cache_lru_touch_on_hit;
           Alcotest.test_case "overhead accounting" `Quick
             test_compiler_overhead_accounting;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "search jobs-invariant (GPU suite)" `Quick
+            test_parallel_search_deterministic_gpu;
+          Alcotest.test_case "search jobs-invariant (NPU, 9 patterns)" `Quick
+            test_parallel_search_deterministic_npu;
+          Alcotest.test_case "oracle scorer jobs-invariant" `Quick
+            test_parallel_oracle_deterministic;
+          Alcotest.test_case "concurrent offline create tunes once" `Quick
+            test_kernel_set_concurrent_create;
         ] );
     ]

@@ -224,6 +224,40 @@ let test_noop_overhead_under_5_percent () =
     (Printf.sprintf "no-op sink overhead %.2f%% < 5%%" (100. *. overhead))
     true (overhead < 0.05)
 
+(* --- Parallel recording: spans from worker domains --- *)
+
+let test_parallel_spans_recorded () =
+  with_tracer (fun () ->
+      let n = 24 in
+      Mikpoly_util.Domain_pool.with_pool ~jobs:4 (fun pool ->
+          Mikpoly_util.Domain_pool.parallel_for pool ~start:0 ~stop:n (fun i ->
+              Tracer.with_span
+                ("work." ^ string_of_int i)
+                (fun () -> Tracer.annotate "i" (string_of_int i))));
+      (* every body's span was captured, none corrupted, ids all unique *)
+      let spans = Tracer.spans () in
+      let work =
+        List.filter
+          (fun (s : Span.t) ->
+            String.length s.name > 5 && String.sub s.name 0 5 = "work.")
+          spans
+      in
+      Alcotest.(check int) "one span per body" n (List.length work);
+      let ids = List.sort_uniq compare (List.map (fun (s : Span.t) -> s.id) spans) in
+      Alcotest.(check int) "span ids unique" (List.length spans) (List.length ids);
+      List.iter
+        (fun (s : Span.t) ->
+          let i = String.sub s.name 5 (String.length s.name - 5) in
+          Alcotest.(check bool)
+            ("annotation survived on " ^ s.name)
+            true
+            (List.mem ("i", i) s.attrs))
+        work;
+      (* and the merged buffers still export as a loadable trace *)
+      match Json.parse (Export_chrome.of_tracer ()) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("trace does not parse: " ^ e))
+
 (* --- Integration: all four layers on one timeline --- *)
 
 let test_profiled_serve_covers_all_layers () =
@@ -300,6 +334,8 @@ let () =
         ] );
       ( "integration",
         [
+          Alcotest.test_case "parallel spans recorded" `Quick
+            test_parallel_spans_recorded;
           Alcotest.test_case "profiled serve covers all layers" `Quick
             test_profiled_serve_covers_all_layers;
         ] );
