@@ -8,7 +8,7 @@
    …) — the quantities Figure 12a's overhead analysis depends on.
 
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
-          [--skip-telemetry] [--skip-parallel] [ids...] *)
+          [--skip-telemetry] [--skip-parallel] [--skip-adapt] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -22,6 +22,8 @@ let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let skip_telemetry = Array.exists (( = ) "--skip-telemetry") Sys.argv
 
 let skip_parallel = Array.exists (( = ) "--skip-parallel") Sys.argv
+
+let skip_adapt = Array.exists (( = ) "--skip-adapt") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -364,8 +366,121 @@ let run_parallel_bench () =
     (fun () -> output_string oc (Json.to_string json));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Online adaptation: drift scenario plus a serving SLO A/B ---
+
+   Runs the lib/adapt drift scenario (the cost model goes stale halfway
+   through an observation trace) and asserts the acceptance criteria hard:
+   held-out Kendall-tau strictly improves after calibration with top-1
+   regret no worse, the detector fires, and attaching the adaptation loop
+   to a healthy serving deployment does not hurt SLO attainment. Writes
+   BENCH_adapt.json. *)
+
+let run_adapt_bench () =
+  let open Mikpoly_telemetry in
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let trace = if quick then 32 else 48 in
+  let r = Mikpoly_adapt.Scenario.run ~trace compiler in
+  let stats = Mikpoly_adapt.Adapter.stats r.adapter in
+  Printf.printf
+    "adapt drift scenario: tau %.4f -> %.4f, regret %.2f%% -> %.2f%%, %d \
+     drift event(s) after %d observation(s), stall %s\n%!"
+    r.before.tau r.after.tau
+    (100. *. r.before.top1_regret)
+    (100. *. r.after.top1_regret)
+    stats.drift_events r.reaction_observations
+    (Mikpoly_util.Table.fmt_time_us r.stall_seconds);
+  if stats.drift_events < 1 then begin
+    Printf.eprintf "adapt bench: the drift detector never fired\n";
+    exit 1
+  end;
+  if not (r.after.tau > r.before.tau) then begin
+    Printf.eprintf
+      "adapt bench: calibration did not improve Kendall-tau (%.4f -> %.4f)\n"
+      r.before.tau r.after.tau;
+    exit 1
+  end;
+  if r.after.top1_regret > r.before.top1_regret +. 1e-9 then begin
+    Printf.eprintf
+      "adapt bench: top-1 regret regressed (%.4f -> %.4f)\n"
+      r.before.top1_regret r.after.top1_regret;
+    exit 1
+  end;
+  (* Serving A/B on a healthy device: same trace and config, with and
+     without the adaptation loop attached. The detector must stay quiet
+     and SLO attainment must not drop. *)
+  let serve_config =
+    {
+      Mikpoly_serve.Scheduler.replicas = 2;
+      batcher = Mikpoly_serve.Batcher.Greedy { max_batch = 32 };
+      bucketing = Mikpoly_serve.Bucketing.Aligned 8;
+      cache_capacity = 64;
+    }
+  in
+  let requests =
+    Mikpoly_serve.Request.poisson ~seed:0x5E2 ~rate:30.
+      ~count:(if quick then 16 else 48)
+      ~max_prompt:64 ~max_output:8 ()
+  in
+  let serve_metrics ~adapted =
+    let c = Mikpoly_core.Compiler.create hw in
+    let adapter =
+      if adapted then Some (Mikpoly_adapt.Adapter.create c) else None
+    in
+    let adapt =
+      Option.map
+        (fun a () -> Mikpoly_adapt.Adapter.drain_stall_seconds a)
+        adapter
+    in
+    let engine = Mikpoly_serve.Scheduler.mikpoly_engine c in
+    Mikpoly_serve.Metrics.of_outcome
+      (Mikpoly_serve.Scheduler.run ?adapt serve_config engine requests)
+  in
+  let without = serve_metrics ~adapted:false in
+  let with_adapt = serve_metrics ~adapted:true in
+  Printf.printf
+    "adapt serving A/B: SLO attainment %.1f%% without vs %.1f%% with \
+     adaptation (adapt stall %s)\n%!"
+    (100. *. without.slo_attainment)
+    (100. *. with_adapt.slo_attainment)
+    (Mikpoly_util.Table.fmt_time_us with_adapt.adapt_stall_seconds);
+  if with_adapt.slo_attainment < without.slo_attainment -. 1e-9 then begin
+    Printf.eprintf
+      "adapt bench: SLO attainment regressed with adaptation (%.4f -> %.4f)\n"
+      without.slo_attainment with_adapt.slo_attainment;
+    exit 1
+  end;
+  let path = "BENCH_adapt.json" in
+  let json =
+    Json.Obj
+      [
+        ("trace_length", Json.Number (float_of_int r.trace_length));
+        ("tau_before", Json.Number r.before.tau);
+        ("tau_after", Json.Number r.after.tau);
+        ("top1_regret_before", Json.Number r.before.top1_regret);
+        ("top1_regret_after", Json.Number r.after.top1_regret);
+        ("holdout_shapes", Json.Number (float_of_int r.before.samples));
+        ("drift_events", Json.Number (float_of_int stats.drift_events));
+        ( "drift_reaction_observations",
+          Json.Number (float_of_int r.reaction_observations) );
+        ("programs_invalidated", Json.Number (float_of_int stats.invalidated));
+        ("hot_shapes_recompiled", Json.Number (float_of_int stats.recompiles));
+        ("recompile_stall_seconds", Json.Number r.stall_seconds);
+        ("serving_slo_without_adapt", Json.Number without.slo_attainment);
+        ("serving_slo_with_adapt", Json.Number with_adapt.slo_attainment);
+        ( "serving_adapt_stall_seconds",
+          Json.Number with_adapt.adapt_stall_seconds );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
   if not skip_telemetry then run_telemetry_overhead ();
-  if not skip_parallel then run_parallel_bench ()
+  if not skip_parallel then run_parallel_bench ();
+  if not skip_adapt then run_adapt_bench ()

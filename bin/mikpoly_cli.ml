@@ -13,8 +13,20 @@ let set_jobs jobs =
   Mikpoly_util.Domain_pool.set_default_jobs
     (if jobs = 0 then Mikpoly_util.Domain_pool.recommended_jobs () else jobs)
 
-let run_experiments jobs ids quick csv =
+(* Process-wide PRNG seed default: subcommands with a --seed flag set it
+   before building traces, and every [Prng.default_seed ~fallback] call
+   site (serving traces, the drift scenario) picks it up. *)
+let set_seed = function
+  | None -> ()
+  | Some seed when seed < 0 ->
+    Printf.eprintf "bad --seed: %d (expected a non-negative integer)\n" seed;
+    exit 2
+  | Some seed -> Mikpoly_util.Prng.set_default_seed seed
+
+let run_experiments jobs seed adapt ids quick csv =
   set_jobs jobs;
+  set_seed seed;
+  Mikpoly_experiments.Exp_serving.with_adaptation := adapt;
   let experiments =
     match ids with
     | [] -> Mikpoly_experiments.Registry.all
@@ -168,9 +180,10 @@ let verify count npu =
       f.max_abs_diff f.program;
     1
 
-let serve jobs quick csv npu replicas requests rate cache bucket batcher
-    max_batch window =
+let serve jobs seed quick csv npu adapt_on replicas requests rate cache bucket
+    batcher max_batch window =
   set_jobs jobs;
+  set_seed seed;
   let open Mikpoly_serve in
   let hw =
     if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100
@@ -201,12 +214,21 @@ let serve jobs quick csv npu replicas requests rate cache bucket batcher
   end;
   let count = if quick then min requests 16 else requests in
   let trace =
-    Request.poisson ~seed:0x5E2 ~rate ~count
+    Request.poisson
+      ~seed:(Mikpoly_util.Prng.default_seed ~fallback:0x5E2 ())
+      ~rate ~count
       ~max_prompt:(if quick then 64 else 256)
       ~max_output:(if quick then 8 else 48)
       ()
   in
-  let engine = Scheduler.mikpoly_engine (Mikpoly_core.Compiler.create hw) in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let adapter =
+    if adapt_on then Some (Mikpoly_adapt.Adapter.create compiler) else None
+  in
+  let adapt =
+    Option.map (fun a () -> Mikpoly_adapt.Adapter.drain_stall_seconds a) adapter
+  in
+  let engine = Scheduler.mikpoly_engine compiler in
   let config = { Scheduler.replicas; batcher; bucketing; cache_capacity = cache } in
   let baseline =
     {
@@ -223,7 +245,7 @@ let serve jobs quick csv npu replicas requests rate cache bucket batcher
       ~header:Mikpoly_serve.Metrics.header
   in
   let measure label cfg =
-    let m = Metrics.of_outcome (Scheduler.run cfg engine trace) in
+    let m = Metrics.of_outcome (Scheduler.run ?adapt cfg engine trace) in
     Mikpoly_util.Table.add_row table (Metrics.to_row ~label m);
     m
   in
@@ -244,9 +266,88 @@ let serve jobs quick csv npu replicas requests rate cache bucket batcher
       (Mikpoly_util.Table.fmt_time_us b.Metrics.compile_stall_seconds)
       (100. *. m.Metrics.slo_attainment)
       (100. *. b.Metrics.slo_attainment);
+    (match adapter with
+    | Some a ->
+      let s = Mikpoly_adapt.Adapter.stats a in
+      Printf.printf
+        "adaptation: %d observations, %d drift event(s), adapt stall %s\n"
+        s.Mikpoly_adapt.Adapter.observations
+        s.Mikpoly_adapt.Adapter.drift_events
+        (Mikpoly_util.Table.fmt_time_us m.Metrics.adapt_stall_seconds)
+    | None -> ());
     print_string (Mikpoly_telemetry.Report.telemetry_section ())
   end;
   0
+
+(* Drive the drift scenario end to end: serve an observation trace through
+   an adapter-instrumented compiler, degrade the execution device halfway,
+   and report detection latency, cache invalidation, recompilation and
+   ranking quality before/after calibration. *)
+let adapt jobs seed quick csv npu severity trace_len save_path =
+  set_jobs jobs;
+  set_seed seed;
+  let open Mikpoly_adapt in
+  if severity < 0. || severity >= 1. then begin
+    Printf.eprintf "bad --severity: %g (expected 0 <= s < 1)\n" severity;
+    exit 2
+  end;
+  if trace_len < 2 then begin
+    Printf.eprintf "bad --trace: %d (expected >= 2)\n" trace_len;
+    exit 2
+  end;
+  let hw =
+    if npu then Mikpoly_accel.Hardware.ascend910 else Mikpoly_accel.Hardware.a100
+  in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let r =
+    Scenario.run
+      ~seed:(Mikpoly_util.Prng.default_seed ~fallback:0xADA ())
+      ~severity
+      ~trace:(if quick then min trace_len 24 else trace_len)
+      compiler
+  in
+  let stats = Adapter.stats r.adapter in
+  let table =
+    Mikpoly_util.Table.create
+      ~title:
+        (Printf.sprintf "adapt: %d-step trace on %s, drift severity %g"
+           r.trace_length hw.name severity)
+      ~header:[ "metric"; "stale"; "calibrated" ]
+  in
+  Mikpoly_util.Table.add_row table
+    [
+      "Kendall tau (held-out)";
+      Printf.sprintf "%.4f" r.before.tau;
+      Printf.sprintf "%.4f" r.after.tau;
+    ];
+  Mikpoly_util.Table.add_row table
+    [
+      "top-1 regret";
+      Printf.sprintf "%.2f%%" (100. *. r.before.top1_regret);
+      Printf.sprintf "%.2f%%" (100. *. r.after.top1_regret);
+    ];
+  if csv then print_endline (Mikpoly_util.Table.to_csv table)
+  else begin
+    print_endline (Mikpoly_util.Table.render table);
+    Printf.printf
+      "drift: %d event(s), detected %d observation(s) after injection; %d \
+       program(s) invalidated, %d hot shape(s) recompiled (%s stall), %d \
+       kernel(s) calibrated\n"
+      stats.Adapter.drift_events r.reaction_observations
+      stats.Adapter.invalidated stats.Adapter.recompiles
+      (Mikpoly_util.Table.fmt_time_us r.stall_seconds)
+      stats.Adapter.calibrated_kernels
+  end;
+  (match save_path with
+  | Some path ->
+    Adapter.save_profile r.adapter ~path;
+    Printf.printf "saved calibration profile to %s\n" path
+  | None -> ());
+  if stats.Adapter.drift_events < 1 then begin
+    Printf.eprintf "adaptation failed: the drift detector never fired\n";
+    1
+  end
+  else 0
 
 (* Run a target under the span tracer and export the observability
    artifacts: a Chrome/Perfetto trace, the flat profile and the metrics
@@ -371,13 +472,34 @@ let jobs_arg =
 
 let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Seed the deterministic PRNG streams (request traces, drift \
+           scenario shapes). Runs with the same seed are bit-identical; \
+           negative values are rejected.")
+
+let adapt_flag =
+  Arg.(
+    value & flag
+    & info [ "adapt" ]
+        ~doc:
+          "Attach the online adaptation loop (lib/adapt): observe \
+           prediction residuals, detect drift and charge recompilations \
+           on the serving event clock.")
+
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
 
 let run_cmd =
   let doc = "Run paper-experiment reproductions" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ jobs_arg $ ids_arg $ quick_flag $ csv_flag)
+    Term.(
+      const run_experiments $ jobs_arg $ seed_arg $ adapt_flag $ ids_arg
+      $ quick_flag $ csv_flag)
 
 let list_cmd =
   let doc = "List available experiments" in
@@ -447,8 +569,38 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ jobs_arg $ quick_flag $ csv_flag $ npu $ replicas
-      $ requests $ rate $ cache $ bucket $ batcher $ max_batch $ window)
+      const serve $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ npu
+      $ adapt_flag $ replicas $ requests $ rate $ cache $ bucket $ batcher
+      $ max_batch $ window)
+
+let adapt_cmd =
+  let doc =
+    "Run the online-calibration drift scenario: observe, detect, \
+     recalibrate, recompile"
+  in
+  let npu = Arg.(value & flag & info [ "npu" ] ~doc:"Target the NPU model.") in
+  let severity =
+    Arg.(
+      value & opt float 0.35
+      & info [ "severity" ] ~docv:"S"
+          ~doc:"Drift severity injected at the trace midpoint (0 <= S < 1).")
+  in
+  let trace_len =
+    Arg.(
+      value & opt int 48
+      & info [ "trace" ] ~docv:"N" ~doc:"Observation-trace length.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Persist the fitted calibration profile to FILE.")
+  in
+  Cmd.v (Cmd.info "adapt" ~doc)
+    Term.(
+      const adapt $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ npu
+      $ severity $ trace_len $ save)
 
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
@@ -506,6 +658,6 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      verify_cmd; profile_cmd; validate_trace_cmd ]
+      adapt_cmd; verify_cmd; profile_cmd; validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

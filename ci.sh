@@ -10,8 +10,16 @@ if [ -f .ocamlformat ]; then
   dune build @fmt
 fi
 
-echo "== dune build =="
-dune build
+echo "== dune build (warnings as errors) =="
+# A forced rebuild so warnings cached away by incremental builds resurface;
+# any compiler warning fails the stage.
+build_log="${TMPDIR:-/tmp}/mikpoly_ci_build.log"
+dune build --force 2>&1 | tee "$build_log"
+if grep -q "Warning" "$build_log"; then
+  echo "build emitted warnings (treated as errors)"
+  exit 1
+fi
+rm -f "$build_log"
 
 echo "== dune runtest =="
 dune runtest
@@ -38,8 +46,25 @@ test -s "$trace_out"
 dune exec bin/mikpoly_cli.exe -- validate-trace "$trace_out"
 rm -f "$trace_out"
 
+echo "== adapt smoke test =="
+# The online-adaptation loop end to end on a tiny GEMM trace: compile,
+# observe residuals, inject drift, detect, recalibrate, invalidate and
+# recompile; the subcommand exits non-zero if the detector never fires.
+# The saved calibration profile must be a non-empty versioned artifact.
+profile_out="${TMPDIR:-/tmp}/mikpoly_ci_profile.cal"
+dune exec bin/mikpoly_cli.exe -- adapt --quick --seed 7 --save "$profile_out"
+test -s "$profile_out"
+head -1 "$profile_out" | grep -q "mikpoly-calibration"
+rm -f "$profile_out"
+# Serving with the adaptation loop attached must run clean too.
+dune exec bin/mikpoly_cli.exe -- serve --quick --adapt
+
 echo "== parallel scaling bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-adapt
 test -s BENCH_parallel.json
+
+echo "== adapt bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel
+test -s BENCH_adapt.json
 
 echo "CI OK"

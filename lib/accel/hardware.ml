@@ -102,6 +102,16 @@ let slots t = function Matrix -> t.matrix_slots | Vector -> t.vector_slots
 
 let cycles_to_seconds t cycles = cycles /. t.clock_hz
 
+let fingerprint t =
+  (* Every numeric field that the performance model reads, formatted with
+     enough digits to round-trip; deliberately excludes [name] so a renamed
+     preset with identical behaviour keeps its artifacts. *)
+  Printf.sprintf "%s:pes=%d:clk=%.9g:mf=%.9g:vf=%.9g:lmem=%d:fab=%.9g:dram=%.9g:ms=%d:vs=%d:launch=%.9g"
+    (match t.kind with Gpu -> "gpu" | Npu -> "npu")
+    t.num_pes t.clock_hz t.matrix_flops_per_cycle t.vector_flops_per_cycle
+    t.local_mem_bytes t.fabric_bytes_per_cycle t.dram_bytes_per_cycle
+    t.matrix_slots t.vector_slots t.launch_overhead_s
+
 let to_string t =
   Printf.sprintf "%s: %d PEs @ %.2f GHz, %.0f TFLOPS matrix, %d KiB local, %.0f GB/s dram"
     t.name t.num_pes (t.clock_hz /. 1e9)

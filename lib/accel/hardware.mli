@@ -69,4 +69,11 @@ val slots : t -> compute_path -> int
 
 val cycles_to_seconds : t -> float -> float
 
+val fingerprint : t -> string
+(** Stable identity of the performance-relevant configuration: every numeric
+    field (kind, PEs, clock, throughputs, memories, slots, launch overhead)
+    encoded in one string, excluding [name]. On-disk artifacts (kernel
+    stores, calibration profiles) embed this so an artifact tuned for one
+    hardware config is rejected — not silently loaded — for another. *)
+
 val to_string : t -> string

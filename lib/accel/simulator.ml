@@ -9,6 +9,13 @@ type result = {
   exact : bool;
 }
 
+type region_obs = {
+  obs_kernel : Kernel_desc.t;
+  obs_n_tasks : int;
+  obs_t_steps : int;
+  obs_cycles : float;
+}
+
 exception Kernel_does_not_fit of string
 
 let region_work (hw : Hardware.t) (r : Load.region) =
@@ -89,14 +96,38 @@ let emit_region_spans (hw : Hardware.t) (load : Load.t) works (t_min, t_max, t_s
           ~name ~start ~finish ())
     (List.combine works names)
 
-let run (hw : Hardware.t) (load : Load.t) =
+(* Per-region observed cycles from the same envelopes the tracer uses:
+   event-driven spans when the scheduler ran exactly, cumulative analytic
+   makespans otherwise — so the adaptation layer sees a consistent signal
+   on both paths. *)
+let region_observations (hw : Hardware.t) (load : Load.t) works (t_min, t_max, t_seen) =
+  List.mapi
+    (fun i ((r : Load.region), (w : Sched.region_work)) ->
+      let cycles =
+        if t_seen.(i) then t_max.(i) -. t_min.(i)
+        else begin
+          let cap = float_of_int (hw.num_pes * w.blocks_per_pe) in
+          float_of_int w.count /. cap *. w.duration
+        end
+      in
+      {
+        obs_kernel = r.kernel;
+        obs_n_tasks = r.n_tasks;
+        obs_t_steps = r.t_steps;
+        obs_cycles = cycles;
+      })
+    (List.combine load.regions works)
+  |> List.filter (fun o -> o.obs_n_tasks > 0)
+
+let run ?observe (hw : Hardware.t) (load : Load.t) =
   let path = path_of load in
   let works = List.map (region_work hw) load.regions in
   let tracing =
     Mikpoly_telemetry.Tracer.enabled () && load.regions <> []
   in
+  let observing = observe <> None && load.regions <> [] in
   let on_span, envelopes =
-    if tracing then begin
+    if tracing || observing then begin
       let on_span, t_min, t_max, t_seen = region_envelopes works in
       (Some on_span, Some (t_min, t_max, t_seen))
     end
@@ -110,7 +141,11 @@ let run (hw : Hardware.t) (load : Load.t) =
     | Npu -> Sched.schedule_npu ?on_span ~num_pes:hw.num_pes works
   in
   (match envelopes with
-  | Some env -> emit_region_spans hw load works env
+  | Some env ->
+    if tracing then emit_region_spans hw load works env;
+    (match observe with
+    | Some f -> f (region_observations hw load works env)
+    | None -> ())
   | None -> ());
   let launches =
     float_of_int (List.length load.regions) *. hw.launch_overhead_s *. hw.clock_hz

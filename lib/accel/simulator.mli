@@ -20,11 +20,28 @@ type result = {
   exact : bool;  (** scheduler ran event-driven (vs analytic fallback) *)
 }
 
+type region_obs = {
+  obs_kernel : Kernel_desc.t;
+  obs_n_tasks : int;
+  obs_t_steps : int;
+  obs_cycles : float;
+      (** Observed region duration in device cycles: the envelope from the
+          region's first task start to its last task finish (event-driven
+          scheduler), or the analytic per-region makespan on the fallback
+          path. Excludes launch overheads and the DRAM floor — the same
+          quantity [Cost_model.region_cost] predicts. *)
+}
+(** One per-region execution observation, fed to the adaptation layer. *)
+
 exception Kernel_does_not_fit of string
 (** Raised when a region's kernel cannot be resident on the device. *)
 
-val run : Hardware.t -> Load.t -> result
-(** Simulate the program. When the global telemetry tracer is enabled
+val run : ?observe:(region_obs list -> unit) -> Hardware.t -> Load.t -> result
+(** Simulate the program. When [observe] is given it is called once with
+    one {!region_obs} per non-empty program region — the residual-feedback
+    hook the [lib/adapt] calibration layer builds on; the per-region
+    envelope machinery only runs when observation or tracing is active.
+    When the global telemetry tracer is enabled
     ({!Mikpoly_telemetry.Tracer.enable}), additionally emits one span
     per program region on the virtual [device/<hw.name>] track (units:
     device cycles) covering the region's first task start to last task

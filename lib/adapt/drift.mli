@@ -1,0 +1,41 @@
+(** Drift detection over prediction residuals.
+
+    The adapter feeds one residual per observed program execution —
+    [log(observed / corrected-predicted)] region-cycle totals — and asks
+    whether the residual distribution has {e shifted} mid-stream. A
+    two-sided Page–Hinkley test over deviations from the running mean
+    answers that: a constant model bias (residuals stable around any
+    value) never fires, because the running mean absorbs it; a change in
+    the execution environment (residuals jump to a new level) accumulates
+    deviation mass and trips the [lambda] threshold within a few
+    observations. An EWMA of the residuals is tracked alongside for
+    reporting. The detector self-resets when it fires. *)
+
+type params = {
+  alpha : float;  (** EWMA smoothing for the reported residual level *)
+  delta : float;  (** Page–Hinkley slack: drift magnitude to ignore *)
+  lambda : float;  (** Page–Hinkley threshold: deviation mass to fire *)
+}
+
+val default_params : params
+(** [alpha = 0.2], [delta = 0.05], [lambda = 0.5] — in log-residual units,
+    fires after a handful of observations once costs shift by ≳20%. *)
+
+type t
+
+val create : ?params:params -> unit -> t
+
+val observe : t -> float -> bool
+(** Feed one residual; returns [true] when drift is detected (the detector
+    resets itself before returning). *)
+
+val reset : t -> unit
+
+val count : t -> int
+(** Observations since the last reset/fire. *)
+
+val mean : t -> float
+(** Running mean of residuals since the last reset. *)
+
+val ewma : t -> float
+(** Exponentially-weighted residual level (0 until first observation). *)

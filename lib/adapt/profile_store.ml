@@ -1,0 +1,69 @@
+module Pw = Mikpoly_util.Piecewise
+module Hardware = Mikpoly_accel.Hardware
+
+let magic = "mikpoly-calibration v1"
+
+let save ~path (hw : Hardware.t) (cal : Calibration.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "hw %s\n" hw.name;
+      Printf.fprintf oc "fingerprint %s\n" (Calibration.fingerprint cal);
+      output_string oc (Calibration.to_string cal))
+
+let parse_points s =
+  let parse_one tok =
+    match String.split_on_char ':' tok with
+    | [ x; y ] -> (float_of_string x, float_of_string y)
+    | _ -> failwith "bad breakpoint"
+  in
+  List.map parse_one
+    (List.filter (fun t -> t <> "") (String.split_on_char ' ' s))
+
+let parse_curve = function
+  | [ "identity" ] -> Calibration.Identity
+  | [ "scale"; a ] -> Calibration.Scale (float_of_string a)
+  | [ "affine"; a; b ] ->
+    Calibration.Affine (float_of_string a, float_of_string b)
+  | "knots" :: (_ :: _ as pts) ->
+    Calibration.Knots (Pw.of_points (parse_points (String.concat " " pts)))
+  | _ -> failwith "malformed curve"
+
+let parse_kernel line =
+  match String.split_on_char ' ' line with
+  | "kernel" :: um :: un :: uk :: curve ->
+    ( (int_of_string um, int_of_string un, int_of_string uk),
+      parse_curve curve )
+  | _ -> failwith "malformed kernel line"
+
+let load ~path (hw : Hardware.t) =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        match List.rev !lines with
+        | header :: hw_line :: fp_line :: rest ->
+          let fp = Hardware.fingerprint hw in
+          if header <> magic then fail "unrecognized calibration file"
+          else if hw_line <> "hw " ^ hw.name then
+            fail "calibration was recorded on a different platform (%s)" hw_line
+          else if fp_line <> "fingerprint " ^ fp then
+            fail
+              "calibration was recorded for a different hardware configuration (%s)"
+              fp_line
+          else begin
+            try Ok (Calibration.of_curves ~fingerprint:fp (List.map parse_kernel rest))
+            with Failure e | Invalid_argument e -> Error e
+          end
+        | _ -> fail "truncated calibration file")

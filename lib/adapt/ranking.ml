@@ -1,0 +1,70 @@
+module Compiler = Mikpoly_core.Compiler
+module Kernel_set = Mikpoly_core.Kernel_set
+module Cost_model = Mikpoly_core.Cost_model
+module Hardware = Mikpoly_accel.Hardware
+module Load = Mikpoly_accel.Load
+module Simulator = Mikpoly_accel.Simulator
+module Stats = Mikpoly_util.Stats
+
+type eval = {
+  tau : float;
+  top1_regret : float;
+  samples : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* The candidate portfolio for one shape: every micro-kernel as a
+   single-region (Pattern I) program — the per-region choice Equation 2 is
+   asked to make. [(predicted, simulated)] per candidate, in rank order. *)
+let candidates ~(compiler : Compiler.t) ~(exec_hw : Hardware.t) ?correction
+    (m, n, k) =
+  let set = Compiler.kernels compiler in
+  Array.to_list set.entries
+  |> List.map (fun (e : Kernel_set.entry) ->
+         let n_tasks = ceil_div m e.desc.um * ceil_div n e.desc.un in
+         let t_steps = ceil_div k e.desc.uk in
+         let wave = float_of_int (ceil_div n_tasks e.wave_capacity) in
+         let raw = wave *. Cost_model.f_pipe e ~k_len:k in
+         let predicted =
+           match correction with
+           | Some f -> Float.max 0. (f e raw)
+           | None -> raw
+         in
+         let load =
+           Load.make
+             ~regions:[ Load.region ~kernel:e.desc ~n_tasks ~t_steps ]
+             ~footprint_bytes:
+               (Load.gemm_footprint_bytes ~dtype:e.desc.dtype ~m ~n ~k)
+         in
+         (predicted, (Simulator.run exec_hw load).cycles))
+
+let evaluate ~compiler ~exec_hw ?correction shapes =
+  if shapes = [] then invalid_arg "Ranking.evaluate: no shapes";
+  let taus, regrets =
+    List.fold_left
+      (fun (taus, regrets) shape ->
+        let pairs = candidates ~compiler ~exec_hw ?correction shape in
+        let tau = Stats.kendall_tau pairs in
+        (* Argmin by predicted resp. simulated cost; [fold_left] keeps the
+           first (lowest-rank) candidate on ties, deterministically. *)
+        let pick proj =
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | Some b when proj b <= proj cand -> best
+              | _ -> Some cand)
+            None pairs
+        in
+        let chosen = Option.get (pick fst) and oracle = Option.get (pick snd) in
+        let regret =
+          if snd oracle > 0. then (snd chosen /. snd oracle) -. 1. else 0.
+        in
+        (tau :: taus, regret :: regrets))
+      ([], []) shapes
+  in
+  {
+    tau = Stats.mean taus;
+    top1_regret = Stats.mean regrets;
+    samples = List.length shapes;
+  }

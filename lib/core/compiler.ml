@@ -10,6 +10,8 @@ let m_misses = Tm.Metrics.counter "compiler.cache.misses"
 
 let m_evictions = Tm.Metrics.counter "compiler.cache.evictions"
 
+let m_invalidations = Tm.Metrics.counter "compiler.cache.invalidations"
+
 (* A cached program plus its recency; [last_use] is a strictly
    increasing tick (unique per touch), so the LRU victim — the minimum —
    is unambiguous. Same idiom as [Serve.Shape_cache]. *)
@@ -18,23 +20,43 @@ type slot = {
   mutable last_use : int;
 }
 
+type region_observation = {
+  ro_kernel : Kernel_desc.t;
+  ro_n_tasks : int;
+  ro_t_steps : int;
+  ro_predicted : float;
+  ro_observed : float;
+}
+
+type observation = {
+  ob_shape : int * int * int;
+  ob_hw_fingerprint : string;
+  ob_regions : region_observation list;
+  ob_predicted : float;
+  ob_observed : float;
+}
+
 type t = {
   hw : Hardware.t;
   config : Config.t;
   kernels : Kernel_set.t;
-  lock : Mutex.t;  (** guards cache, tick and the stats counters *)
+  lock : Mutex.t;  (** guards cache, tick, the stats counters and hooks *)
   cache : (int * int * int, slot) Hashtbl.t;
   mutable tick : int;
   cache_capacity : int;  (** 0 = unbounded *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable cache_invalidations : int;
+  mutable correction : (Kernel_set.entry -> float -> float) option;
+  mutable observer : (observation -> unit) option;
 }
 
 type cache_stats = {
   hits : int;
   misses : int;
   evictions : int;
+  invalidations : int;
   size : int;
 }
 
@@ -53,6 +75,9 @@ let create ?config ?(cache_capacity = 0) hw =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    cache_invalidations = 0;
+    correction = None;
+    observer = None;
   }
 
 let hardware t = t.hw
@@ -93,6 +118,13 @@ let insert t key c =
   touch t slot;
   Hashtbl.replace t.cache key slot
 
+(* Cache-miss compiles rank candidates with the calibrated model whenever
+   a correction is installed; otherwise the plain Equation-2 model. *)
+let default_scorer t =
+  match locked t (fun () -> t.correction) with
+  | Some f -> Polymerize.Calibrated f
+  | None -> Polymerize.Model Cost_model.Full
+
 let compile_lookup t op =
   let key = Operator.gemm_shape op in
   let hit =
@@ -118,7 +150,8 @@ let compile_lookup t op =
        overlap; on insert, re-check whether a racing domain won — the
        search is deterministic, so adopting either result is sound, and
        keeping the incumbent preserves its recency. *)
-    let c = Polymerize.polymerize t.kernels t.config op in
+    let scorer = default_scorer t in
+    let c = Polymerize.polymerize ~scorer t.kernels t.config op in
     locked t (fun () ->
         match Hashtbl.find_opt t.cache key with
         | Some slot ->
@@ -146,6 +179,7 @@ let cache_stats t =
         hits = t.cache_hits;
         misses = t.cache_misses;
         evictions = t.cache_evictions;
+        invalidations = t.cache_invalidations;
         size = Hashtbl.length t.cache;
       })
 
@@ -153,12 +187,98 @@ let reset_cache_stats t =
   locked t (fun () ->
       t.cache_hits <- 0;
       t.cache_misses <- 0;
-      t.cache_evictions <- 0)
+      t.cache_evictions <- 0;
+      t.cache_invalidations <- 0)
+
+let invalidate t key =
+  locked t (fun () ->
+      if Hashtbl.mem t.cache key then begin
+        Hashtbl.remove t.cache key;
+        t.cache_invalidations <- t.cache_invalidations + 1;
+        Tm.Metrics.incr m_invalidations;
+        true
+      end
+      else false)
+
+let invalidate_if t pred =
+  locked t (fun () ->
+      (* Collect first: dropping entries while folding over the table is
+         unspecified. Sort so the invalidation count and telemetry order
+         are deterministic regardless of hash-table iteration order. *)
+      let victims =
+        Hashtbl.fold
+          (fun key slot acc -> if pred key slot.compiled then key :: acc else acc)
+          t.cache []
+        |> List.sort compare
+      in
+      List.iter (Hashtbl.remove t.cache) victims;
+      let n = List.length victims in
+      t.cache_invalidations <- t.cache_invalidations + n;
+      for _ = 1 to n do
+        Tm.Metrics.incr m_invalidations
+      done;
+      n)
+
+let set_correction t f = locked t (fun () -> t.correction <- f)
+
+let correction t = locked t (fun () -> t.correction)
+
+let set_observer t f = locked t (fun () -> t.observer <- f)
 
 let compile_fresh ?scorer ?instrument t op =
-  Polymerize.polymerize ?scorer ?instrument t.kernels t.config op
+  let scorer = match scorer with Some s -> s | None -> default_scorer t in
+  Polymerize.polymerize ~scorer ?instrument t.kernels t.config op
 
-let simulate t (c : Polymerize.compiled) = Simulator.run t.hw (Program.to_load c.program)
+(* The per-region prediction paired with an execution observation: the
+   model's belief for this (kernel, n_tasks, t_steps) region — always
+   evaluated on the compiler's own hardware model, even when the program
+   executed on a drifted device. *)
+let predict_region t (o : Simulator.region_obs) =
+  match
+    Kernel_set.find t.kernels ~um:o.obs_kernel.um ~un:o.obs_kernel.un
+      ~uk:o.obs_kernel.uk
+  with
+  | None -> None
+  | Some e ->
+    let wave =
+      float_of_int ((o.obs_n_tasks + e.wave_capacity - 1) / e.wave_capacity)
+    in
+    let pipe = Cost_model.f_pipe e ~k_len:(o.obs_t_steps * e.desc.uk) in
+    Some
+      {
+        ro_kernel = o.obs_kernel;
+        ro_n_tasks = o.obs_n_tasks;
+        ro_t_steps = o.obs_t_steps;
+        ro_predicted = wave *. pipe;
+        ro_observed = o.obs_cycles;
+      }
+
+let simulate_observed ?hw t (c : Polymerize.compiled) =
+  let device = match hw with Some h -> h | None -> t.hw in
+  let load = Program.to_load c.program in
+  let raw = ref [] in
+  let result = Simulator.run ~observe:(fun os -> raw := os) device load in
+  let regions = List.filter_map (predict_region t) !raw in
+  let obs =
+    {
+      ob_shape = Operator.gemm_shape c.program.op;
+      ob_hw_fingerprint = Hardware.fingerprint device;
+      ob_regions = regions;
+      ob_predicted =
+        List.fold_left (fun acc r -> acc +. r.ro_predicted) 0. regions;
+      ob_observed =
+        List.fold_left (fun acc r -> acc +. r.ro_observed) 0. regions;
+    }
+  in
+  (match locked t (fun () -> t.observer) with
+  | Some f -> f obs
+  | None -> ());
+  (result, obs)
+
+let simulate t (c : Polymerize.compiled) =
+  match locked t (fun () -> t.observer) with
+  | None -> Simulator.run t.hw (Program.to_load c.program)
+  | Some _ -> fst (simulate_observed t c)
 
 let operator_seconds t op = (simulate t (compile t op)).seconds
 

@@ -41,6 +41,9 @@ type cache_stats = {
   hits : int;  (** [compile] calls served from the per-shape memo *)
   misses : int;  (** [compile] calls that ran the online search *)
   evictions : int;  (** entries dropped by the [cache_capacity] bound *)
+  invalidations : int;
+      (** entries dropped explicitly via {!invalidate} / {!invalidate_if}
+          (counted separately from capacity evictions) *)
   size : int;  (** distinct shapes currently cached *)
 }
 
@@ -50,17 +53,74 @@ val cache_stats : t -> cache_stats
     [compile_fresh] do not touch the counters. *)
 
 val reset_cache_stats : t -> unit
-(** Zero the hit/miss/eviction counters (cache contents are kept) —
-    test isolation for a shared compiler. *)
+(** Zero the hit/miss/eviction/invalidation counters (cache contents are
+    kept) — test isolation for a shared compiler. *)
+
+val invalidate : t -> int * int * int -> bool
+(** [invalidate t (m, n, k)] drops the cached program for that shape, if
+    any; returns whether an entry was removed. Counted in
+    [cache_stats.invalidations] and the [compiler.cache.invalidations]
+    telemetry counter, separately from capacity evictions. *)
+
+val invalidate_if :
+  t -> (int * int * int -> Polymerize.compiled -> bool) -> int
+(** [invalidate_if t pred] drops every cached entry satisfying [pred];
+    returns the number removed. Used by the adaptation layer to invalidate
+    the programs whose ranking relied on a since-recalibrated kernel. *)
+
+val set_correction : t -> (Kernel_set.entry -> float -> float) option -> unit
+(** Install (or clear) the per-kernel cost correction: subsequent
+    cache-miss compiles and default [compile_fresh] calls rank candidates
+    with {!Polymerize.Calibrated} instead of the raw Equation-2 model.
+    Programs already cached are untouched — pair with {!invalidate_if}. *)
+
+val correction : t -> (Kernel_set.entry -> float -> float) option
+
+type region_observation = {
+  ro_kernel : Mikpoly_accel.Kernel_desc.t;
+  ro_n_tasks : int;
+  ro_t_steps : int;
+  ro_predicted : float;
+      (** the model's raw (uncorrected) f_wave × f_pipe for this region, in
+          the compiler's own hardware model's cycles *)
+  ro_observed : float;  (** the simulator's region envelope, in cycles *)
+}
+
+type observation = {
+  ob_shape : int * int * int;
+  ob_hw_fingerprint : string;  (** device the program actually ran on *)
+  ob_regions : region_observation list;
+  ob_predicted : float;  (** Σ region predictions (launches excluded) *)
+  ob_observed : float;  (** Σ region envelopes (launches excluded) *)
+}
+(** One execution's residual-feedback record: per-region predicted vs
+    observed cycles for a simulated program run. *)
+
+val set_observer : t -> (observation -> unit) option -> unit
+(** Install (or clear) the residual-feedback hook: every {!simulate} and
+    {!simulate_observed} call reports its observation to the hook (called
+    without the compiler lock held, so the hook may invalidate or
+    recalibrate). With no observer, [simulate] skips the per-region
+    envelope machinery entirely. *)
 
 val compile_fresh :
   ?scorer:Polymerize.scorer -> ?instrument:bool -> t ->
   Mikpoly_ir.Operator.t -> Polymerize.compiled
 (** Uncached compilation, optionally with an ablated or oracle scorer
-    (Figure 12b). [instrument] is passed to {!Polymerize.polymerize}. *)
+    (Figure 12b). When [scorer] is omitted, uses the calibrated model if a
+    correction is installed (like [compile]), else [Model Full].
+    [instrument] is passed to {!Polymerize.polymerize}. *)
 
 val simulate : t -> Polymerize.compiled -> Mikpoly_accel.Simulator.result
 (** Time the compiled program on the platform simulator. *)
+
+val simulate_observed :
+  ?hw:Mikpoly_accel.Hardware.t -> t -> Polymerize.compiled ->
+  Mikpoly_accel.Simulator.result * observation
+(** Like {!simulate} but additionally returns the residual observation,
+    and executes on [hw] when given (the compiler's own device otherwise)
+    while predictions still come from the compiler's model — how the
+    adaptation layer measures hardware drift. Feeds the observer hook. *)
 
 val operator_seconds : t -> Mikpoly_ir.Operator.t -> float
 (** Device time of the best program for the operator (excluding online

@@ -1,7 +1,10 @@
 open Mikpoly_accel
 open Mikpoly_autosched
 
-let magic = "mikpoly-kernel-set v1"
+(* v2 added the hardware fingerprint line; v1 files (no fingerprint) are
+   rejected as unrecognized, forcing a re-tune rather than a silent reuse
+   on hardware the set was never validated against. *)
+let magic = "mikpoly-kernel-set v2"
 
 let path_to_string = function Hardware.Matrix -> "matrix" | Vector -> "vector"
 
@@ -24,6 +27,7 @@ let save ~path (config : Config.t) (set : Kernel_set.t) =
     (fun () ->
       Printf.fprintf oc "%s\n" magic;
       Printf.fprintf oc "hw %s\n" set.hw.Hardware.name;
+      Printf.fprintf oc "fingerprint %s\n" (Hardware.fingerprint set.hw);
       Printf.fprintf oc "config %s\n" (Config.cache_key config);
       Array.iter
         (fun (e : Kernel_set.entry) ->
@@ -61,10 +65,14 @@ let load ~path (hw : Hardware.t) (config : Config.t) =
            done
          with End_of_file -> ());
         match List.rev !lines with
-        | header :: hw_line :: config_line :: rest ->
+        | header :: hw_line :: fp_line :: config_line :: rest ->
           if header <> magic then fail "unrecognized kernel-set file"
           else if hw_line <> "hw " ^ hw.Hardware.name then
             fail "kernel set was generated for a different platform (%s)" hw_line
+          else if fp_line <> "fingerprint " ^ Hardware.fingerprint hw then
+            fail
+              "kernel set was generated for a different hardware configuration (%s)"
+              fp_line
           else if config_line <> "config " ^ Config.cache_key config then
             fail "kernel set was generated with a different configuration"
           else begin

@@ -14,8 +14,11 @@ val load :
   path:string -> Mikpoly_accel.Hardware.t -> Config.t ->
   (Kernel_set.t, string) result
 (** Restore a set saved with {!save}. Fails (with a human-readable reason)
-    if the file is malformed or was produced for a different platform or
-    configuration — stale artifacts must never be silently reused. *)
+    if the file is malformed or was produced for a different platform,
+    hardware configuration ({!Mikpoly_accel.Hardware.fingerprint} — a
+    same-named device with different microarchitectural constants is
+    rejected) or compiler configuration — stale artifacts must never be
+    silently reused. *)
 
 val load_or_create : path:string -> Mikpoly_accel.Hardware.t -> Config.t -> Kernel_set.t
 (** Use the artifact when valid, otherwise run the offline stage and save

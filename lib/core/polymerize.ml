@@ -17,7 +17,9 @@ let m_search_s =
 
 type scorer =
   | Model of Cost_model.objective
+  | Calibrated of (Kernel_set.entry -> float -> float)
   | Simulate
+  | Simulate_on of Hardware.t
 
 type compiled = {
   program : Program.t;
@@ -138,7 +140,26 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   let entries = set.entries in
   let n_entries = Array.length entries in
   let objective =
-    match scorer with Model o -> o | Simulate -> Cost_model.Full
+    match scorer with
+    | Model o -> o
+    | Calibrated _ | Simulate | Simulate_on _ -> Cost_model.Full
+  in
+  (* Simulator-backed scoring runs on [set.hw] for the classic oracle, or
+     on an explicitly supplied device ([Simulate_on]) — the drifted-oracle
+     the adaptation evaluator ranks against. *)
+  let sim_hw =
+    match scorer with
+    | Simulate -> Some set.hw
+    | Simulate_on hw -> Some hw
+    | Model _ | Calibrated _ -> None
+  in
+  (* Per-kernel multiplicative/affine correction learned online; clamped
+     non-negative so region-order pruning against the monotone bound stays
+     sound. Identity for the uncalibrated model. *)
+  let correct =
+    match scorer with
+    | Calibrated f -> fun e x -> Float.max 0. (f e x)
+    | Model _ | Simulate | Simulate_on _ -> fun _ x -> x
   in
   (* The reduction extent is fixed for the whole compile, so each kernel's
      f_pipe = g_predict(⌈K/uK⌉) is a constant: precompute it and keep the
@@ -159,7 +180,7 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     let wave = float_of_int (ceil_div tasks e.wave_capacity) in
     let p = pipe.(e.rank) in
     match objective with
-    | Cost_model.Full -> (wave *. p) +. launch
+    | Cost_model.Full -> correct e (wave *. p) +. launch
     | Cost_model.Wave_only ->
       let padded =
         float_of_int tasks
@@ -278,7 +299,8 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       let load =
         Load.make ~regions ~footprint_bytes:(Operator.footprint_bytes op)
       in
-      record st (Simulator.run set.hw load).cycles ch
+      let hw = match sim_hw with Some hw -> hw | None -> set.hw in
+      record st (Simulator.run hw load).cycles ch
   in
   let choice pattern cuts pins fill =
     { c_pattern = pattern; c_cuts = cuts; c_pins = pins; c_fill = fill }
@@ -286,9 +308,9 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   (* Under the oracle, a choice with free slots is additionally enumerated
      with every secondary kernel as a uniform fill. *)
   let consider st ?(has_free = false) pattern cuts pins =
-    match scorer with
-    | Model _ -> score_choice_model st (choice pattern cuts pins None)
-    | Simulate ->
+    match sim_hw with
+    | None -> score_choice_model st (choice pattern cuts pins None)
+    | Some _ ->
       score_choice_simulate st (choice pattern cuts pins None);
       if has_free then
         Array.iter
@@ -297,22 +319,22 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   in
   (* Fast allocation-free path for Pattern I (a single unit). *)
   let pattern_one st =
-    match scorer with
-    | Model _ ->
+    match sim_hw with
+    | None ->
       for i = 0 to n_entries - 1 do
         st.l_cand <- st.l_cand + 1;
         let e = entries.(i) in
         let c = rcost_dims e m n in
         record st c (choice I [] [ e ] None)
       done
-    | Simulate ->
+    | Some _ ->
       Array.iter (fun e -> score_choice_simulate st (choice I [] [ e ] None)) entries
   in
   let pattern_two st (e1 : Kernel_set.entry) =
     List.iter
       (fun r ->
-        match scorer with
-        | Model _ ->
+        match sim_hw with
+        | None ->
           st.l_cand <- st.l_cand + 1;
           let c1 = rcost_dims e1 r n in
           if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
@@ -320,14 +342,14 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
             let e2, c2 = best_single st (m - r) n in
             record st (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
           end
-        | Simulate -> consider st ~has_free:true II [ r ] [ e1 ])
+        | Some _ -> consider st ~has_free:true II [ r ] [ e1 ])
       (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
   in
   let pattern_three st (e1 : Kernel_set.entry) =
     List.iter
       (fun c ->
-        match scorer with
-        | Model _ ->
+        match sim_hw with
+        | None ->
           st.l_cand <- st.l_cand + 1;
           let c1 = rcost_dims e1 m c in
           if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
@@ -335,7 +357,7 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
             let e2, c2 = best_single st m (n - c) in
             record st (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
           end
-        | Simulate -> consider st ~has_free:true III [ c ] [ e1 ])
+        | Some _ -> consider st ~has_free:true III [ c ] [ e1 ])
       (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
   in
   let two_cut_pattern st pattern (e1 : Kernel_set.entry) =

@@ -12,11 +12,20 @@
 type scorer =
   | Model of Cost_model.objective
       (** Equation-2 scoring (or an ablated variant); supports pruning. *)
+  | Calibrated of (Kernel_set.entry -> float -> float)
+      (** Equation-2 scoring with a per-kernel online correction applied to
+          each region's [f_wave × f_pipe] product (launch terms excluded).
+          The correction is clamped non-negative so pruning stays sound.
+          Built by [lib/adapt] from observed/predicted residuals. *)
   | Simulate
       (** MikPoly-Oracle: every candidate is scored on the full simulator
           (the paper's "runtime measurement"), no pruning. Free regions
           beyond the first are resolved with the cost model to bound the
           combinatorics. *)
+  | Simulate_on of Mikpoly_accel.Hardware.t
+      (** Like [Simulate], but every candidate is timed on the given device
+          instead of the kernel set's — the ground-truth oracle under
+          hardware drift, used by the adaptation ranking evaluator. *)
 
 type compiled = {
   program : Mikpoly_ir.Program.t;

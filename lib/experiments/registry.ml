@@ -23,6 +23,7 @@ let all =
     Exp_batched.exp;
     Exp_costmodel.exp;
     Exp_serving.exp;
+    Exp_adaptation.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

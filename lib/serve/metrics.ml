@@ -17,6 +17,7 @@ type t = {
   mean_queue_depth : float;
   cache_hit_rate : float;
   compile_stall_seconds : float;
+  adapt_stall_seconds : float;
   padding_overhead : float;
   makespan : float;
   steps : int;
@@ -76,6 +77,7 @@ let of_outcome (o : Scheduler.outcome) =
        else float_of_int o.queue_depth_sum /. float_of_int o.queue_samples);
     cache_hit_rate = Shape_cache.hit_rate (Shape_cache.total o.cache);
     compile_stall_seconds = o.compile_stall_seconds;
+    adapt_stall_seconds = o.adapt_stall_seconds;
     padding_overhead =
       (if o.actual_tokens = 0 then 0.
        else
@@ -87,7 +89,7 @@ let of_outcome (o : Scheduler.outcome) =
 let header =
   [
     "config"; "req"; "done"; "drop"; "p50"; "p95"; "p99"; "ttft p95"; "tpot";
-    "goodput/s"; "SLO%"; "hit%"; "stall"; "pad%"; "queue";
+    "goodput/s"; "SLO%"; "hit%"; "stall"; "adapt"; "pad%"; "queue";
   ]
 
 let pc x = Printf.sprintf "%.0f%%" (100. *. x)
@@ -107,6 +109,7 @@ let to_row ~label m =
     pc m.slo_attainment;
     pc m.cache_hit_rate;
     Table.fmt_time_us m.compile_stall_seconds;
+    Table.fmt_time_us m.adapt_stall_seconds;
     pc m.padding_overhead;
     Printf.sprintf "%.1f" m.mean_queue_depth;
   ]

@@ -23,6 +23,7 @@ type t = {
   mean_queue_depth : float;
   cache_hit_rate : float;  (** over all replicas' shape caches *)
   compile_stall_seconds : float;
+  adapt_stall_seconds : float;  (** online-adaptation recompilation time *)
   padding_overhead : float;  (** padded/actual token ratio minus 1 *)
   makespan : float;
   steps : int;

@@ -20,6 +20,10 @@ let m_stall =
   Tm.Metrics.histogram "serve.compile_stall_seconds"
     ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 |]
 
+let m_adapt_stall =
+  Tm.Metrics.histogram "serve.adapt_stall_seconds"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 |]
+
 type engine = {
   engine_name : string;
   step_seconds : tokens:int -> kv_tokens:int -> float;
@@ -142,6 +146,7 @@ type outcome = {
   steps : int;
   makespan : float;
   compile_stall_seconds : float;
+  adapt_stall_seconds : float;
   actual_tokens : int;
   padded_tokens : int;
   cache : Shape_cache.stats list;
@@ -204,7 +209,7 @@ let precompile ~jobs config engine =
         Dp.parallel_for (Dp.global ~jobs ()) ~start:0 ~stop:(Array.length arr)
           (fun i -> ignore (engine.compile_seconds arr.(i))))
 
-let run ?(jobs = 0) config engine requests =
+let run ?(jobs = 0) ?(adapt = fun () -> 0.) config engine requests =
   if config.replicas < 1 then invalid_arg "Scheduler.run: replicas must be >= 1";
   if config.cache_capacity < 0 then
     invalid_arg "Scheduler.run: negative cache capacity";
@@ -227,6 +232,7 @@ let run ?(jobs = 0) config engine requests =
   let dropped = ref [] in
   let steps = ref 0 in
   let stall_total = ref 0. in
+  let adapt_total = ref 0. in
   let actual_tokens = ref 0 in
   let padded_tokens = ref 0 in
   let qsum = ref 0 in
@@ -376,7 +382,20 @@ let run ?(jobs = 0) config engine requests =
           r.act;
       r.clock <- fin;
       makespan := max !makespan fin;
-      incr steps
+      incr steps;
+      (* Adaptation work triggered during this step — drift-reaction
+         recompiles reported by an online adapter — stalls this replica,
+         charged on the event clock like any compile stall. *)
+      let astall = adapt () in
+      if astall > 0. then begin
+        adapt_total := !adapt_total +. astall;
+        r.clock <- r.clock +. astall;
+        makespan := max !makespan r.clock;
+        Tm.Metrics.observe m_adapt_stall astall;
+        if tracing then
+          Tm.Tracer.emit ~track:serve_track ~lane:r.idx ~name:"adapt_stall"
+            ~start:fin ~finish:r.clock ()
+      end
     end
   in
   let rec loop () =
@@ -411,6 +430,7 @@ let run ?(jobs = 0) config engine requests =
     steps = !steps;
     makespan = !makespan;
     compile_stall_seconds = !stall_total;
+    adapt_stall_seconds = !adapt_total;
     actual_tokens = !actual_tokens;
     padded_tokens = !padded_tokens;
     cache = Array.to_list (Array.map (fun r -> Shape_cache.stats r.rcache) reps);

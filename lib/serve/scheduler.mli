@@ -58,6 +58,8 @@ type outcome = {
   steps : int;
   makespan : float;  (** time the last step finished *)
   compile_stall_seconds : float;
+  adapt_stall_seconds : float;
+      (** online-adaptation recompilation time charged via [?adapt] *)
   actual_tokens : int;  (** token work before padding, summed over steps *)
   padded_tokens : int;  (** token work actually executed *)
   cache : Shape_cache.stats list;  (** per replica *)
@@ -65,10 +67,20 @@ type outcome = {
   queue_samples : int;
 }
 
-val run : ?jobs:int -> config -> engine -> Request.t list -> outcome
+val run :
+  ?jobs:int -> ?adapt:(unit -> float) -> config -> engine -> Request.t list ->
+  outcome
 (** Simulate the full trace to drain. Deterministic for a deterministic
     engine: the same configuration and trace produce the identical
     outcome. The empty trace yields an empty outcome.
+
+    [adapt] is polled once after every engine step; a positive return is
+    online-adaptation work (drift-reaction recompiles) in seconds, charged
+    on the stepping replica's event clock like a compile stall and summed
+    into [adapt_stall_seconds]. Wire
+    {!Mikpoly_adapt.Adapter.drain_stall_seconds} here to make a serving
+    replica pay for its adapter's recompilations; the default
+    [fun () -> 0.] is equivalent to no adaptation.
 
     [jobs] ([0], the default, inherits
     {!Mikpoly_util.Domain_pool.default_jobs}; [1] forces sequential)

@@ -44,6 +44,17 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
+let default_seed_ref : int option ref = ref None
+
+let set_default_seed seed =
+  if seed < 0 then invalid_arg "Prng.set_default_seed: seed must be non-negative";
+  default_seed_ref := Some seed
+
+let clear_default_seed () = default_seed_ref := None
+
+let default_seed ~fallback () =
+  match !default_seed_ref with Some s -> s | None -> fallback
+
 let log_int_in t lo hi =
   if lo < 1 || lo > hi then invalid_arg "Prng.log_int_in: invalid range";
   if lo = hi then lo

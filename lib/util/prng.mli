@@ -35,6 +35,21 @@ val choice : t -> 'a array -> 'a
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
+val set_default_seed : int -> unit
+(** [set_default_seed s] installs a process-wide default seed consulted by
+    [default_seed]. The CLI's [--seed] flag funnels through this so every
+    subcommand's workload generators become reproducible from one knob.
+    Raises [Invalid_argument] if [s] is negative. *)
+
+val clear_default_seed : unit -> unit
+(** Remove the process-wide default seed, restoring per-call fallbacks. *)
+
+val default_seed : fallback:int -> unit -> int
+(** [default_seed ~fallback ()] returns the process-wide seed installed by
+    [set_default_seed], or [fallback] when none is installed. Call sites use
+    their historical constant as [fallback] so outputs are unchanged unless
+    the user passes [--seed]. *)
+
 val log_int_in : t -> int -> int -> int
 (** [log_int_in t lo hi] draws an integer in [\[lo, hi\]] whose logarithm is
     uniform, biasing towards small values the way real-world tensor shapes

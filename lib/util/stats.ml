@@ -60,6 +60,37 @@ let histogram ~bins xs =
       (b_lo, b_lo +. width, c))
     counts
 
+let kendall_tau pairs =
+  match pairs with
+  | [] | [ _ ] -> invalid_arg "Stats.kendall_tau: need at least two samples"
+  | _ ->
+    let arr = Array.of_list pairs in
+    let n = Array.length arr in
+    let concordant = ref 0
+    and discordant = ref 0
+    and ties_x = ref 0
+    and ties_y = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let xi, yi = arr.(i) and xj, yj = arr.(j) in
+        let sx = compare xi xj and sy = compare yi yj in
+        if sx = 0 && sy = 0 then begin
+          incr ties_x;
+          incr ties_y
+        end
+        else if sx = 0 then incr ties_x
+        else if sy = 0 then incr ties_y
+        else if sx * sy > 0 then incr concordant
+        else incr discordant
+      done
+    done;
+    let pairs_total = n * (n - 1) / 2 in
+    let denom_x = float_of_int (pairs_total - !ties_x)
+    and denom_y = float_of_int (pairs_total - !ties_y) in
+    let denom = sqrt (denom_x *. denom_y) in
+    if denom = 0. then 0.
+    else float_of_int (!concordant - !discordant) /. denom
+
 let pearson pairs =
   match pairs with
   | [] | [ _ ] -> invalid_arg "Stats.pearson: need at least two samples"

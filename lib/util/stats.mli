@@ -30,3 +30,9 @@ val histogram : bins:int -> float list -> (float * float * int) array
 val pearson : (float * float) list -> float
 (** Pearson correlation coefficient of paired samples; used to validate the
     cost model against simulated time. *)
+
+val kendall_tau : (float * float) list -> float
+(** Kendall rank correlation (τ-b, tie-corrected) of paired samples; used by
+    the adaptation layer to score how well predicted costs rank simulated
+    costs. Returns 0 when either variable is constant. Requires at least two
+    samples. *)

@@ -557,11 +557,33 @@ let test_kernel_store_rejects_version_bump () =
     (* A future format revision must not parse as the current one. *)
     Alcotest.(check bool) "magic carries a version" true
       (String.length magic > 2
-      && String.sub magic (String.length magic - 2) 2 = "v1");
-    write_lines path ((String.sub magic 0 (String.length magic - 2) ^ "v2") :: rest)
+      && String.sub magic (String.length magic - 2) 2 = "v2");
+    write_lines path ((String.sub magic 0 (String.length magic - 2) ^ "v3") :: rest)
   | [] -> Alcotest.fail "empty artifact");
   Alcotest.(check bool) "bumped version rejected" true
     (Result.is_error (Kernel_store.load ~path gpu config));
+  Sys.remove path
+
+let test_kernel_store_rejects_wrong_fingerprint () =
+  let config = Config.default gpu in
+  let set = Compiler.kernels (Lazy.force gpu_compiler) in
+  let path = tmp_file "mikpoly-kernels-fp.txt" in
+  Kernel_store.save ~path config set;
+  (* Same platform name, one perturbed microarchitectural constant: the
+     header's hardware fingerprint — not just the name — must gate the
+     load, so a set tuned for one hardware revision is never silently
+     applied to another. *)
+  let drifted =
+    { gpu with Hardware.fabric_bytes_per_cycle = gpu.fabric_bytes_per_cycle *. 0.9 }
+  in
+  (match Kernel_store.load ~path drifted config with
+  | Ok _ -> Alcotest.fail "perturbed hardware must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "reason mentions the fingerprint" true
+      (String.length e > 0));
+  (* The unperturbed device still loads. *)
+  Alcotest.(check bool) "original hardware accepted" true
+    (Result.is_ok (Kernel_store.load ~path gpu config));
   Sys.remove path
 
 let test_kernel_store_load_or_create_repairs () =
@@ -667,6 +689,49 @@ let test_compiler_cache_lru_touch_on_hit () =
   Alcotest.(check int) "one hit" 1 s.Compiler.hits;
   Alcotest.(check int) "three misses" 3 s.Compiler.misses;
   Alcotest.(check int) "one eviction" 1 s.Compiler.evictions
+
+let test_compiler_invalidate () =
+  let compiler = Compiler.create Hardware.a100 in
+  let op_a = Operator.gemm ~m:320 ~n:192 ~k:256 () in
+  let op_b = Operator.gemm ~m:192 ~n:320 ~k:256 () in
+  ignore (Compiler.compile compiler op_a);
+  ignore (Compiler.compile compiler op_b);
+  Alcotest.(check bool) "A dropped" true
+    (Compiler.invalidate compiler (320, 192, 256));
+  Alcotest.(check bool) "A gone" false (Compiler.cached compiler op_a);
+  Alcotest.(check bool) "B untouched" true (Compiler.cached compiler op_b);
+  Alcotest.(check bool) "double drop is a no-op" false
+    (Compiler.invalidate compiler (320, 192, 256));
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "one invalidation" 1 s.Compiler.invalidations;
+  (* Invalidations are not capacity evictions: the two stats stay apart. *)
+  Alcotest.(check int) "no evictions" 0 s.Compiler.evictions;
+  Alcotest.(check int) "one entry left" 1 s.Compiler.size;
+  ignore (Compiler.compile compiler op_a);
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "A recompiled after invalidation: two misses + one" 3
+    s.Compiler.misses
+
+let test_compiler_invalidate_if () =
+  let compiler = Compiler.create Hardware.a100 in
+  let shapes = [ (320, 192, 256); (192, 320, 256); (256, 256, 512) ] in
+  List.iter
+    (fun (m, n, k) -> ignore (Compiler.compile compiler (Operator.gemm ~m ~n ~k ())))
+    shapes;
+  let dropped =
+    Compiler.invalidate_if compiler (fun shape _ ->
+        match shape with m, _, _ -> m >= 256)
+  in
+  Alcotest.(check int) "two predicates matched" 2 dropped;
+  Alcotest.(check bool) "survivor present" true
+    (Compiler.cached compiler (Operator.gemm ~m:192 ~n:320 ~k:256 ()));
+  Alcotest.(check bool) "victim gone" false
+    (Compiler.cached compiler (Operator.gemm ~m:320 ~n:192 ~k:256 ()));
+  let s = Compiler.cache_stats compiler in
+  Alcotest.(check int) "invalidations counted" 2 s.Compiler.invalidations;
+  Alcotest.(check int) "size shrank" 1 s.Compiler.size;
+  Alcotest.(check int) "nothing matches now" 0
+    (Compiler.invalidate_if compiler (fun (m, _, _) _ -> m >= 256))
 
 (* --- Parallel search determinism --- *)
 
@@ -816,6 +881,8 @@ let () =
             test_kernel_store_rejects_truncated;
           Alcotest.test_case "rejects version bump" `Quick
             test_kernel_store_rejects_version_bump;
+          Alcotest.test_case "rejects wrong fingerprint" `Quick
+            test_kernel_store_rejects_wrong_fingerprint;
           Alcotest.test_case "load_or_create" `Quick test_kernel_store_load_or_create;
           Alcotest.test_case "load_or_create repairs" `Quick
             test_kernel_store_load_or_create_repairs;
@@ -828,6 +895,8 @@ let () =
             test_compiler_cache_eviction;
           Alcotest.test_case "LRU touch on hit" `Quick
             test_compiler_cache_lru_touch_on_hit;
+          Alcotest.test_case "invalidate" `Quick test_compiler_invalidate;
+          Alcotest.test_case "invalidate_if" `Quick test_compiler_invalidate_if;
           Alcotest.test_case "overhead accounting" `Quick
             test_compiler_overhead_accounting;
         ] );

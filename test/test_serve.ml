@@ -226,6 +226,43 @@ let test_empty_trace () =
   Alcotest.(check int) "no requests" 0 m.Metrics.requests;
   Alcotest.(check (float 1e-9)) "zero throughput" 0. m.Metrics.throughput_rps
 
+let test_adapt_hook_noop () =
+  (* A hook that never reports work is indistinguishable from no hook. *)
+  let engine = Scheduler.synthetic_engine () in
+  let plain = Metrics.of_outcome (Scheduler.run config engine trace) in
+  let hooked =
+    Metrics.of_outcome (Scheduler.run ~adapt:(fun () -> 0.) config engine trace)
+  in
+  Alcotest.(check bool) "identical metrics" true (plain = hooked);
+  Alcotest.(check (float 1e-12)) "no adapt stall" 0.
+    hooked.Metrics.adapt_stall_seconds
+
+let test_adapt_hook_charges_stall () =
+  (* A one-shot adaptation stall is charged on the stepping replica's
+     event clock: it is paid exactly once, extends the makespan and is
+     visible to later steps (the polling is per step, so only the first
+     poll sees the pending work). *)
+  let engine = Scheduler.synthetic_engine () in
+  (* Larger than the trace's arrival span so the stall cannot be hidden
+     inside idle time spent waiting for the next Poisson arrival. *)
+  let stall = 10. in
+  let pending = ref stall in
+  let adapt () =
+    let s = !pending in
+    pending := 0.;
+    s
+  in
+  let plain = Scheduler.run config engine trace in
+  let adapted = Scheduler.run ~adapt config engine trace in
+  Alcotest.(check (float 1e-12)) "stall accounted once" stall
+    adapted.Scheduler.adapt_stall_seconds;
+  Alcotest.(check (float 1e-12)) "drained" 0. !pending;
+  Alcotest.(check bool) "makespan extended" true
+    (adapted.Scheduler.makespan >= stall
+    && adapted.Scheduler.makespan >= plain.Scheduler.makespan);
+  Alcotest.(check int) "work conserved" (List.length plain.Scheduler.completed)
+    (List.length adapted.Scheduler.completed)
+
 let test_poisson_trace_properties () =
   Alcotest.(check int) "count respected" 24 (List.length trace);
   let sorted = List.stable_sort Request.compare_arrival trace in
@@ -274,6 +311,9 @@ let () =
             test_scheduler_padding_accounting;
           Alcotest.test_case "cache beats no-cache" `Quick test_cache_beats_no_cache;
           Alcotest.test_case "empty trace" `Quick test_empty_trace;
+          Alcotest.test_case "adapt hook no-op" `Quick test_adapt_hook_noop;
+          Alcotest.test_case "adapt hook charges stall" `Quick
+            test_adapt_hook_charges_stall;
           Alcotest.test_case "poisson trace" `Quick test_poisson_trace_properties;
         ] );
     ]

@@ -170,6 +170,63 @@ let test_piecewise_duplicate_abscissa () =
     (Invalid_argument "Piecewise.of_points: duplicate abscissa") (fun () ->
       ignore (Piecewise.of_points [ (1., 1.); (1., 2.) ]))
 
+let test_piecewise_degenerate_inputs () =
+  (* A piecewise-linear function needs two knots: the empty and
+     single-knot models are rejected, never silently constant. *)
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Piecewise.of_points: need >= 2 points") (fun () ->
+      ignore (Piecewise.of_points []));
+  Alcotest.check_raises "single knot"
+    (Invalid_argument "Piecewise.of_points: need >= 2 points") (fun () ->
+      ignore (Piecewise.of_points [ (1., 1.) ]))
+
+let test_piecewise_non_monotone_input () =
+  (* Knots given out of abscissa order define the same function as the
+     sorted ones — construction sorts, it does not trust input order. *)
+  let shuffled = Piecewise.of_points [ (2., 0.); (0., 0.); (1., 10.) ] in
+  let sorted = Piecewise.of_points [ (0., 0.); (1., 10.); (2., 0.) ] in
+  List.iter
+    (fun x ->
+      check_float
+        (Printf.sprintf "same value at %g" x)
+        (Piecewise.eval sorted x) (Piecewise.eval shuffled x))
+    [ -1.; 0.; 0.5; 1.; 1.5; 2.; 3. ];
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "breakpoints sorted"
+    (Piecewise.breakpoints sorted)
+    (Piecewise.breakpoints shuffled)
+
+let test_piecewise_far_extrapolation () =
+  (* Out-of-range queries follow the terminal segments linearly, even far
+     beyond the knot span — the calibration layer leans on this when a
+     shape is much larger than anything observed. *)
+  let f = Piecewise.of_points [ (0., 0.); (10., 20.) ] in
+  check_float "far right" 200. (Piecewise.eval f 100.);
+  check_float "far left" (-200.) (Piecewise.eval f (-100.))
+
+(* --- Kendall tau --- *)
+
+let test_kendall_tau_perfect () =
+  let pairs = List.init 10 (fun i -> (float_of_int i, float_of_int (i * i))) in
+  check_float "monotone agreement" 1. (Stats.kendall_tau pairs);
+  let anti = List.init 10 (fun i -> (float_of_int i, -.float_of_int i)) in
+  check_float "monotone disagreement" (-1.) (Stats.kendall_tau anti)
+
+let test_kendall_tau_partial () =
+  (* One swapped adjacent pair out of four items: 5 concordant pairs, 1
+     discordant, tau = (5 - 1) / 6. *)
+  let pairs = [ (1., 1.); (2., 3.); (3., 2.); (4., 4.) ] in
+  check_float "one inversion" (4. /. 6.) (Stats.kendall_tau pairs)
+
+let test_kendall_tau_ties () =
+  (* tau-b: tied pairs count in neither numerator side and shrink the
+     denominator. All-tied y degenerates to 0, not a crash. *)
+  check_float "all tied" 0.
+    (Stats.kendall_tau [ (1., 5.); (2., 5.); (3., 5.) ]);
+  Alcotest.check_raises "too few samples"
+    (Invalid_argument "Stats.kendall_tau: need at least two samples")
+    (fun () -> ignore (Stats.kendall_tau [ (1., 1.) ]))
+
 let prop_piecewise_interpolates =
   QCheck.Test.make ~name:"piecewise: exact interpolant hits every sample" ~count:50
     QCheck.(list_of_size (Gen.int_range 2 20) (pair (float_range 0. 1000.) (float_range 1. 1000.)))
@@ -350,7 +407,20 @@ let () =
           Alcotest.test_case "fit collapses linear" `Quick test_piecewise_fit_linear_collapses;
           Alcotest.test_case "fit error bound" `Quick test_piecewise_fit_error_bound;
           Alcotest.test_case "duplicate abscissa" `Quick test_piecewise_duplicate_abscissa;
+          Alcotest.test_case "degenerate inputs rejected" `Quick
+            test_piecewise_degenerate_inputs;
+          Alcotest.test_case "non-monotone input sorted" `Quick
+            test_piecewise_non_monotone_input;
+          Alcotest.test_case "far extrapolation" `Quick
+            test_piecewise_far_extrapolation;
           qtest prop_piecewise_interpolates;
+        ] );
+      ( "kendall_tau",
+        [
+          Alcotest.test_case "perfect agreement" `Quick test_kendall_tau_perfect;
+          Alcotest.test_case "partial agreement" `Quick test_kendall_tau_partial;
+          Alcotest.test_case "ties and degenerate input" `Quick
+            test_kendall_tau_ties;
         ] );
       ( "heap",
         [
