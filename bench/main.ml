@@ -8,7 +8,8 @@
    …) — the quantities Figure 12a's overhead analysis depends on.
 
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
-          [--skip-telemetry] [--skip-parallel] [--skip-adapt] [ids...] *)
+          [--skip-telemetry] [--skip-parallel] [--skip-adapt]
+          [--skip-resilience] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -24,6 +25,8 @@ let skip_telemetry = Array.exists (( = ) "--skip-telemetry") Sys.argv
 let skip_parallel = Array.exists (( = ) "--skip-parallel") Sys.argv
 
 let skip_adapt = Array.exists (( = ) "--skip-adapt") Sys.argv
+
+let skip_resilience = Array.exists (( = ) "--skip-resilience") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -478,9 +481,108 @@ let run_adapt_bench () =
     (fun () -> output_string oc (Json.to_string json));
   Printf.printf "wrote %s\n%!" path
 
+(* Resilience chaos bench: the acceptance gate of the fault-injection
+   plane.
+
+   Runs the canonical seeded chaos A/B (the same fault plan with and
+   without the resilience machinery) and asserts hard: faults were
+   actually injected in both arms, no request was lost silently in
+   either arm, SLO attainment with resilience strictly beats without,
+   and the per-request terminal-status digests are bit-identical at 1
+   and 4 worker domains. Writes BENCH_resilience.json. *)
+
+let run_resilience_bench () =
+  let open Mikpoly_telemetry in
+  let module R = Mikpoly_serve.Resilience in
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let ab, n_req =
+    Mikpoly_experiments.Exp_resilience.chaos_ab ~jobs:1 ~quick compiler
+  in
+  let ab4, _ =
+    Mikpoly_experiments.Exp_resilience.chaos_ab ~jobs:4 ~quick compiler
+  in
+  let on = ab.R.with_resilience and off = ab.R.without_resilience in
+  Printf.printf
+    "resilience chaos A/B: %d requests, %d injected fault(s) (%d crash(es)); \
+     SLO attainment %.1f%% with resilience vs %.1f%% without; %d retried \
+     attempt(s); silent losses %d/%d\n%!"
+    n_req on.R.injected_faults on.R.crashes
+    (100. *. on.R.metrics.Mikpoly_serve.Metrics.slo_attainment)
+    (100. *. off.R.metrics.Mikpoly_serve.Metrics.slo_attainment)
+    on.R.metrics.Mikpoly_serve.Metrics.retries on.R.silent_losses
+    off.R.silent_losses;
+  if on.R.injected_faults = 0 || off.R.injected_faults = 0 then begin
+    Printf.eprintf "resilience bench: the fault plan injected nothing\n";
+    exit 1
+  end;
+  if not (R.no_silent_losses ab) then begin
+    Printf.eprintf
+      "resilience bench: a request was lost silently (on %d, off %d)\n"
+      on.R.silent_losses off.R.silent_losses;
+    exit 1
+  end;
+  if not (R.resilience_wins ab) then begin
+    Printf.eprintf
+      "resilience bench: resilience did not beat the unprotected arm \
+       (%.4f vs %.4f)\n"
+      on.R.metrics.Mikpoly_serve.Metrics.slo_attainment
+      off.R.metrics.Mikpoly_serve.Metrics.slo_attainment;
+    exit 1
+  end;
+  if
+    ab4.R.with_resilience.R.status_digest <> on.R.status_digest
+    || ab4.R.without_resilience.R.status_digest <> off.R.status_digest
+  then begin
+    Printf.eprintf
+      "resilience bench: outcomes differ across worker-domain counts\n";
+    exit 1
+  end;
+  let path = "BENCH_resilience.json" in
+  let arm name (a : R.arm) =
+    ( name,
+      Json.Obj
+        [
+          ( "slo_attainment",
+            Json.Number a.R.metrics.Mikpoly_serve.Metrics.slo_attainment );
+          ( "completed",
+            Json.Number
+              (float_of_int a.R.metrics.Mikpoly_serve.Metrics.completed) );
+          ( "failed",
+            Json.Number (float_of_int a.R.metrics.Mikpoly_serve.Metrics.failed)
+          );
+          ( "timed_out",
+            Json.Number
+              (float_of_int a.R.metrics.Mikpoly_serve.Metrics.timed_out) );
+          ( "retries",
+            Json.Number (float_of_int a.R.metrics.Mikpoly_serve.Metrics.retries)
+          );
+          ("injected_faults", Json.Number (float_of_int a.R.injected_faults));
+          ("crashes", Json.Number (float_of_int a.R.crashes));
+          ("silent_losses", Json.Number (float_of_int a.R.silent_losses));
+          ("status_digest", Json.String a.R.status_digest);
+        ] )
+  in
+  let json =
+    Json.Obj
+      [
+        ("requests", Json.Number (float_of_int n_req));
+        ("seed", Json.Number (float_of_int ab.R.faults.Mikpoly_fault.Plan.seed));
+        arm "with_resilience" on;
+        arm "without_resilience" off;
+        ("jobs_invariant", Json.Bool true);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
   if not skip_telemetry then run_telemetry_overhead ();
   if not skip_parallel then run_parallel_bench ();
-  if not skip_adapt then run_adapt_bench ()
+  if not skip_adapt then run_adapt_bench ();
+  if not skip_resilience then run_resilience_bench ()

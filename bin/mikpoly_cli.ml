@@ -349,6 +349,133 @@ let adapt jobs seed quick csv npu severity trace_len save_path =
   end
   else 0
 
+(* Seeded chaos run: the canonical resilience A/B (one fault plan, two
+   serving arms) plus the corrupted-kernel-store degradation-ladder
+   demo, with the acceptance gates asserted hard. The JSON report
+   contains only simulated quantities, so two runs with the same seed —
+   at any --jobs count — must produce byte-identical files (checked by
+   the CI chaos-smoke stage with cmp). *)
+let chaos jobs seed quick csv out =
+  set_jobs jobs;
+  set_seed seed;
+  let open Mikpoly_serve in
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler = Mikpoly_core.Compiler.create hw in
+  let ab, n_req =
+    Mikpoly_experiments.Exp_resilience.chaos_ab ~quick compiler
+  in
+  let on = ab.Resilience.with_resilience in
+  let off = ab.Resilience.without_resilience in
+  let table =
+    Mikpoly_util.Table.create
+      ~title:
+        (Printf.sprintf "chaos: %d requests under fault plan seed %d" n_req
+           ab.Resilience.faults.Mikpoly_fault.Plan.seed)
+      ~header:(Metrics.header @ [ "injected"; "silent"; "digest" ])
+  in
+  let arm_row (a : Resilience.arm) =
+    Metrics.to_row ~label:a.Resilience.arm_name a.Resilience.metrics
+    @ [
+        string_of_int a.Resilience.injected_faults;
+        string_of_int a.Resilience.silent_losses;
+        a.Resilience.status_digest;
+      ]
+  in
+  Mikpoly_util.Table.add_row table (arm_row off);
+  Mikpoly_util.Table.add_row table (arm_row on);
+  let ladder, ladder_rows, ladder_req =
+    Mikpoly_experiments.Exp_resilience.ladder_table ~quick
+  in
+  if csv then begin
+    print_endline (Mikpoly_util.Table.to_csv table);
+    print_endline (Mikpoly_util.Table.to_csv ladder)
+  end
+  else begin
+    print_endline (Mikpoly_util.Table.render table);
+    print_endline (Mikpoly_util.Table.render ladder)
+  end;
+  let ladder_ok =
+    List.for_all
+      (fun (name, served, safe_generic) ->
+        served = ladder_req && (name = "intact" || safe_generic > 0))
+      ladder_rows
+  in
+  let json =
+    let open Mikpoly_telemetry in
+    let arm name (a : Resilience.arm) =
+      let m = a.Resilience.metrics in
+      ( name,
+        Json.Obj
+          [
+            ( "slo_attainment",
+              Json.Number m.Mikpoly_serve.Metrics.slo_attainment );
+            ( "completed",
+              Json.Number (float_of_int m.Mikpoly_serve.Metrics.completed) );
+            ( "failed",
+              Json.Number (float_of_int m.Mikpoly_serve.Metrics.failed) );
+            ( "timed_out",
+              Json.Number (float_of_int m.Mikpoly_serve.Metrics.timed_out) );
+            ( "retries",
+              Json.Number (float_of_int m.Mikpoly_serve.Metrics.retries) );
+            ( "injected_faults",
+              Json.Number (float_of_int a.Resilience.injected_faults) );
+            ("crashes", Json.Number (float_of_int a.Resilience.crashes));
+            ( "silent_losses",
+              Json.Number (float_of_int a.Resilience.silent_losses) );
+            ("status_digest", Json.String a.Resilience.status_digest);
+          ] )
+    in
+    Json.Obj
+      [
+        ("requests", Json.Number (float_of_int n_req));
+        ( "seed",
+          Json.Number
+            (float_of_int ab.Resilience.faults.Mikpoly_fault.Plan.seed) );
+        arm "with_resilience" on;
+        arm "without_resilience" off;
+        ( "ladder",
+          Json.List
+            (List.map
+               (fun (name, served, safe_generic) ->
+                 Json.Obj
+                   [
+                     ("store", Json.String name);
+                     ("served", Json.Number (float_of_int served));
+                     ("requests", Json.Number (float_of_int ladder_req));
+                     (* The raw compile count varies with --jobs (the
+                        concurrent precompile fans out over more shapes
+                        than the lazy path touches), so the report keeps
+                        only the jobs-invariant fact. *)
+                     ("reached_safe_generic", Json.Bool (safe_generic > 0));
+                   ])
+               ladder_rows) );
+        ("ladder_ok", Json.Bool ladder_ok);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Mikpoly_telemetry.Json.to_string json));
+  Printf.printf "wrote %s\n" out;
+  let fail msg =
+    Printf.eprintf "chaos failed: %s\n" msg;
+    1
+  in
+  if on.Resilience.injected_faults = 0 || off.Resilience.injected_faults = 0
+  then fail "the fault plan injected nothing"
+  else if not (Resilience.no_silent_losses ab) then
+    fail "a request was lost silently"
+  else if not (Resilience.resilience_wins ab) then
+    Printf.ksprintf fail
+      "resilience did not beat the unprotected arm (SLO %.4f vs %.4f)"
+      on.Resilience.metrics.Metrics.slo_attainment
+      off.Resilience.metrics.Metrics.slo_attainment
+  else if not ladder_ok then
+    fail
+      "the degradation ladder lost requests (or never reached the safe \
+       generic rung) on a corrupted kernel store"
+  else 0
+
 (* Run a target under the span tracer and export the observability
    artifacts: a Chrome/Perfetto trace, the flat profile and the metrics
    registry. "serve" drives the full stack (offline tuning at compiler
@@ -602,6 +729,24 @@ let adapt_cmd =
       const adapt $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ npu
       $ severity $ trace_len $ save)
 
+let chaos_cmd =
+  let doc =
+    "Run the seeded chaos A/B (one fault plan, serving with and without \
+     resilience) plus the corrupted-store degradation-ladder check, and \
+     write a machine-readable report"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_resilience.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Report file. Contains only simulated quantities, so runs with \
+             the same seed are byte-identical at any $(b,--jobs) count.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ out)
+
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
   let count = Arg.(value & opt int 25 & info [ "count" ] ~docv:"N") in
@@ -658,6 +803,6 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      adapt_cmd; verify_cmd; profile_cmd; validate_trace_cmd ]
+      adapt_cmd; chaos_cmd; verify_cmd; profile_cmd; validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -59,12 +59,32 @@ rm -f "$profile_out"
 # Serving with the adaptation loop attached must run clean too.
 dune exec bin/mikpoly_cli.exe -- serve --quick --adapt
 
+echo "== chaos smoke test =="
+# The seeded fault-injection A/B end to end: the subcommand exits
+# non-zero unless faults were injected, no request was lost silently,
+# resilience strictly beats the unprotected arm, and the degradation
+# ladder serves every request from a corrupted kernel store. The JSON
+# report holds only simulated quantities, so the same seed must produce
+# byte-identical files across runs and across --jobs counts.
+chaos_a="${TMPDIR:-/tmp}/mikpoly_ci_chaos_a.json"
+chaos_b="${TMPDIR:-/tmp}/mikpoly_ci_chaos_b.json"
+dune exec bin/mikpoly_cli.exe -- chaos --quick --seed 7 --out "$chaos_a"
+test -s "$chaos_a"
+grep -q '"silent_losses":0' "$chaos_a"
+dune exec bin/mikpoly_cli.exe -- chaos --quick --seed 7 --jobs 4 --out "$chaos_b"
+cmp "$chaos_a" "$chaos_b"
+rm -f "$chaos_a" "$chaos_b"
+
 echo "== parallel scaling bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-adapt
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-adapt --skip-resilience
 test -s BENCH_parallel.json
 
 echo "== adapt bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-resilience
 test -s BENCH_adapt.json
+
+echo "== resilience bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt
+test -s BENCH_resilience.json
 
 echo "CI OK"

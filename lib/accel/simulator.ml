@@ -1,3 +1,5 @@
+module Device = Mikpoly_fault.Device
+
 type result = {
   cycles : float;
   seconds : float;
@@ -17,6 +19,13 @@ type region_obs = {
 }
 
 exception Kernel_does_not_fit of string
+
+(* Injected-fault observability (always-on): the chaos experiments assert
+   these move when a fault plan is active. *)
+let m_launch_failures =
+  Mikpoly_telemetry.Metrics.counter "fault.device.launch_failures"
+
+let m_stragglers = Mikpoly_telemetry.Metrics.counter "fault.device.stragglers"
 
 let region_work (hw : Hardware.t) (r : Load.region) =
   let blocks = Kernel_model.blocks_per_pe hw r.kernel in
@@ -119,7 +128,7 @@ let region_observations (hw : Hardware.t) (load : Load.t) works (t_min, t_max, t
     (List.combine load.regions works)
   |> List.filter (fun o -> o.obs_n_tasks > 0)
 
-let run ?observe (hw : Hardware.t) (load : Load.t) =
+let run ?observe ?faults (hw : Hardware.t) (load : Load.t) =
   let path = path_of load in
   let works = List.map (region_work hw) load.regions in
   let tracing =
@@ -150,9 +159,41 @@ let run ?observe (hw : Hardware.t) (load : Load.t) =
   let launches =
     float_of_int (List.length load.regions) *. hw.launch_overhead_s *. hw.clock_hz
   in
+  (* Injected device faults: a failed launch re-pays the region's launch
+     overhead per retry; a straggler PE stretches its region by
+     (slowdown − 1) × the region's analytic span. Both are stateless
+     draws on (seed, region, tasks), so the penalty charged to a given
+     program is identical whatever else ran before it. *)
+  let fault_cycles =
+    match faults with
+    | None -> 0.
+    | Some d ->
+      let launch_cycles = hw.launch_overhead_s *. hw.clock_hz in
+      let extra = ref 0. in
+      List.iteri
+        (fun i (w : Sched.region_work) ->
+          if w.count > 0 then begin
+            let retries = Device.launch_retries d ~region:i ~tasks:w.count in
+            if retries > 0 then begin
+              extra := !extra +. (float_of_int retries *. launch_cycles);
+              for _ = 1 to retries do
+                Mikpoly_telemetry.Metrics.incr m_launch_failures
+              done
+            end;
+            let factor = Device.straggler_factor d ~region:i ~tasks:w.count in
+            if factor > 1. then begin
+              let cap = float_of_int (hw.num_pes * w.blocks_per_pe) in
+              let span = float_of_int w.count /. cap *. w.duration in
+              extra := !extra +. ((factor -. 1.) *. span);
+              Mikpoly_telemetry.Metrics.incr m_stragglers
+            end
+          end)
+        works;
+      !extra
+  in
   let dram_floor = load.footprint_bytes /. hw.dram_bytes_per_cycle in
   let dram_bound = dram_floor > outcome.makespan in
-  let cycles = max outcome.makespan dram_floor +. launches in
+  let cycles = max outcome.makespan dram_floor +. launches +. fault_cycles in
   let total_warps =
     List.fold_left (fun acc (w : Sched.region_work) -> acc + (w.count * w.warps)) 0 works
   in

@@ -36,7 +36,9 @@ type region_obs = {
 exception Kernel_does_not_fit of string
 (** Raised when a region's kernel cannot be resident on the device. *)
 
-val run : ?observe:(region_obs list -> unit) -> Hardware.t -> Load.t -> result
+val run :
+  ?observe:(region_obs list -> unit) -> ?faults:Mikpoly_fault.Device.t ->
+  Hardware.t -> Load.t -> result
 (** Simulate the program. When [observe] is given it is called once with
     one {!region_obs} per non-empty program region — the residual-feedback
     hook the [lib/adapt] calibration layer builds on; the per-region
@@ -47,7 +49,15 @@ val run : ?observe:(region_obs list -> unit) -> Hardware.t -> Load.t -> result
     device cycles) covering the region's first task start to last task
     finish — the device-side view of a polymerized program on the
     shared timeline. With tracing off this path adds a single boolean
-    check and no allocation. *)
+    check and no allocation.
+
+    [faults] injects a {!Mikpoly_fault.Device} fault model: transient
+    launch failures each re-pay the region's launch overhead, and a
+    straggler PE stretches its region by the configured slowdown.
+    Faults are stateless seed-keyed draws, so the charged penalty is
+    deterministic and independent of simulation order; they never
+    change task results, only cycles (and the always-on
+    [fault.device.*] counters). *)
 
 val tflops : result -> useful_flops:float -> float
 (** Achieved useful TFLOPS given the operator's true flop count. *)

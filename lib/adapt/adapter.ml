@@ -8,6 +8,7 @@ module Kernel_desc = Mikpoly_accel.Kernel_desc
 module Load = Mikpoly_accel.Load
 module Simulator = Mikpoly_accel.Simulator
 module Tm = Mikpoly_telemetry
+module Breaker = Mikpoly_fault.Breaker
 
 let m_observations = Tm.Metrics.counter "adapt.observations"
 
@@ -15,15 +16,26 @@ let m_drift_events = Tm.Metrics.counter "adapt.drift_events"
 
 let m_recompiles = Tm.Metrics.counter "adapt.recompiles"
 
+let m_breaker_skipped = Tm.Metrics.counter "adapt.breaker.skipped"
+
 type params = {
   drift : Drift.params;
   window : int;
   min_observations : int;
   hot_limit : int;
+  breaker : Breaker.policy;
+  stall_budget : float;
 }
 
 let default_params =
-  { drift = Drift.default_params; window = 64; min_observations = 4; hot_limit = 8 }
+  {
+    drift = Drift.default_params;
+    window = 64;
+    min_observations = 4;
+    hot_limit = 8;
+    breaker = { Breaker.failure_threshold = 3; cooldown = 256. };
+    stall_budget = infinity;
+  }
 
 type stats = {
   observations : int;
@@ -33,6 +45,9 @@ type stats = {
   invalidated : int;
   calibrated_kernels : int;
   residual_ewma : float;
+  breaker_state : string;
+  breaker_trips : int;
+  breaker_skipped : int;
 }
 
 type hot = { mutable touches : int }
@@ -53,6 +68,8 @@ type t = {
   mutable recompiles : int;
   mutable invalidated : int;
   mutable pending_stall : float;
+  breaker : Breaker.t;
+  mutable breaker_skipped : int;
 }
 
 let locked t f =
@@ -185,31 +202,60 @@ let observe t (obs : Compiler.observation) =
           Drift.observe t.detector residual
           && t.observations >= t.params.min_observations
         then begin
-          t.drift_events <- t.drift_events + 1;
-          Tm.Metrics.incr m_drift_events;
-          (* Regime change: samples windowed before the shift describe the
-             old device and would drag the refit toward it. Drop them and
-             reseed from the observation that exposed the drift; subsequent
-             traffic and probes refill the windows with the new regime. *)
-          Hashtbl.reset t.windows;
-          List.iter
-            (fun (r : Compiler.region_observation) ->
-              window_sample_locked t (key_of_desc r.ro_kernel)
-                (r.ro_predicted, r.ro_observed))
-            obs.ob_regions;
-          let act () =
-            let dropped, recompiled = recalibrate_locked t in
-            if Tm.Tracer.enabled () then begin
-              Tm.Tracer.annotate "invalidated" (string_of_int dropped);
-              Tm.Tracer.annotate "recompiled" (string_of_int recompiled)
-            end
-          in
-          if Tm.Tracer.enabled () then
-            Tm.Tracer.with_span "adapt.recalibrate"
-              ~attrs:[ ("residual", Printf.sprintf "%.4f" residual) ]
-              act
-          else act ();
-          true
+          (* The breaker's clock is the observation count — the adapter's
+             only monotone notion of time, and deterministic. *)
+          let now = float_of_int t.observations in
+          if not (Breaker.allow t.breaker ~now) then begin
+            (* Recalibration has been failing (or blowing its stall
+               budget): keep serving on the current calibration rather
+               than thrash. The detector will fire again; the first fire
+               past the cooldown is the half-open probe. *)
+            t.breaker_skipped <- t.breaker_skipped + 1;
+            Tm.Metrics.incr m_breaker_skipped;
+            false
+          end
+          else begin
+            t.drift_events <- t.drift_events + 1;
+            Tm.Metrics.incr m_drift_events;
+            (* Regime change: samples windowed before the shift describe
+               the old device and would drag the refit toward it. Drop
+               them and reseed from the observation that exposed the
+               drift; subsequent traffic and probes refill the windows
+               with the new regime. *)
+            Hashtbl.reset t.windows;
+            List.iter
+              (fun (r : Compiler.region_observation) ->
+                window_sample_locked t (key_of_desc r.ro_kernel)
+                  (r.ro_predicted, r.ro_observed))
+              obs.ob_regions;
+            let act () =
+              let dropped, recompiled = recalibrate_locked t in
+              if Tm.Tracer.enabled () then begin
+                Tm.Tracer.annotate "invalidated" (string_of_int dropped);
+                Tm.Tracer.annotate "recompiled" (string_of_int recompiled)
+              end
+            in
+            let react () =
+              if Tm.Tracer.enabled () then
+                Tm.Tracer.with_span "adapt.recalibrate"
+                  ~attrs:[ ("residual", Printf.sprintf "%.4f" residual) ]
+                  act
+              else act ()
+            in
+            let stall0 = t.pending_stall in
+            (match react () with
+            | () ->
+              if t.pending_stall -. stall0 > t.params.stall_budget then
+                Breaker.record_failure t.breaker ~now
+              else Breaker.record_success t.breaker
+            | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+            | exception _ ->
+              (* A failed fit must not take serving down: the previous
+                 calibration stays installed, the failure feeds the
+                 breaker. *)
+              Breaker.record_failure t.breaker ~now);
+            true
+          end
         end
         else false)
   in
@@ -235,6 +281,8 @@ let create ?(params = default_params) ?(register = true) compiler =
       recompiles = 0;
       invalidated = 0;
       pending_stall = 0.;
+      breaker = Breaker.create ~policy:params.breaker ();
+      breaker_skipped = 0;
     }
   in
   if register then Compiler.set_observer compiler (Some (fun obs -> ignore (observe t obs)));
@@ -312,6 +360,9 @@ let stats t =
         invalidated = t.invalidated;
         calibrated_kernels = List.length (Calibration.curves t.calibration);
         residual_ewma = Drift.ewma t.detector;
+        breaker_state = Breaker.state_name (Breaker.state t.breaker);
+        breaker_trips = (Breaker.stats t.breaker).trips;
+        breaker_skipped = t.breaker_skipped;
       })
 
 let save_profile t ~path =

@@ -25,6 +25,18 @@ type params = {
       (** observations before a drift fire may recalibrate — avoids
           calibrating from a cold start's first few residuals *)
   hot_limit : int;  (** shapes recompiled eagerly per drift reaction *)
+  breaker : Mikpoly_fault.Breaker.policy;
+      (** circuit breaker around the drift reaction: after
+          [failure_threshold] consecutive failed reactions (a fit
+          exception, or a reaction whose eager-recompile stall exceeds
+          [stall_budget]) further drift fires are skipped — serving
+          continues on the current calibration — for [cooldown]
+          {e observations}; the first fire past the cooldown runs as a
+          half-open probe. Default: 3 failures, 256 observations. *)
+  stall_budget : float;
+      (** modeled recompilation seconds a single drift reaction may add
+          to the stall account before it counts as a breaker failure
+          (default [infinity] — disabled) *)
 }
 
 val default_params : params
@@ -37,6 +49,11 @@ type stats = {
   invalidated : int;  (** cached programs dropped by recalibrations *)
   calibrated_kernels : int;
   residual_ewma : float;  (** log-space; ≈0 when the model tracks reality *)
+  breaker_state : string;  (** "closed" / "open" / "half-open" *)
+  breaker_trips : int;
+  breaker_skipped : int;
+      (** drift fires skipped because the breaker was open; also on the
+          [adapt.breaker.skipped] telemetry counter *)
 }
 
 type t

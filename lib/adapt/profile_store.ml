@@ -1,17 +1,22 @@
 module Pw = Mikpoly_util.Piecewise
 module Hardware = Mikpoly_accel.Hardware
 
-let magic = "mikpoly-calibration v1"
+(* v2 added the body checksum line (and writes go through a tempfile +
+   atomic rename); v1 files are rejected as unrecognized. *)
+let magic = "mikpoly-calibration v2"
+
+(* The checksum covers exactly [Calibration.to_string] — canonical, so
+   identical observations keep producing byte-identical artifacts. *)
+let body_checksum body = Mikpoly_util.Checksum.fnv1a64_hex body
 
 let save ~path (hw : Hardware.t) (cal : Calibration.t) =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  let body = Calibration.to_string cal in
+  Mikpoly_util.Atomic_file.write ~path (fun oc ->
       Printf.fprintf oc "%s\n" magic;
       Printf.fprintf oc "hw %s\n" hw.name;
       Printf.fprintf oc "fingerprint %s\n" (Calibration.fingerprint cal);
-      output_string oc (Calibration.to_string cal))
+      Printf.fprintf oc "checksum %s\n" (body_checksum body);
+      output_string oc body)
 
 let parse_points s =
   let parse_one tok =
@@ -53,8 +58,11 @@ let load ~path (hw : Hardware.t) =
            done
          with End_of_file -> ());
         match List.rev !lines with
-        | header :: hw_line :: fp_line :: rest ->
+        | header :: hw_line :: fp_line :: sum_line :: rest ->
           let fp = Hardware.fingerprint hw in
+          (* [Calibration.to_string] newline-terminates every line, so the
+             body is exactly the remaining lines re-terminated. *)
+          let body = String.concat "" (List.map (fun l -> l ^ "\n") rest) in
           if header <> magic then fail "unrecognized calibration file"
           else if hw_line <> "hw " ^ hw.name then
             fail "calibration was recorded on a different platform (%s)" hw_line
@@ -62,6 +70,8 @@ let load ~path (hw : Hardware.t) =
             fail
               "calibration was recorded for a different hardware configuration (%s)"
               fp_line
+          else if sum_line <> "checksum " ^ body_checksum body then
+            fail "calibration failed checksum verification (corrupted artifact)"
           else begin
             try Ok (Calibration.of_curves ~fingerprint:fp (List.map parse_kernel rest))
             with Failure e | Invalid_argument e -> Error e

@@ -12,6 +12,24 @@ let m_evictions = Tm.Metrics.counter "compiler.cache.evictions"
 
 let m_invalidations = Tm.Metrics.counter "compiler.cache.invalidations"
 
+(* Degradation-ladder rung taken by each cache-miss compile; always-on so
+   a degraded serving run is visible in any telemetry dump. *)
+let m_full_search = Tm.Metrics.counter "compiler.ladder.full_search"
+
+let m_best_effort = Tm.Metrics.counter "compiler.ladder.best_effort"
+
+let m_single_pattern = Tm.Metrics.counter "compiler.ladder.single_pattern"
+
+let m_safe_generic = Tm.Metrics.counter "compiler.ladder.safe_generic"
+
+type rung = Full_search | Best_effort | Single_pattern | Safe_generic
+
+let rung_name = function
+  | Full_search -> "full-search"
+  | Best_effort -> "best-effort"
+  | Single_pattern -> "single-pattern"
+  | Safe_generic -> "safe-generic"
+
 (* A cached program plus its recency; [last_use] is a strictly
    increasing tick (unique per touch), so the LRU victim — the minimum —
    is unambiguous. Same idiom as [Serve.Shape_cache]. *)
@@ -40,6 +58,10 @@ type t = {
   hw : Hardware.t;
   config : Config.t;
   kernels : Kernel_set.t;
+  safe_mode : bool;  (** kernel store was unusable: [kernels] is the
+                         guaranteed-safe generic set *)
+  safe_set : Kernel_set.t Lazy.t;
+      (** last-rung fallback for compiles whose search itself fails *)
   lock : Mutex.t;  (** guards cache, tick, the stats counters and hooks *)
   cache : (int * int * int, slot) Hashtbl.t;
   mutable tick : int;
@@ -48,8 +70,19 @@ type t = {
   mutable cache_misses : int;
   mutable cache_evictions : int;
   mutable cache_invalidations : int;
+  mutable l_full_search : int;
+  mutable l_best_effort : int;
+  mutable l_single_pattern : int;
+  mutable l_safe_generic : int;
   mutable correction : (Kernel_set.entry -> float -> float) option;
   mutable observer : (observation -> unit) option;
+}
+
+type ladder_stats = {
+  full_search : int;
+  best_effort : int;
+  single_pattern : int;
+  safe_generic : int;
 }
 
 type cache_stats = {
@@ -60,14 +93,16 @@ type cache_stats = {
   size : int;
 }
 
-let create ?config ?(cache_capacity = 0) hw =
+let make ?config ?(cache_capacity = 0) ~safe_mode ~kernels hw =
   if cache_capacity < 0 then
     invalid_arg "Compiler.create: negative cache capacity";
   let config = match config with Some c -> c | None -> Config.default hw in
   {
     hw;
     config;
-    kernels = Kernel_set.create hw config;
+    kernels = kernels config;
+    safe_mode;
+    safe_set = lazy (Kernel_set.safe_generic hw config);
     lock = Mutex.create ();
     cache = Hashtbl.create 64;
     tick = 0;
@@ -76,9 +111,30 @@ let create ?config ?(cache_capacity = 0) hw =
     cache_misses = 0;
     cache_evictions = 0;
     cache_invalidations = 0;
+    l_full_search = 0;
+    l_best_effort = 0;
+    l_single_pattern = 0;
+    l_safe_generic = 0;
     correction = None;
     observer = None;
   }
+
+let create ?config ?cache_capacity hw =
+  make ?config ?cache_capacity ~safe_mode:false
+    ~kernels:(fun config -> Kernel_set.create hw config)
+    hw
+
+let create_resilient ?config ?cache_capacity ~store_path hw =
+  let cfg = match config with Some c -> c | None -> Config.default hw in
+  match Kernel_store.load ~path:store_path hw cfg with
+  | Ok set -> (make ~config:cfg ?cache_capacity ~safe_mode:false ~kernels:(fun _ -> set) hw, None)
+  | Error reason ->
+    ( make ~config:cfg ?cache_capacity ~safe_mode:true
+        ~kernels:(fun config -> Kernel_set.safe_generic hw config)
+        hw,
+      Some reason )
+
+let safe_mode t = t.safe_mode
 
 let hardware t = t.hw
 
@@ -125,6 +181,59 @@ let default_scorer t =
   | Some f -> Polymerize.Calibrated f
   | None -> Polymerize.Model Cost_model.Full
 
+let note_rung t rung =
+  locked t (fun () ->
+      match rung with
+      | Full_search -> t.l_full_search <- t.l_full_search + 1
+      | Best_effort -> t.l_best_effort <- t.l_best_effort + 1
+      | Single_pattern -> t.l_single_pattern <- t.l_single_pattern + 1
+      | Safe_generic -> t.l_safe_generic <- t.l_safe_generic + 1);
+  (match rung with
+  | Full_search -> Tm.Metrics.incr m_full_search
+  | Best_effort -> Tm.Metrics.incr m_best_effort
+  | Single_pattern -> Tm.Metrics.incr m_single_pattern
+  | Safe_generic -> Tm.Metrics.incr m_safe_generic);
+  Tm.Tracer.annotate "ladder.rung" (rung_name rung)
+
+(* The degradation ladder: every cache-miss compile lands on some rung and
+   always produces a program. Full search (possibly deadline-truncated to
+   best-so-far — that is rung 2, reported by the search itself) → on any
+   search failure, a Pattern-I-only retry → on failure again, the
+   guaranteed-safe generic kernel set scored with the plain model. A
+   safe-mode compiler (kernel store unusable at creation) is permanently
+   on the last rung. *)
+let search_ladder t op =
+  let scorer = default_scorer t in
+  if t.safe_mode then begin
+    let c = Polymerize.polymerize ~scorer t.kernels t.config op in
+    note_rung t Safe_generic;
+    c
+  end
+  else
+    match Polymerize.polymerize ~scorer t.kernels t.config op with
+    | c ->
+      note_rung t
+        (if c.Polymerize.deadline_hit then Best_effort else Full_search);
+      c
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception _ -> (
+      match
+        Polymerize.polymerize ~scorer t.kernels
+          { t.config with patterns = [ Pattern.I ] }
+          op
+      with
+      | c ->
+        note_rung t Single_pattern;
+        c
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception _ ->
+        let c =
+          Polymerize.polymerize ~scorer:(Polymerize.Model Cost_model.Full)
+            (Lazy.force t.safe_set) t.config op
+        in
+        note_rung t Safe_generic;
+        c)
+
 let compile_lookup t op =
   let key = Operator.gemm_shape op in
   let hit =
@@ -150,8 +259,7 @@ let compile_lookup t op =
        overlap; on insert, re-check whether a racing domain won — the
        search is deterministic, so adopting either result is sound, and
        keeping the incumbent preserves its recency. *)
-    let scorer = default_scorer t in
-    let c = Polymerize.polymerize ~scorer t.kernels t.config op in
+    let c = search_ladder t op in
     locked t (fun () ->
         match Hashtbl.find_opt t.cache key with
         | Some slot ->
@@ -181,6 +289,15 @@ let cache_stats t =
         evictions = t.cache_evictions;
         invalidations = t.cache_invalidations;
         size = Hashtbl.length t.cache;
+      })
+
+let ladder_stats t =
+  locked t (fun () ->
+      {
+        full_search = t.l_full_search;
+        best_effort = t.l_best_effort;
+        single_pattern = t.l_single_pattern;
+        safe_generic = t.l_safe_generic;
       })
 
 let reset_cache_stats t =

@@ -14,6 +14,49 @@ val create :
     in {!cache_stats}. The default [0] keeps the memo unbounded, the
     seed behaviour. *)
 
+val create_resilient :
+  ?config:Config.t -> ?cache_capacity:int -> store_path:string ->
+  Mikpoly_accel.Hardware.t -> t * string option
+(** Like {!create} but sourcing the kernel set from a {!Kernel_store}
+    artifact instead of a tuning pass. When the artifact is unusable
+    (missing, corrupted, checksum mismatch, wrong platform…), instead of
+    failing — or worse, silently re-tuning, which a degraded production
+    host may not have the budget for — the compiler comes up in safe
+    mode on {!Kernel_set.safe_generic} and serves every shape on the
+    ladder's last rung. Returns the rejection reason in that case. *)
+
+val safe_mode : t -> bool
+(** Whether the compiler is running on the guaranteed-safe generic set
+    ({!create_resilient} with an unusable artifact). *)
+
+type rung =
+  | Full_search  (** the complete configured search ran *)
+  | Best_effort
+      (** [Config.search_deadline_ms] truncated the search: best program
+          found within the budget *)
+  | Single_pattern
+      (** the full search failed; a Pattern-I-only retry succeeded *)
+  | Safe_generic
+      (** search on the configured kernel set was impossible or failed
+          twice: compiled against {!Kernel_set.safe_generic} *)
+
+val rung_name : rung -> string
+
+type ladder_stats = {
+  full_search : int;
+  best_effort : int;
+  single_pattern : int;
+  safe_generic : int;
+}
+
+val ladder_stats : t -> ladder_stats
+(** Degradation-ladder rung counts across this compiler's cache-miss
+    compiles (cache hits take no rung). Mirrored on the always-on
+    [compiler.ladder.*] telemetry counters, and annotated on the
+    compile span as [ladder.rung] when tracing. Every compile lands on
+    some rung and returns a program — the ladder is why MikPoly serving
+    has no "compilation failed" outcome. *)
+
 val hardware : t -> Mikpoly_accel.Hardware.t
 
 val config : t -> Config.t

@@ -16,6 +16,7 @@ type t = {
   search_launch_term : bool;
   cut_style : [ `Wave_aligned | `Remainder_only ];
   search_jobs : int;
+  search_deadline_ms : float;
 }
 
 let default (hw : Hardware.t) =
@@ -37,6 +38,7 @@ let default (hw : Hardware.t) =
       search_launch_term = true;
       cut_style = `Wave_aligned;
       search_jobs = 0;
+      search_deadline_ms = 0.;
     }
   | Npu ->
     {
@@ -55,6 +57,7 @@ let default (hw : Hardware.t) =
       search_launch_term = true;
       cut_style = `Wave_aligned;
       search_jobs = 0;
+      search_deadline_ms = 0.;
     }
 
 let with_path path t =

@@ -30,6 +30,17 @@ type t = {
           uses [n] domains. Never affects which program is chosen —
           the parallel search is deterministic — so it is excluded
           from {!cache_key}. *)
+  search_deadline_ms : float;
+      (** online-search deadline in milliseconds of {e modeled} search
+          time ([0.] = unbounded, the default). The deadline is
+          converted into a per-unit candidate budget derived from
+          {!Polymerize.modeled_search_seconds}'s constants, so the
+          best-so-far cut fires at the identical candidate for every
+          job count — cancellation never breaks the determinism
+          contract. Like [search_jobs] it never affects which program a
+          completed (un-truncated) search chooses, and a truncated
+          search is still deterministic, so it is excluded from
+          {!cache_key}. *)
 }
 
 val default : Mikpoly_accel.Hardware.t -> t

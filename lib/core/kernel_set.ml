@@ -75,6 +75,28 @@ let create hw (config : Config.t) =
             Hashtbl.replace cache key t;
             t))
 
+(* The degradation ladder's last rung: one conservative 16×16×16 kernel
+   (the MMA/cube granularity, so it tiles every shape) with a freshly
+   learned performance model. No tuning pass, no kernel store, no memo —
+   nothing that can fail is involved, which is the point. *)
+let safe_generic hw (config : Config.t) =
+  let desc =
+    Kernel_desc.make ~dtype:config.dtype ~path:config.path
+      ~codegen_eff:config.codegen_eff ~origin:"safe-generic" ~um:16 ~un:16
+      ~uk:16 ()
+  in
+  let model = Perf_model.learn ~n_pred:config.n_pred hw desc in
+  let entry =
+    {
+      desc;
+      model;
+      wave_capacity = Kernel_model.wave_capacity hw desc;
+      rank = 0;
+      rank_score = 0.;
+    }
+  in
+  { hw; entries = [| entry |] }
+
 let size t = Array.length t.entries
 
 let find t ~um ~un ~uk =

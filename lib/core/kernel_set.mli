@@ -23,6 +23,13 @@ val create : Mikpoly_accel.Hardware.t -> Config.t -> t
     exactly once. Candidate evaluation inside the tuning pass is
     parallelized per [Config.search_jobs]. *)
 
+val safe_generic : Mikpoly_accel.Hardware.t -> Config.t -> t
+(** The guaranteed-safe single-kernel set: one conservative 16×16×16
+    micro-kernel (the MMA/cube granularity, so it tiles any shape) with a
+    freshly learned performance model. Runs no tuning pass and touches no
+    store or memo — the degradation ladder's last rung, used when the
+    kernel store is unusable. Slow but always correct. *)
+
 val clear_cache : unit -> unit
 (** Drop memoized kernel sets (used by hyper-parameter sweeps).
     Domain-safe. *)

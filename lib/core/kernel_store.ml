@@ -1,10 +1,11 @@
 open Mikpoly_accel
 open Mikpoly_autosched
 
-(* v2 added the hardware fingerprint line; v1 files (no fingerprint) are
+(* v2 added the hardware fingerprint line; v3 adds a body checksum (and
+   writes go through a tempfile + atomic rename). Older files are
    rejected as unrecognized, forcing a re-tune rather than a silent reuse
-   on hardware the set was never validated against. *)
-let magic = "mikpoly-kernel-set v2"
+   of an artifact the new validation never covered. *)
+let magic = "mikpoly-kernel-set v3"
 
 let path_to_string = function Hardware.Matrix -> "matrix" | Vector -> "vector"
 
@@ -20,26 +21,40 @@ let dtype_of_string = function
   | "fp32" -> Some Mikpoly_tensor.Dtype.F32
   | _ -> None
 
+(* The body (everything below the header) as lines, shared by save and
+   the checksum so the two can never disagree on what is covered. *)
+let body_lines (set : Kernel_set.t) =
+  List.concat_map
+    (fun (e : Kernel_set.entry) ->
+      let d = e.desc in
+      let kernel_line =
+        Printf.sprintf "kernel %d %d %d %s %s %.9g %s %.9g" d.um d.un d.uk
+          (dtype_to_string d.dtype) (path_to_string d.path) d.codegen_eff
+          d.origin e.rank_score
+      in
+      let pts = Mikpoly_util.Piecewise.breakpoints e.model.g in
+      let g_line =
+        Printf.sprintf "gpredict %s"
+          (String.concat " "
+             (List.map (fun (x, y) -> Printf.sprintf "%.9g:%.9g" x y) pts))
+      in
+      [ kernel_line; g_line ])
+    (Array.to_list set.entries)
+
+let body_checksum lines =
+  Mikpoly_util.Checksum.fnv1a64_hex (String.concat "\n" lines)
+
 let save ~path (config : Config.t) (set : Kernel_set.t) =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  let body = body_lines set in
+  (* Tempfile + atomic rename: a crash mid-write leaves the previous
+     artifact intact, never a half-written one. *)
+  Mikpoly_util.Atomic_file.write ~path (fun oc ->
       Printf.fprintf oc "%s\n" magic;
       Printf.fprintf oc "hw %s\n" set.hw.Hardware.name;
       Printf.fprintf oc "fingerprint %s\n" (Hardware.fingerprint set.hw);
       Printf.fprintf oc "config %s\n" (Config.cache_key config);
-      Array.iter
-        (fun (e : Kernel_set.entry) ->
-          let d = e.desc in
-          Printf.fprintf oc "kernel %d %d %d %s %s %.9g %s %.9g\n" d.um d.un
-            d.uk (dtype_to_string d.dtype) (path_to_string d.path)
-            d.codegen_eff d.origin e.rank_score;
-          let pts = Mikpoly_util.Piecewise.breakpoints e.model.g in
-          Printf.fprintf oc "gpredict %s\n"
-            (String.concat " "
-               (List.map (fun (x, y) -> Printf.sprintf "%.9g:%.9g" x y) pts)))
-        set.entries)
+      Printf.fprintf oc "checksum %s\n" (body_checksum body);
+      List.iter (fun l -> Printf.fprintf oc "%s\n" l) body)
 
 let parse_points s =
   let parse_one tok =
@@ -65,7 +80,7 @@ let load ~path (hw : Hardware.t) (config : Config.t) =
            done
          with End_of_file -> ());
         match List.rev !lines with
-        | header :: hw_line :: fp_line :: config_line :: rest ->
+        | header :: hw_line :: fp_line :: config_line :: sum_line :: rest ->
           if header <> magic then fail "unrecognized kernel-set file"
           else if hw_line <> "hw " ^ hw.Hardware.name then
             fail "kernel set was generated for a different platform (%s)" hw_line
@@ -75,6 +90,8 @@ let load ~path (hw : Hardware.t) (config : Config.t) =
               fp_line
           else if config_line <> "config " ^ Config.cache_key config then
             fail "kernel set was generated with a different configuration"
+          else if sum_line <> "checksum " ^ body_checksum rest then
+            fail "kernel set failed checksum verification (corrupted artifact)"
           else begin
             try
               let rec parse acc rank = function

@@ -8,7 +8,11 @@
     offline artifact instead of re-running auto-tuning. *)
 
 val save : path:string -> Config.t -> Kernel_set.t -> unit
-(** Write the set to [path] (overwrites). *)
+(** Write the set to [path] (overwrites). Crash-safe: the bytes go to a
+    tempfile in the same directory, are flushed, and replace [path] with
+    an atomic rename — a crash mid-write leaves the previous artifact
+    intact. The header carries an FNV-1a checksum of the body, verified
+    by {!load}. *)
 
 val load :
   path:string -> Mikpoly_accel.Hardware.t -> Config.t ->
@@ -18,7 +22,9 @@ val load :
     hardware configuration ({!Mikpoly_accel.Hardware.fingerprint} — a
     same-named device with different microarchitectural constants is
     rejected) or compiler configuration — stale artifacts must never be
-    silently reused. *)
+    silently reused. A checksum mismatch (bit rot, truncation, a torn
+    write from a pre-atomic-rename writer) is likewise rejected with a
+    distinct reason, before the body is parsed. *)
 
 val load_or_create : path:string -> Mikpoly_accel.Hardware.t -> Config.t -> Kernel_set.t
 (** Use the artifact when valid, otherwise run the offline stage and save

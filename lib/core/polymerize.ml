@@ -28,6 +28,7 @@ type compiled = {
   candidates : int;
   pruned : int;
   search_seconds : float;
+  deadline_hit : bool;
 }
 
 let ceil_div a b = (a + b - 1) / b
@@ -91,8 +92,29 @@ let col_cuts ?style (e : Kernel_set.entry) ~rows ~cols ~max_cuts =
    the program is only materialized for the winner. Pins cover the
    pattern's regions in order; missing trailing pins are resolved with the
    memoized best single kernel for that region. *)
+let dispatch_seconds = 0.5e-6
+
+let per_candidate_seconds = 15e-9
+
 let modeled_search_seconds (c : compiled) =
-  0.5e-6 +. (15e-9 *. float_of_int c.candidates)
+  dispatch_seconds +. (per_candidate_seconds *. float_of_int c.candidates)
+
+(* A [Config.search_deadline_ms] budget, expressed in the same modeled
+   time [modeled_search_seconds] charges, converted to a per-unit
+   candidate quota. Candidates are counted per (pattern × primary) unit
+   in a jobs-independent order, so cutting each unit at its quota makes
+   the best-so-far result of a truncated search bit-identical at every
+   job count — a wall-clock deadline could not promise that. Every unit
+   keeps at least one candidate, so a program always exists (Pattern I
+   is always feasible). *)
+let unit_quota ~deadline_ms ~n_units =
+  if deadline_ms <= 0. then max_int
+  else begin
+    let total =
+      (deadline_ms *. 1e-3 -. dispatch_seconds) /. per_candidate_seconds
+    in
+    max 1 (int_of_float total / max 1 n_units)
+  end
 
 type choice = {
   c_pattern : Pattern.t;
@@ -123,6 +145,8 @@ type unit_state = {
   mutable l_best : (float * tie_key * choice) option;
   mutable l_cand : int;
   mutable l_pruned : int;
+  l_quota : int;  (** candidate budget for this unit; [max_int] = none *)
+  mutable l_truncated : bool;  (** the quota cut enumeration short *)
   memo : (int * int, Kernel_set.entry * float) Hashtbl.t;
 }
 
@@ -130,6 +154,7 @@ type unit_result = {
   u_best : (float * tie_key * choice) option;
   u_cand : int;
   u_pruned : int;
+  u_truncated : bool;
 }
 
 let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
@@ -206,6 +231,17 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   in
   let primaries = take config.primary_kernels in
   let secondaries = take config.secondary_kernels in
+  (* Deadline budget: one fixed quota per enumeration unit, computed
+     before any unit runs so it cannot depend on scheduling. *)
+  let n_units =
+    List.fold_left
+      (fun acc (p : Pattern.t) ->
+        acc + match p with Pattern.I -> 1 | _ -> Array.length primaries)
+      0 config.patterns
+  in
+  let quota =
+    unit_quota ~deadline_ms:config.search_deadline_ms ~n_units
+  in
   (* Shared branch-and-bound state: the lowest full-candidate cost found
      by any domain so far. Monotonically non-increasing, so pruning a
      partial sum that strictly exceeds it can never discard a candidate
@@ -216,8 +252,27 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     let b = Atomic.get bound in
     if c < b && not (Atomic.compare_and_set bound b c) then lower_bound c
   in
-  let fresh_state () =
-    { l_best = None; l_cand = 0; l_pruned = 0; memo = Hashtbl.create 64 }
+  let fresh_state ~quota () =
+    {
+      l_best = None;
+      l_cand = 0;
+      l_pruned = 0;
+      l_quota = quota;
+      l_truncated = false;
+      memo = Hashtbl.create 64;
+    }
+  in
+  (* One check per candidate: a unit whose quota is spent skips its
+     remaining candidates (recorded as truncation, not pruning). The
+     per-unit candidate sequence is enumeration-order-fixed and
+     jobs-independent, so the cut lands on the same candidate
+     everywhere. *)
+  let budget_ok st =
+    if st.l_cand < st.l_quota then true
+    else begin
+      st.l_truncated <- true;
+      false
+    end
   in
   (* Best single kernel for a free region, memoized per extent (one memo
      per unit: [best_single] is a pure function of the extent, so private
@@ -271,6 +326,7 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   let score_choice_model st (ch : choice) =
     match resolve st ch with
     | None -> ()
+    | Some _ when not (budget_ok st) -> ()
     | Some assignment ->
       st.l_cand <- st.l_cand + 1;
       let limit = Atomic.get bound in
@@ -285,6 +341,7 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   let score_choice_simulate st (ch : choice) =
     match resolve st ch with
     | None -> ()
+    | Some _ when not (budget_ok st) -> ()
     | Some assignment ->
       st.l_cand <- st.l_cand + 1;
       let regions =
@@ -322,10 +379,12 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     match sim_hw with
     | None ->
       for i = 0 to n_entries - 1 do
-        st.l_cand <- st.l_cand + 1;
-        let e = entries.(i) in
-        let c = rcost_dims e m n in
-        record st c (choice I [] [ e ] None)
+        if budget_ok st then begin
+          st.l_cand <- st.l_cand + 1;
+          let e = entries.(i) in
+          let c = rcost_dims e m n in
+          record st c (choice I [] [ e ] None)
+        end
       done
     | Some _ ->
       Array.iter (fun e -> score_choice_simulate st (choice I [] [ e ] None)) entries
@@ -335,12 +394,14 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       (fun r ->
         match sim_hw with
         | None ->
-          st.l_cand <- st.l_cand + 1;
-          let c1 = rcost_dims e1 r n in
-          if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
-          else begin
-            let e2, c2 = best_single st (m - r) n in
-            record st (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
+          if budget_ok st then begin
+            st.l_cand <- st.l_cand + 1;
+            let c1 = rcost_dims e1 r n in
+            if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
+            else begin
+              let e2, c2 = best_single st (m - r) n in
+              record st (c1 +. c2) (choice II [ r ] [ e1; e2 ] None)
+            end
           end
         | Some _ -> consider st ~has_free:true II [ r ] [ e1 ])
       (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
@@ -350,12 +411,14 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       (fun c ->
         match sim_hw with
         | None ->
-          st.l_cand <- st.l_cand + 1;
-          let c1 = rcost_dims e1 m c in
-          if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
-          else begin
-            let e2, c2 = best_single st m (n - c) in
-            record st (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
+          if budget_ok st then begin
+            st.l_cand <- st.l_cand + 1;
+            let c1 = rcost_dims e1 m c in
+            if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
+            else begin
+              let e2, c2 = best_single st m (n - c) in
+              record st (c1 +. c2) (choice III [ c ] [ e1; e2 ] None)
+            end
           end
         | Some _ -> consider st ~has_free:true III [ c ] [ e1 ])
       (col_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
@@ -413,9 +476,14 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
         (row_cuts ~style:config.cut_style e1 ~rows:m ~cols:n ~max_cuts:config.max_cuts)
   in
   let run_unit (pattern, e1) =
-    let st = fresh_state () in
+    let st = fresh_state ~quota () in
     run_unit_body st pattern e1;
-    { u_best = st.l_best; u_cand = st.l_cand; u_pruned = st.l_pruned }
+    {
+      u_best = st.l_best;
+      u_cand = st.l_cand;
+      u_pruned = st.l_pruned;
+      u_truncated = st.l_truncated;
+    }
   in
   (* The candidate space, flattened to (pattern × primary) units in
      configuration order; the reduction below folds unit results in this
@@ -438,7 +506,10 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     else begin
       (* Sequential tracing keeps the per-pattern child spans: units of
          one pattern are contiguous by construction. *)
-      let res = Array.make (Array.length units) { u_best = None; u_cand = 0; u_pruned = 0 } in
+      let res =
+        Array.make (Array.length units)
+          { u_best = None; u_cand = 0; u_pruned = 0; u_truncated = false }
+      in
       let i = ref 0 in
       let n_units = Array.length units in
       while !i < n_units do
@@ -459,28 +530,31 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       res
     end
   in
-  let merge (best, cand, pruned) (r : unit_result) =
+  let merge (best, cand, pruned, trunc) (r : unit_result) =
     let best =
       match (best, r.u_best) with
       | None, b | b, None -> b
       | (Some (bc, bk, _) as cur), (Some (rc, rk, _) as inc) ->
         if (rc, rk) < (bc, bk) then inc else cur
     in
-    (best, cand + r.u_cand, pruned + r.u_pruned)
+    (best, cand + r.u_cand, pruned + r.u_pruned, trunc || r.u_truncated)
   in
-  let best, candidates, pruned =
-    Array.fold_left merge (None, 0, 0) results
+  let best, candidates, pruned, deadline_hit =
+    Array.fold_left merge (None, 0, 0, false) results
   in
   (* Pattern I is always feasible; make sure it was explored even when the
      configuration omits it and every split pattern degenerated. *)
-  let best, candidates, pruned =
+  let best, candidates, pruned, deadline_hit =
     match best with
-    | Some _ -> (best, candidates, pruned)
-    | None -> merge (best, candidates, pruned) (run_unit (Pattern.I, None))
+    | Some _ -> (best, candidates, pruned, deadline_hit)
+    | None ->
+      merge (best, candidates, pruned, deadline_hit) (run_unit (Pattern.I, None))
   in
   let cost, _, winner = match best with Some x -> x | None -> assert false in
   let assignment =
-    match resolve (fresh_state ()) winner with
+    (* Resolution only materializes the winner; it scores nothing, so it
+       runs outside any budget. *)
+    match resolve (fresh_state ~quota:max_int ()) winner with
     | Some a -> a
     | None -> assert false
   in
@@ -502,6 +576,7 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     candidates;
     pruned;
     search_seconds = Unix.gettimeofday () -. t0;
+    deadline_hit;
   }
 
 let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true) ?jobs

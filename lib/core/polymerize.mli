@@ -34,6 +34,12 @@ type compiled = {
   candidates : int;  (** polymerization strategies examined *)
   pruned : int;  (** strategies abandoned early by the cost bound *)
   search_seconds : float;  (** wall-clock online overhead *)
+  deadline_hit : bool;
+      (** [Config.search_deadline_ms] truncated at least one enumeration
+          unit: the result is the best candidate found before the
+          per-unit quota ran out (still deterministic — the quota is a
+          candidate count, not wall-clock, so the cut lands on the same
+          candidate at every job count). *)
 }
 
 val row_cuts :
@@ -80,4 +86,5 @@ val modeled_search_seconds : compiled -> float
     a per-candidate scoring cost, calibrated so that a production-grade
     implementation of this search (the paper measures ~2us in C++) is
     modeled rather than the wall-clock of this research harness —
-    [search_seconds] still reports the latter. *)
+    [search_seconds] still reports the latter. [Config.search_deadline_ms]
+    budgets are charged in this same modeled currency. *)

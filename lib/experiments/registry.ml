@@ -24,6 +24,7 @@ let all =
     Exp_costmodel.exp;
     Exp_serving.exp;
     Exp_adaptation.exp;
+    Exp_resilience.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

@@ -1,0 +1,47 @@
+type mode = Bit_flip | Truncate | Header
+
+let all_modes = [ Bit_flip; Truncate; Header ]
+
+let mode_name = function
+  | Bit_flip -> "bit-flip"
+  | Truncate -> "truncate"
+  | Header -> "header"
+
+let apply mode ~seed s =
+  match mode with
+  | Bit_flip ->
+    if String.length s = 0 then s
+    else begin
+      (* Flip one bit of one byte, both chosen by the seed; flipping
+         always changes the byte, so the checksum must catch it. *)
+      let pos =
+        int_of_float (Draw.uniform ~seed [ 0xB1 ] *. float_of_int (String.length s))
+      in
+      let pos = min pos (String.length s - 1) in
+      let bit = int_of_float (Draw.uniform ~seed [ 0xB2 ] *. 8.) land 7 in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Bytes.to_string b
+    end
+  | Truncate ->
+    (* A mid-write kill without the crash-safe store: the artifact stops
+       part-way through. *)
+    String.sub s 0 (String.length s / 2)
+  | Header -> (
+    (* Clobber the magic line, keeping the body — an artifact written by
+       some other tool or version. *)
+    match String.index_opt s '\n' with
+    | None -> "corrupted"
+    | Some i -> "corrupted" ^ String.sub s i (String.length s - i))
+
+let file mode ~seed ~path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (apply mode ~seed contents))

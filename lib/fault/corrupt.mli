@@ -1,0 +1,19 @@
+(** Artifact corruption injection for the on-disk stores.
+
+    Three corruption modes cover the failure classes the stores must
+    reject: a flipped bit (silent media corruption — caught by the
+    header checksum), a truncated body (torn write — caught by the
+    checksum or the line-structure parse), and a clobbered header
+    (foreign/incompatible artifact — caught by the magic line). *)
+
+type mode = Bit_flip | Truncate | Header
+
+val all_modes : mode list
+
+val mode_name : mode -> string
+
+val apply : mode -> seed:int -> string -> string
+(** Corrupt the artifact contents deterministically per seed. *)
+
+val file : mode -> seed:int -> path:string -> unit
+(** Corrupt the file at [path] in place. *)

@@ -1,0 +1,44 @@
+type t = {
+  seed : int;
+  launch_fail_rate : float;
+  max_launch_retries : int;
+  straggler_rate : float;
+  straggler_slowdown : float;
+}
+
+let make ?(launch_fail_rate = 0.) ?(max_launch_retries = 3)
+    ?(straggler_rate = 0.) ?(straggler_slowdown = 2.) ~seed () =
+  if seed < 0 then invalid_arg "Device: seed must be non-negative";
+  if launch_fail_rate < 0. || launch_fail_rate >= 1. then
+    invalid_arg "Device: launch_fail_rate must be in [0, 1)";
+  if straggler_rate < 0. || straggler_rate > 1. then
+    invalid_arg "Device: straggler_rate must be in [0, 1]";
+  if straggler_slowdown < 1. then
+    invalid_arg "Device: straggler_slowdown must be >= 1";
+  if max_launch_retries < 0 then
+    invalid_arg "Device: max_launch_retries must be >= 0";
+  { seed; launch_fail_rate; max_launch_retries; straggler_rate; straggler_slowdown }
+
+(* Consecutive transient launch failures before the launch of [region]
+   succeeds: attempt [i] fails with probability [launch_fail_rate],
+   each attempt drawn at its own (region, tasks, i) site, capped at
+   [max_launch_retries]. The site includes [tasks] so two loads with
+   the same region index but different shapes fail independently. *)
+let launch_retries t ~region ~tasks =
+  if t.launch_fail_rate <= 0. then 0
+  else begin
+    let rec go i =
+      if i >= t.max_launch_retries then i
+      else if Draw.uniform ~seed:t.seed [ 0xD1; region; tasks; i ]
+              < t.launch_fail_rate
+      then go (i + 1)
+      else i
+    in
+    go 0
+  end
+
+let straggler_factor t ~region ~tasks =
+  if t.straggler_rate > 0.
+     && Draw.uniform ~seed:t.seed [ 0xD2; region; tasks ] < t.straggler_rate
+  then t.straggler_slowdown
+  else 1.

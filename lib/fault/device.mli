@@ -1,0 +1,29 @@
+(** Device-level fault model for {!Mikpoly_accel.Simulator}: transient
+    micro-kernel launch failures (each failed launch repeats its launch
+    overhead) and straggler PEs (a region's tasks run slowed down).
+
+    Every decision is a stateless draw keyed on (seed, region, tasks),
+    so injected faults are identical across runs and independent of
+    simulation order or memoization. *)
+
+type t
+
+val make :
+  ?launch_fail_rate:float ->
+  ?max_launch_retries:int ->
+  ?straggler_rate:float ->
+  ?straggler_slowdown:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: no faults ([launch_fail_rate = 0.], [straggler_rate = 0.]),
+    at most 3 launch retries, 2× straggler slowdown. Raises
+    [Invalid_argument] on out-of-range rates. *)
+
+val launch_retries : t -> region:int -> tasks:int -> int
+(** Failed launch attempts before region [region] (with [tasks] tasks)
+    launches successfully — each one re-pays the launch overhead. *)
+
+val straggler_factor : t -> region:int -> tasks:int -> float
+(** Duration multiplier for the region's tasks: 1.0, or the configured
+    slowdown when a straggler PE is drawn for this region. *)

@@ -1,0 +1,22 @@
+(* Stateless deterministic draws: every fault decision hashes its own
+   coordinates (scenario seed + injection-site key) into a fresh
+   {!Mikpoly_util.Prng} stream and draws once. No shared mutable stream
+   means no draw-order dependence: the decision at a given site is the
+   same whatever else ran before it — across runs, across [--jobs]
+   counts, and across resilience-on/off arms of an A/B. *)
+
+(* Multiplicative mixing constants (splitmix64's, truncated to OCaml's
+   63-bit native int — only their bit-scrambling quality matters). *)
+let golden = 0x1E3779B97F4A7C15
+
+let scramble = 0x3F58476D1CE4E5B9
+
+let combine seed keys =
+  let mix acc x =
+    let h = (acc lxor x) * golden in
+    (h lxor (h lsr 29)) * scramble
+  in
+  List.fold_left mix (mix seed golden) keys land max_int
+
+let uniform ~seed keys =
+  Mikpoly_util.Prng.float (Mikpoly_util.Prng.create (combine seed keys)) 1.0

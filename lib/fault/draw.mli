@@ -1,0 +1,14 @@
+(** Stateless deterministic fault draws.
+
+    Fault decisions are pure functions of (scenario seed, injection-site
+    coordinates): the coordinates are hashed into a fresh PRNG stream
+    and drawn once. Because no mutable stream is shared, a decision
+    cannot depend on evaluation order — the foundation of the fault
+    plane's bit-reproducibility across runs and [--jobs] counts. *)
+
+val combine : int -> int list -> int
+(** Hash a seed and a list of site coordinates into a non-negative
+    seed. *)
+
+val uniform : seed:int -> int list -> float
+(** One uniform draw in [\[0, 1)] at the given site. *)

@@ -1,0 +1,101 @@
+type t = {
+  seed : int;
+  step_fail_rate : float;
+  straggler_rate : float;
+  straggler_slowdown : float;
+  crashes : (float * int) list;
+  restart_delay : float;
+}
+
+let none = {
+  seed = 0;
+  step_fail_rate = 0.;
+  straggler_rate = 0.;
+  straggler_slowdown = 1.;
+  crashes = [];
+  restart_delay = 0.;
+}
+
+let validate t =
+  if t.seed < 0 then invalid_arg "Plan: seed must be non-negative";
+  if t.step_fail_rate < 0. || t.step_fail_rate >= 1. then
+    invalid_arg "Plan: step_fail_rate must be in [0, 1)";
+  if t.straggler_rate < 0. || t.straggler_rate > 1. then
+    invalid_arg "Plan: straggler_rate must be in [0, 1]";
+  if t.straggler_slowdown < 1. then
+    invalid_arg "Plan: straggler_slowdown must be >= 1";
+  if t.restart_delay < 0. then invalid_arg "Plan: restart_delay must be >= 0";
+  List.iter
+    (fun (time, replica) ->
+      if time < 0. || replica < 0 then
+        invalid_arg "Plan: crash entries need time >= 0 and replica >= 0")
+    t.crashes
+
+let make ?(step_fail_rate = 0.) ?(straggler_rate = 0.)
+    ?(straggler_slowdown = 1.) ?(crashes = []) ?(restart_delay = 0.) ~seed () =
+  let t =
+    {
+      seed;
+      step_fail_rate;
+      straggler_rate;
+      straggler_slowdown;
+      crashes = List.sort compare crashes;
+      restart_delay;
+    }
+  in
+  validate t;
+  t
+
+(* A seeded chaos scenario: per-step transient failures and stragglers
+   at the given rates, plus [crashes] replica crashes at seed-drawn
+   instants spread over the middle 80% of [horizon] on seed-drawn
+   replicas. The schedule is fixed at plan-construction time, so both
+   arms of a resilience A/B face the same crashes. *)
+let scenario ?(step_fail_rate = 0.05) ?(straggler_rate = 0.05)
+    ?(straggler_slowdown = 3.) ?(crashes = 1) ?(restart_delay = 0.25) ~seed
+    ~replicas ~horizon () =
+  if replicas < 1 then invalid_arg "Plan.scenario: replicas must be >= 1";
+  if horizon <= 0. then invalid_arg "Plan.scenario: horizon must be > 0";
+  if crashes < 0 then invalid_arg "Plan.scenario: crashes must be >= 0";
+  let crash_list =
+    List.init crashes (fun i ->
+        let time =
+          horizon *. (0.1 +. (0.8 *. Draw.uniform ~seed [ 0xC1; i ]))
+        in
+        let replica =
+          int_of_float (Draw.uniform ~seed [ 0xC2; i ] *. float_of_int replicas)
+          mod replicas
+        in
+        (time, replica))
+  in
+  make ~step_fail_rate ~straggler_rate ~straggler_slowdown
+    ~crashes:crash_list ~restart_delay ~seed ()
+
+let is_quiet t =
+  t.step_fail_rate <= 0. && t.straggler_rate <= 0. && t.crashes = []
+
+let step_fails t ~replica ~step =
+  t.step_fail_rate > 0.
+  && Draw.uniform ~seed:t.seed [ 0xF1; replica; step ] < t.step_fail_rate
+
+let step_slowdown t ~replica ~step =
+  if t.straggler_rate > 0.
+     && Draw.uniform ~seed:t.seed [ 0xF2; replica; step ] < t.straggler_rate
+  then t.straggler_slowdown
+  else 1.
+
+let device ?launch_fail_rate ?straggler_rate ?straggler_slowdown t =
+  Device.make
+    ?launch_fail_rate:
+      (match launch_fail_rate with
+      | Some _ as r -> r
+      | None -> Some t.step_fail_rate)
+    ?straggler_rate:
+      (match straggler_rate with
+      | Some _ as r -> r
+      | None -> Some t.straggler_rate)
+    ?straggler_slowdown:
+      (match straggler_slowdown with
+      | Some _ as r -> r
+      | None -> Some (Float.max 1. t.straggler_slowdown))
+    ~seed:t.seed ()

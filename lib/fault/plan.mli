@@ -1,0 +1,73 @@
+(** A deterministic fault plan for the serving stack.
+
+    A plan fixes, per seed, everything that can go wrong in a serving
+    run: transient engine-step failures, straggler-inflated steps,
+    replica crashes at scheduled instants, and (via {!device}) the
+    device-level fault model for the simulator. Per-step decisions are
+    stateless draws keyed on (seed, replica, step index); the crash
+    schedule is materialized at construction — so the injected fault
+    schedule is bit-identical across runs, across [--jobs] counts, and
+    across the resilience-on/off arms of an A/B. *)
+
+type t = {
+  seed : int;
+  step_fail_rate : float;
+      (** probability a given engine step fails transiently: its device
+          time elapses but its work (tokens) is lost *)
+  straggler_rate : float;
+      (** probability a given step is straggler-slowed *)
+  straggler_slowdown : float;  (** step-time multiplier when it is *)
+  crashes : (float * int) list;
+      (** (time, replica) crash events, sorted by time: the replica
+          loses its in-flight work and shape cache, and is down for
+          [restart_delay] *)
+  restart_delay : float;
+}
+
+val none : t
+(** The empty plan: injects nothing. *)
+
+val make :
+  ?step_fail_rate:float ->
+  ?straggler_rate:float ->
+  ?straggler_slowdown:float ->
+  ?crashes:(float * int) list ->
+  ?restart_delay:float ->
+  seed:int ->
+  unit ->
+  t
+(** Explicit schedule; crashes are sorted. Raises [Invalid_argument] on
+    out-of-range rates. *)
+
+val scenario :
+  ?step_fail_rate:float ->
+  ?straggler_rate:float ->
+  ?straggler_slowdown:float ->
+  ?crashes:int ->
+  ?restart_delay:float ->
+  seed:int ->
+  replicas:int ->
+  horizon:float ->
+  unit ->
+  t
+(** A seeded chaos scenario: defaults to 5% step failures, 5%
+    stragglers at 3×, and one crash at a seed-drawn instant within the
+    middle 80% of [horizon] on a seed-drawn replica. *)
+
+val is_quiet : t -> bool
+(** Whether the plan can inject nothing at all. *)
+
+val step_fails : t -> replica:int -> step:int -> bool
+(** Whether the [step]-th step of [replica] fails transiently. *)
+
+val step_slowdown : t -> replica:int -> step:int -> float
+(** Duration multiplier for that step (1.0 = healthy). *)
+
+val device :
+  ?launch_fail_rate:float ->
+  ?straggler_rate:float ->
+  ?straggler_slowdown:float ->
+  t ->
+  Device.t
+(** The device-level fault model sharing this plan's seed; rates
+    default to the plan's step rates. *)

@@ -1,0 +1,28 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default =
+  { max_attempts = 3; base_delay = 0.05; max_delay = 1.0; jitter = 0.5 }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if p.base_delay < 0. || p.max_delay < p.base_delay then
+    invalid_arg "Retry: need 0 <= base_delay <= max_delay";
+  if p.jitter < 0. || p.jitter > 1. then
+    invalid_arg "Retry: jitter must be in [0, 1]"
+
+(* Exponential backoff with full deterministic jitter: the capped base
+   delay for attempt [a] is [base * 2^(a-1)], and the jittered delay is
+   uniform in [capped, capped * (1 + jitter)] — drawn statelessly from
+   (seed, attempt), so the same request retries on the same schedule in
+   every run. *)
+let delay_after p ~seed ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_after: attempt must be >= 1";
+  let capped =
+    Float.min p.max_delay (p.base_delay *. (2. ** float_of_int (attempt - 1)))
+  in
+  capped *. (1. +. (p.jitter *. Draw.uniform ~seed [ 0x7E; attempt ]))

@@ -1,0 +1,26 @@
+(** Retry policy: exponential backoff with deterministic jitter.
+
+    Delays are charged on the simulated event clock by the serving
+    scheduler, never on the wall clock, and the jitter draw is a pure
+    function of (seed, attempt) — so retried outcomes stay
+    bit-reproducible per seed. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : float;  (** backoff before the second attempt, seconds *)
+  max_delay : float;  (** cap on the un-jittered backoff *)
+  jitter : float;
+      (** jitter fraction in [0, 1]: the delay for an attempt is uniform
+          in [d, d·(1+jitter)] where d is the capped exponential term *)
+}
+
+val default : policy
+(** 3 attempts, 50 ms base, 1 s cap, 0.5 jitter. *)
+
+val validate : policy -> unit
+(** Raises [Invalid_argument] on a malformed policy. *)
+
+val delay_after : policy -> seed:int -> attempt:int -> float
+(** Backoff to wait after failed attempt number [attempt] (1-based).
+    Guaranteed within [d, d·(1+jitter)] for
+    [d = min max_delay (base_delay · 2^(attempt-1))]. *)

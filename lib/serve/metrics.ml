@@ -4,6 +4,10 @@ type t = {
   requests : int;
   completed : int;
   dropped : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  retries : int;
   latency_p50 : float;
   latency_p95 : float;
   latency_p99 : float;
@@ -47,8 +51,11 @@ let of_outcome (o : Scheduler.outcome) =
   in
   let n_completed = List.length o.completed in
   let n_dropped = List.length o.dropped in
+  let n_rejected = List.length o.rejected in
+  let n_timed_out = List.length o.timed_out in
+  let n_failed = List.length o.failed in
   let n_met = List.length (List.filter slo_met o.completed) in
-  let total = n_completed + n_dropped in
+  let total = n_completed + n_dropped + n_rejected + n_timed_out + n_failed in
   let per_second n =
     if o.makespan > 0. then float_of_int n /. o.makespan else 0.
   in
@@ -61,6 +68,10 @@ let of_outcome (o : Scheduler.outcome) =
     requests = total;
     completed = n_completed;
     dropped = n_dropped;
+    rejected = n_rejected;
+    timed_out = n_timed_out;
+    failed = n_failed;
+    retries = o.retries;
     latency_p50 = pct 50. lats;
     latency_p95 = pct 95. lats;
     latency_p99 = pct 99. lats;
@@ -88,8 +99,9 @@ let of_outcome (o : Scheduler.outcome) =
 
 let header =
   [
-    "config"; "req"; "done"; "drop"; "p50"; "p95"; "p99"; "ttft p95"; "tpot";
-    "goodput/s"; "SLO%"; "hit%"; "stall"; "adapt"; "pad%"; "queue";
+    "config"; "req"; "done"; "drop"; "lost"; "retry"; "p50"; "p95"; "p99";
+    "ttft p95"; "tpot"; "goodput/s"; "SLO%"; "hit%"; "stall"; "adapt"; "pad%";
+    "queue";
   ]
 
 let pc x = Printf.sprintf "%.0f%%" (100. *. x)
@@ -100,6 +112,8 @@ let to_row ~label m =
     string_of_int m.requests;
     string_of_int m.completed;
     string_of_int m.dropped;
+    string_of_int (m.rejected + m.timed_out + m.failed);
+    string_of_int m.retries;
     Table.fmt_time_us m.latency_p50;
     Table.fmt_time_us m.latency_p95;
     Table.fmt_time_us m.latency_p99;

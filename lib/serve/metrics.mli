@@ -7,9 +7,15 @@
     overhead. *)
 
 type t = {
-  requests : int;  (** completed + dropped *)
+  requests : int;
+      (** completed + dropped + rejected + timed_out + failed — every
+          request the run touched counts toward SLO attainment *)
   completed : int;
   dropped : int;
+  rejected : int;  (** shed by load-shedding admission *)
+  timed_out : int;  (** lost to the per-attempt timeout *)
+  failed : int;  (** lost to injected faults after all retries *)
+  retries : int;  (** re-attempts granted across the run *)
   latency_p50 : float;
   latency_p95 : float;
   latency_p99 : float;  (** end-to-end seconds, arrival to completion *)
@@ -32,7 +38,7 @@ type t = {
 val of_outcome : Scheduler.outcome -> t
 (** Total on any outcome, including the empty one (zero rates). A
     request meets its SLO when both its TTFT and end-to-end budgets
-    hold; dropped requests never do. *)
+    hold; dropped, rejected, timed-out and failed requests never do. *)
 
 val header : string list
 (** Column names matching {!to_row}, with a leading "config" column. *)

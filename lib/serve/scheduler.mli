@@ -52,9 +52,39 @@ type completed = {
   replica : int;
 }
 
+type status =
+  | Completed
+  | Rejected of string  (** shed before any work: batcher or queue bound *)
+  | Timed_out  (** every attempt hit the per-attempt timeout *)
+  | Failed of string  (** lost to faults (reason given), all retries spent *)
+      (** Terminal status of one request. Every request admitted to {!run}
+          ends in exactly one status — the no-silent-loss invariant the
+          chaos harness asserts. *)
+
+type resilience = {
+  retry : Mikpoly_fault.Retry.policy;
+      (** per-request retry budget and backoff for failed attempts *)
+  attempt_timeout : float;
+      (** per-attempt deadline on the event clock: a step running longer
+          is abandoned at the deadline and retried ([infinity] = none) *)
+  max_queue : int;  (** per-replica waiting-queue bound (0 = unbounded) *)
+  shed : [ `Reject_new | `Drop_oldest ];
+      (** what a full queue does: refuse the arrival, or evict its
+          oldest waiting request to make room *)
+}
+
+val default_resilience : resilience
+(** {!Mikpoly_fault.Retry.default}, no attempt timeout, unbounded queue,
+    [`Reject_new]. *)
+
 type outcome = {
   completed : completed list;  (** completion order *)
   dropped : Request.t list;  (** shed by the batcher *)
+  rejected : (Request.t * string) list;
+      (** shed by load-shedding admission (with reason) *)
+  timed_out : Request.t list;  (** abandoned by the per-attempt timeout *)
+  failed : (Request.t * string) list;
+      (** lost to injected faults (with reason) — loud, never silent *)
   steps : int;
   makespan : float;  (** time the last step finished *)
   compile_stall_seconds : float;
@@ -62,14 +92,23 @@ type outcome = {
       (** online-adaptation recompilation time charged via [?adapt] *)
   actual_tokens : int;  (** token work before padding, summed over steps *)
   padded_tokens : int;  (** token work actually executed *)
-  cache : Shape_cache.stats list;  (** per replica *)
+  cache : Shape_cache.stats list;
+      (** per replica, plus one entry per cache retired by a crash *)
   queue_depth_sum : int;  (** total waiting requests, summed per step *)
   queue_samples : int;
+  retries : int;  (** re-attempts granted (step faults and crashes) *)
+  crashes : int;  (** replica crash events that fired *)
+  injected_faults : int;  (** step faults + stragglers + crashes *)
 }
 
+val statuses : outcome -> (Request.t * status) list
+(** Terminal status of every request the run touched, in no particular
+    order. Its length equals the input trace length exactly — the
+    conservation check chaos runs assert. *)
+
 val run :
-  ?jobs:int -> ?adapt:(unit -> float) -> config -> engine -> Request.t list ->
-  outcome
+  ?jobs:int -> ?adapt:(unit -> float) -> ?faults:Mikpoly_fault.Plan.t ->
+  ?resilience:resilience -> config -> engine -> Request.t list -> outcome
 (** Simulate the full trace to drain. Deterministic for a deterministic
     engine: the same configuration and trace produce the identical
     outcome. The empty trace yields an empty outcome.

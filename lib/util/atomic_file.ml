@@ -1,0 +1,24 @@
+(* Crash-safe whole-file writes: write to a tempfile in the same
+   directory (so the final rename cannot cross a filesystem boundary),
+   flush, then atomically rename over the destination. A process killed
+   mid-write leaves the previous artifact intact and at worst a stale
+   tempfile behind; readers never observe a partial file. *)
+
+let temp_path path = path ^ ".tmp"
+
+let write ~path f =
+  let tmp = temp_path path in
+  let oc = open_out tmp in
+  match
+    f oc;
+    flush oc
+  with
+  | () ->
+    close_out oc;
+    Sys.rename tmp path
+  | exception e ->
+    (* The writer died mid-stream: drop the partial tempfile and leave
+       whatever was at [path] untouched. *)
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

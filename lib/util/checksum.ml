@@ -1,0 +1,18 @@
+(* FNV-1a, 64-bit. Not cryptographic — the artifact stores use it to
+   detect accidental corruption (bit flips, truncation, interleaved
+   writes), where a fast, dependency-free hash with a fixed-width hex
+   rendering is exactly enough. *)
+
+let prime = 0x100000001b3L
+
+let basis = 0xcbf29ce484222325L
+
+let fnv1a64 s =
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fnv1a64_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)

@@ -184,15 +184,15 @@ let test_profile_rejects_version_bump () =
   let cal = sample_calibration (Hardware.fingerprint gpu) in
   Profile_store.save ~path gpu cal;
   let contents = read_file path in
-  Alcotest.(check bool) "current version is v1" true
+  Alcotest.(check bool) "current version is v2" true
     (String.length Profile_store.magic >= 2
     && String.sub Profile_store.magic
          (String.length Profile_store.magic - 2)
          2
-       = "v1");
+       = "v2");
   let oc = open_out path in
   output_string oc
-    ("mikpoly-calibration v2"
+    ("mikpoly-calibration v3"
     ^ String.sub contents (String.length Profile_store.magic)
         (String.length contents - String.length Profile_store.magic));
   close_out oc;

@@ -557,8 +557,8 @@ let test_kernel_store_rejects_version_bump () =
     (* A future format revision must not parse as the current one. *)
     Alcotest.(check bool) "magic carries a version" true
       (String.length magic > 2
-      && String.sub magic (String.length magic - 2) 2 = "v2");
-    write_lines path ((String.sub magic 0 (String.length magic - 2) ^ "v3") :: rest)
+      && String.sub magic (String.length magic - 2) 2 = "v3");
+    write_lines path ((String.sub magic 0 (String.length magic - 2) ^ "v4") :: rest)
   | [] -> Alcotest.fail "empty artifact");
   Alcotest.(check bool) "bumped version rejected" true
     (Result.is_error (Kernel_store.load ~path gpu config));
