@@ -8,8 +8,8 @@
    …) — the quantities Figure 12a's overhead analysis depends on.
 
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
-          [--skip-telemetry] [--skip-parallel] [--skip-adapt]
-          [--skip-resilience] [ids...] *)
+          [--skip-telemetry] [--skip-parallel] [--skip-graph]
+          [--skip-adapt] [--skip-resilience] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +23,8 @@ let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let skip_telemetry = Array.exists (( = ) "--skip-telemetry") Sys.argv
 
 let skip_parallel = Array.exists (( = ) "--skip-parallel") Sys.argv
+
+let skip_graph = Array.exists (( = ) "--skip-graph") Sys.argv
 
 let skip_adapt = Array.exists (( = ) "--skip-adapt") Sys.argv
 
@@ -311,44 +313,53 @@ let run_parallel_bench () =
   in
   let sweep jobs =
     let t0 = Unix.gettimeofday () in
+    let rev_times = ref [] in
     let programs =
       List.map
         (fun op ->
+          let s = Unix.gettimeofday () in
           let c =
             Mikpoly_core.Polymerize.polymerize ~instrument:false ~jobs kernels
               config op
           in
+          rev_times := (Unix.gettimeofday () -. s) :: !rev_times;
           Mikpoly_ir.Program.to_string c.program)
         ops
     in
-    (Unix.gettimeofday () -. t0, programs)
+    (Unix.gettimeofday () -. t0, List.rev !rev_times, programs)
   in
   ignore (sweep 1);
   (* warm the domain pool and the allocator before timing *)
   let timed = List.map (fun j -> (j, sweep j)) job_counts in
-  let _, (_, reference) = List.hd timed in
+  let _, (_, _, reference) = List.hd timed in
   List.iter
-    (fun (j, (_, programs)) ->
+    (fun (j, (_, _, programs)) ->
       if programs <> reference then begin
         Printf.eprintf
           "parallel bench: programs at jobs=%d differ from jobs=1\n" j;
         exit 1
       end)
     timed;
-  let t1 = match timed with (_, (t, _)) :: _ -> t | [] -> nan in
+  let t1 = match timed with (_, (t, _, _)) :: _ -> t | [] -> nan in
   let rows =
     List.map
-      (fun (j, (t, _)) ->
+      (fun (j, (t, times, _)) ->
+        (* tail compile latency: the stall an unlucky request sees when
+           its shape misses every cache and polymerizes inline *)
+        let p99 = Mikpoly_util.Stats.percentile 99. times in
         Printf.printf
-          "parallel search jobs=%d  %d shapes in %s  (speedup %.2fx)\n" j
-          (List.length ops)
+          "parallel search jobs=%d  %d shapes in %s  (speedup %.2fx, p99 \
+           compile %s)\n"
+          j (List.length ops)
           (Mikpoly_util.Table.fmt_time_us t)
-          (t1 /. t);
+          (t1 /. t)
+          (Mikpoly_util.Table.fmt_time_us p99);
         Json.Obj
           [
             ("jobs", Json.Number (float_of_int j));
             ("wall_seconds", Json.Number t);
             ("speedup_vs_jobs1", Json.Number (t1 /. t));
+            ("compile_p99_seconds", Json.Number p99);
             ("programs_identical", Json.Bool true);
           ])
       timed
@@ -367,6 +378,59 @@ let run_parallel_bench () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "wrote %s\n%!" path
+
+(* --- Whole-model graph serving: acceptance gates + jobs invariance ---
+
+   Runs the lib/graph pipeline (rewrite passes, memory planning,
+   pipelined compile/execute) over the model-graph suite plus the
+   whole-graph vs per-operator serving A/B, asserts the acceptance
+   gates hard (pipelining strictly beats sequential compile-then-execute
+   on every model and binding, rewriting strictly shrinks every model,
+   planning never exceeds naive allocation, whole-graph SLO attainment
+   is at least the per-op stream's), re-runs everything on a fresh
+   compiler at a different worker-domain count and requires the
+   byte-identical report, then writes BENCH_graph.json. *)
+
+let run_graph_bench () =
+  let module E = Mikpoly_experiments.Exp_graph in
+  let saved_jobs = Mikpoly_util.Domain_pool.default_jobs () in
+  let render jobs =
+    Mikpoly_util.Domain_pool.set_default_jobs jobs;
+    let compiler = Mikpoly_core.Compiler.create Mikpoly_accel.Hardware.a100 in
+    let runs = E.model_runs ~quick compiler in
+    let serving = E.serving_ab ~quick compiler in
+    (runs, serving, Mikpoly_telemetry.Json.to_string (E.json ~quick runs serving))
+  in
+  let runs, serving, json1 = Fun.protect
+      ~finally:(fun () -> Mikpoly_util.Domain_pool.set_default_jobs saved_jobs)
+      (fun () ->
+        let result = render 1 in
+        let _, _, json4 = render 4 in
+        let _, _, json1 = result in
+        if json1 <> json4 then begin
+          Printf.eprintf "graph bench: report at jobs=4 differs from jobs=1\n";
+          exit 1
+        end;
+        result)
+  in
+  (match E.failed_gates (E.gates runs serving) with
+  | [] -> ()
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "graph bench: gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    exit 1);
+  let n_gates = List.length (E.gates runs serving) in
+  Printf.printf "graph bench: %d gates hold, report identical across --jobs\n"
+    n_gates;
+  let path = "BENCH_graph.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json1);
   Printf.printf "wrote %s\n%!" path
 
 (* --- Online adaptation: drift scenario plus a serving SLO A/B ---
@@ -584,5 +648,6 @@ let () =
   if not skip_micro then run_micro ();
   if not skip_telemetry then run_telemetry_overhead ();
   if not skip_parallel then run_parallel_bench ();
+  if not skip_graph then run_graph_bench ();
   if not skip_adapt then run_adapt_bench ();
   if not skip_resilience then run_resilience_bench ()

@@ -476,6 +476,41 @@ let chaos jobs seed quick csv out =
        generic rung) on a corrupted kernel store"
   else 0
 
+(* Whole-model graph serving: rewrite passes, memory planning and
+   pipelined compile/execute per model, plus the whole-graph vs
+   per-operator serving A/B, with the acceptance gates asserted hard.
+   The JSON report contains only simulated quantities, so two runs — at
+   any --jobs count — must produce byte-identical files (checked by the
+   CI graph-smoke stage with cmp). *)
+let graph jobs quick csv out =
+  set_jobs jobs;
+  let module E = Mikpoly_experiments.Exp_graph in
+  let compiler = Mikpoly_experiments.Backends.gpu () in
+  let runs = E.model_runs ~quick compiler in
+  let serving = E.serving_ab ~quick compiler in
+  let report = E.report runs serving in
+  if csv then
+    List.iter
+      (fun t -> print_endline (Mikpoly_util.Table.to_csv t))
+      report.Mikpoly_experiments.Exp.tables
+  else print_string (Mikpoly_experiments.Exp.render report);
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Mikpoly_telemetry.Json.to_string (E.json ~quick runs serving)));
+  Printf.printf "wrote %s\n" out;
+  match E.failed_gates (E.gates runs serving) with
+  | [] -> 0
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "graph gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    1
+
 (* Run a target under the span tracer and export the observability
    artifacts: a Chrome/Perfetto trace, the flat profile and the metrics
    registry. "serve" drives the full stack (offline tuning at compiler
@@ -747,6 +782,25 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const chaos $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ out)
 
+let graph_cmd =
+  let doc =
+    "Run the whole-model graph-serving pipeline (typed operator DAGs, \
+     rewrite passes, memory planning, pipelined compile/execute, and the \
+     whole-graph vs per-operator serving A/B) and write a machine-readable \
+     report"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_graph.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Report file. Contains only simulated quantities, so runs are \
+             byte-identical at any $(b,--jobs) count.")
+  in
+  Cmd.v (Cmd.info "graph" ~doc)
+    Term.(const graph $ jobs_arg $ quick_flag $ csv_flag $ out)
+
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
   let count = Arg.(value & opt int 25 & info [ "count" ] ~docv:"N") in
@@ -803,6 +857,7 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      adapt_cmd; chaos_cmd; verify_cmd; profile_cmd; validate_trace_cmd ]
+      adapt_cmd; chaos_cmd; graph_cmd; verify_cmd; profile_cmd;
+      validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -75,16 +75,37 @@ dune exec bin/mikpoly_cli.exe -- chaos --quick --seed 7 --jobs 4 --out "$chaos_b
 cmp "$chaos_a" "$chaos_b"
 rm -f "$chaos_a" "$chaos_b"
 
+echo "== graph smoke test =="
+# Whole-model graph serving end to end: rewrite passes, memory planning,
+# pipelined compile/execute and the whole-graph vs per-op serving A/B.
+# The subcommand exits non-zero if any acceptance gate fails; the JSON
+# report holds only simulated quantities, so runs must produce
+# byte-identical files across repeats and across --jobs counts.
+graph_a="${TMPDIR:-/tmp}/mikpoly_ci_graph_a.json"
+graph_b="${TMPDIR:-/tmp}/mikpoly_ci_graph_b.json"
+dune exec bin/mikpoly_cli.exe -- graph --quick --out "$graph_a"
+test -s "$graph_a"
+grep -q '"gates_ok":true' "$graph_a"
+dune exec bin/mikpoly_cli.exe -- graph --quick --out "$graph_b"
+cmp "$graph_a" "$graph_b"
+dune exec bin/mikpoly_cli.exe -- graph --quick --jobs 4 --out "$graph_b"
+cmp "$graph_a" "$graph_b"
+rm -f "$graph_a" "$graph_b"
+
 echo "== parallel scaling bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-adapt --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience
 test -s BENCH_parallel.json
 
+echo "== graph bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience
+test -s BENCH_graph.json
+
 echo "== adapt bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience
 test -s BENCH_adapt.json
 
 echo "== resilience bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt
 test -s BENCH_resilience.json
 
 echo "CI OK"

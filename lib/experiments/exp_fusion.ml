@@ -15,7 +15,11 @@ let run ~quick =
   let table =
     Table.create
       ~title:"Operator fusion on top of MikPoly (end-to-end, GPU)"
-      ~header:[ "model"; "ops"; "fused away"; "MikPoly"; "MikPoly+fusion"; "extra gain" ]
+      ~header:
+        [
+          "model"; "ops"; "fused away"; "saved traffic"; "MikPoly";
+          "MikPoly+fusion"; "extra gain";
+        ]
   in
   let graphs =
     (if quick then [ Transformer.graph Transformer.bert_base ~seq_len:128 ]
@@ -30,7 +34,8 @@ let run ~quick =
   let gains =
     List.map
       (fun graph ->
-        let fused = Fusion.fuse_epilogues graph in
+        let fusion = Fusion.fuse graph in
+        let fused = fusion.Fusion.graph in
         let time g =
           (Inference.run hw g ~gemm:mik
              ~overhead_per_shape:(fun ~m ~n ~k -> overhead ~m ~n ~k)
@@ -43,7 +48,8 @@ let run ~quick =
           [
             graph.name;
             string_of_int (List.length graph.ops);
-            string_of_int (Fusion.fused_ops ~original:graph ~fused);
+            string_of_int fusion.Fusion.fused_ops;
+            Table.fmt_bytes fusion.Fusion.fused_bytes;
             Table.fmt_time_us plain;
             Table.fmt_time_us with_fusion;
             Table.fmt_speedup gain;

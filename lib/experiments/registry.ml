@@ -25,6 +25,7 @@ let all =
     Exp_serving.exp;
     Exp_adaptation.exp;
     Exp_resilience.exp;
+    Exp_graph.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

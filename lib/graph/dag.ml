@@ -1,0 +1,218 @@
+type fused_epilogue = {
+  fe_label : string;
+  fe_ratio : float;
+  fe_inputs : int list;
+}
+
+type kind =
+  | Input of Symdim.dim list
+  | Weight of int list
+  | View of Symdim.dim list
+  | Gemm of { repeat : int }
+  | Conv of { out_channels : int; kernel : int; stride : int; pad : int }
+  | Pool of { kernel : int; stride : int; pad : int; traffic : float }
+  | Global_pool of { target : int; traffic : float }
+  | Elemwise of { ew : string; traffic : float }
+  | Scan of { traffic : float }
+  | Concat of { axis : int }
+  | Comm of { gbps : float; traffic : float }
+
+type node = {
+  id : int;
+  label : string;
+  kind : kind;
+  inputs : int list;
+  fused : fused_epilogue list;
+  chain : int option;
+}
+
+type t = { name : string; nodes : node list; outputs : int list }
+
+let kind_name = function
+  | Input _ -> "input"
+  | Weight _ -> "weight"
+  | View _ -> "view"
+  | Gemm _ -> "gemm"
+  | Conv _ -> "conv"
+  | Pool _ -> "pool"
+  | Global_pool _ -> "global_pool"
+  | Elemwise _ -> "elemwise"
+  | Scan _ -> "scan"
+  | Concat _ -> "concat"
+  | Comm _ -> "comm"
+
+let is_source n = match n.kind with Input _ | Weight _ -> true | _ -> false
+
+let is_virtual n =
+  match n.kind with Input _ | Weight _ | View _ -> true | _ -> false
+
+let find t id =
+  match List.find_opt (fun n -> n.id = id) t.nodes with
+  | Some n -> n
+  | None ->
+    invalid_arg (Printf.sprintf "Dag.find: no node %d in %S" id t.name)
+
+let rec root t id =
+  let n = find t id in
+  match (n.kind, n.inputs) with
+  | View _, parent :: _ -> root t parent
+  | _ -> id
+
+let consumers t =
+  let tbl = Hashtbl.create (2 * List.length t.nodes) in
+  let add v c =
+    Hashtbl.replace tbl v (c :: Option.value (Hashtbl.find_opt tbl v) ~default:[])
+  in
+  List.iter
+    (fun n ->
+      List.iter (fun v -> add v n.id) n.inputs;
+      List.iter (fun fe -> List.iter (fun v -> add v n.id) fe.fe_inputs) n.fused)
+    t.nodes;
+  tbl
+
+let device_nodes t = List.filter (fun n -> not (is_virtual n)) t.nodes
+
+let op_count t = List.length (device_nodes t)
+
+let rename t name = { t with name }
+
+let arity_ok kind n_inputs =
+  match kind with
+  | Input _ | Weight _ -> n_inputs = 0
+  | View _ | Conv _ | Pool _ | Global_pool _ | Comm _ -> n_inputs = 1
+  | Gemm _ -> n_inputs = 2
+  | Scan _ -> n_inputs = 2
+  (* Concat/Elemwise admit one input so the sibling-merge rewrite can
+     collapse their operand lists onto a single batched value. *)
+  | Elemwise _ | Concat _ -> n_inputs >= 1
+
+let params_ok = function
+  | Input dims | View dims -> dims <> []
+  | Weight dims -> dims <> [] && List.for_all (fun d -> d >= 1) dims
+  | Gemm { repeat } -> repeat >= 1
+  | Conv { out_channels; kernel; stride; pad } ->
+    out_channels >= 1 && kernel >= 1 && stride >= 1 && pad >= 0
+  | Pool { kernel; stride; pad; traffic } ->
+    kernel >= 1 && stride >= 1 && pad >= 0 && traffic >= 0.
+  | Global_pool { target; traffic } -> target >= 1 && traffic >= 0.
+  | Elemwise { traffic; _ } | Scan { traffic } -> traffic >= 0.
+  | Concat { axis } -> axis >= 0
+  | Comm { gbps; traffic } -> gbps > 0. && traffic >= 0.
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let labels = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  let rec go last = function
+    | [] ->
+      if t.outputs = [] then err "graph %S has no outputs" t.name
+      else if
+        List.for_all (fun o -> Hashtbl.mem seen o) t.outputs
+      then Ok ()
+      else err "graph %S has an output that is not a node" t.name
+    | n :: rest ->
+      if n.id <= last then err "node %S: ids not strictly increasing" n.label
+      else if Hashtbl.mem labels n.label then
+        err "duplicate label %S" n.label
+      else if not (List.for_all (fun v -> Hashtbl.mem seen v) n.inputs) then
+        err "node %S reads a value that is not an earlier node" n.label
+      else if
+        not
+          (List.for_all
+             (fun fe -> List.for_all (fun v -> Hashtbl.mem seen v) fe.fe_inputs)
+             n.fused)
+      then err "node %S: fused epilogue reads an unknown value" n.label
+      else if not (arity_ok n.kind (List.length n.inputs)) then
+        err "node %S: bad arity for %s" n.label (kind_name n.kind)
+      else if not (params_ok n.kind) then
+        err "node %S: bad %s parameters" n.label (kind_name n.kind)
+      else if List.exists (fun fe -> fe.fe_ratio < 0.) n.fused then
+        err "node %S: negative fused-epilogue ratio" n.label
+      else begin
+        Hashtbl.add labels n.label ();
+        Hashtbl.add seen n.id ();
+        go n.id rest
+      end
+  in
+  go (-1) t.nodes
+
+(* --- Builder --- *)
+
+type value = int
+
+let value_id v = v
+
+type builder = {
+  b_name : string;
+  mutable b_rev : node list;
+  mutable b_next : int;
+  b_labels : (string, unit) Hashtbl.t;
+}
+
+let builder ~name = { b_name = name; b_rev = []; b_next = 0; b_labels = Hashtbl.create 64 }
+
+let add b ~label ~kind ~inputs =
+  if Hashtbl.mem b.b_labels label then
+    invalid_arg (Printf.sprintf "Dag: duplicate label %S" label);
+  List.iter
+    (fun v ->
+      if v < 0 || v >= b.b_next then
+        invalid_arg (Printf.sprintf "Dag: node %S reads a foreign value" label))
+    inputs;
+  if not (arity_ok kind (List.length inputs)) then
+    invalid_arg (Printf.sprintf "Dag: node %S: bad arity for %s" label (kind_name kind));
+  if not (params_ok kind) then
+    invalid_arg (Printf.sprintf "Dag: node %S: bad %s parameters" label (kind_name kind));
+  Hashtbl.add b.b_labels label ();
+  let id = b.b_next in
+  b.b_next <- id + 1;
+  b.b_rev <- { id; label; kind; inputs; fused = []; chain = None } :: b.b_rev;
+  id
+
+let input b ~label ~dims = add b ~label ~kind:(Input dims) ~inputs:[]
+
+let weight b ~label ~dims = add b ~label ~kind:(Weight dims) ~inputs:[]
+
+let view b ~label ~dims v = add b ~label ~kind:(View dims) ~inputs:[ v ]
+
+let gemm b ?(repeat = 1) ~label a bv =
+  add b ~label ~kind:(Gemm { repeat }) ~inputs:[ a; bv ]
+
+let conv b ?(stride = 1) ?pad ~label ~out_channels ~kernel v =
+  let pad = match pad with Some p -> p | None -> kernel / 2 in
+  add b ~label ~kind:(Conv { out_channels; kernel; stride; pad }) ~inputs:[ v ]
+
+let pool b ?(kernel = 3) ?(stride = 2) ?(pad = 0) ?(traffic = 2.) ~label v =
+  add b ~label ~kind:(Pool { kernel; stride; pad; traffic }) ~inputs:[ v ]
+
+let global_pool b ?(traffic = 2.) ~label ~target v =
+  add b ~label ~kind:(Global_pool { target; traffic }) ~inputs:[ v ]
+
+let elemwise b ?(traffic = 2.) ~label ~ew vs =
+  add b ~label ~kind:(Elemwise { ew; traffic }) ~inputs:vs
+
+let scan b ?(traffic = 2.) ~label state cache =
+  add b ~label ~kind:(Scan { traffic }) ~inputs:[ state; cache ]
+
+let concat b ~label ~axis vs = add b ~label ~kind:(Concat { axis }) ~inputs:vs
+
+let comm b ?(traffic = 1.) ~label ~gbps v =
+  add b ~label ~kind:(Comm { gbps; traffic }) ~inputs:[ v ]
+
+let finish ?outputs b =
+  let nodes = List.rev b.b_rev in
+  let outputs =
+    match outputs with
+    | Some vs -> vs
+    | None ->
+      let consumed = Hashtbl.create 64 in
+      List.iter (fun n -> List.iter (fun v -> Hashtbl.replace consumed v ()) n.inputs) nodes;
+      List.filter_map
+        (fun n ->
+          if is_source n || Hashtbl.mem consumed n.id then None else Some n.id)
+        nodes
+  in
+  let t = { name = b.b_name; nodes; outputs } in
+  match validate t with
+  | Ok () -> t
+  | Error e -> invalid_arg ("Dag.finish: " ^ e)

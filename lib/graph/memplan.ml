@@ -1,0 +1,112 @@
+module Tracer = Mikpoly_telemetry.Tracer
+
+type buffer = { buf_id : int; buf_bytes : float }
+
+type plan = {
+  naive_bytes : float;
+  planned_bytes : float;
+  peak_live_bytes : float;
+  resident_bytes : float;
+  buffers : buffer list;
+  assignments : (int * int) list;
+}
+
+let compute bound =
+  let g = Infer.dag bound in
+  let devs = Array.of_list (Dag.device_nodes g) in
+  let pos = Hashtbl.create (2 * Array.length devs) in
+  Array.iteri (fun i (nd : Dag.node) -> Hashtbl.replace pos nd.Dag.id i) devs;
+  (* Last schedule position reading each device-produced root value. *)
+  let last_use = Hashtbl.create (2 * Array.length devs) in
+  let note p v =
+    let r = Dag.root g v in
+    if Hashtbl.mem pos r then begin
+      let cur = Option.value (Hashtbl.find_opt last_use r) ~default:(-1) in
+      if p > cur then Hashtbl.replace last_use r p
+    end
+  in
+  Array.iteri
+    (fun i (nd : Dag.node) ->
+      List.iter (note i) nd.inputs;
+      List.iter (fun fe -> List.iter (note i) fe.Dag.fe_inputs) nd.fused)
+    devs;
+  List.iter
+    (fun o ->
+      let r = Dag.root g o in
+      if Hashtbl.mem pos r then Hashtbl.replace last_use r max_int)
+    g.Dag.outputs;
+  (* Greedy best-fit over a free list of retired buffers. *)
+  let next_buf = ref 0 in
+  let buffers = ref [] in
+  let free = ref [] in
+  let assignments = ref [] in
+  let active = Hashtbl.create 16 in
+  let live = ref 0. in
+  let peak = ref 0. in
+  let naive = ref 0. in
+  Array.iteri
+    (fun i (nd : Dag.node) ->
+      let dead =
+        Hashtbl.fold
+          (fun v (bid, bbytes, lu, vbytes) acc ->
+            if lu < i then (v, bid, bbytes, vbytes) :: acc else acc)
+          active []
+      in
+      List.iter
+        (fun (v, bid, bbytes, vbytes) ->
+          Hashtbl.remove active v;
+          free := (bid, bbytes) :: !free;
+          live := !live -. vbytes)
+        dead;
+      let bytes = Infer.bytes bound nd.Dag.id in
+      naive := !naive +. bytes;
+      let best =
+        List.fold_left
+          (fun best ((bid, bbytes) as b) ->
+            if bbytes < bytes then best
+            else
+              match best with
+              | None -> Some b
+              | Some (bid', bbytes') ->
+                if bbytes < bbytes' || (bbytes = bbytes' && bid < bid') then
+                  Some b
+                else best)
+          None !free
+      in
+      let bid, bbytes =
+        match best with
+        | Some (bid, bbytes) ->
+          free := List.filter (fun (b, _) -> b <> bid) !free;
+          (bid, bbytes)
+        | None ->
+          let bid = !next_buf in
+          incr next_buf;
+          buffers := { buf_id = bid; buf_bytes = bytes } :: !buffers;
+          (bid, bytes)
+      in
+      let lu = Option.value (Hashtbl.find_opt last_use nd.Dag.id) ~default:i in
+      Hashtbl.replace active nd.Dag.id (bid, bbytes, lu, bytes);
+      assignments := (nd.Dag.id, bid) :: !assignments;
+      live := !live +. bytes;
+      if !live > !peak then peak := !live)
+    devs;
+  let resident =
+    List.fold_left
+      (fun acc (n : Dag.node) ->
+        if Dag.is_source n then acc +. Infer.bytes bound n.Dag.id else acc)
+      0. g.Dag.nodes
+  in
+  let buffers = List.rev !buffers in
+  {
+    naive_bytes = !naive;
+    planned_bytes = List.fold_left (fun a b -> a +. b.buf_bytes) 0. buffers;
+    peak_live_bytes = !peak;
+    resident_bytes = resident;
+    buffers;
+    assignments = List.rev !assignments;
+  }
+
+let plan bound = Tracer.with_span "graph.memplan" (fun () -> compute bound)
+
+let reuse_ratio p =
+  if p.naive_bytes <= 0. then 0. else 1. -. (p.planned_bytes /. p.naive_bytes)

@@ -1,0 +1,39 @@
+(** Liveness-based inter-operator memory planning.
+
+    Given a bound graph, walks the device schedule (topological order),
+    computes each device-produced value's definition and last use
+    (views chase to the owning value; values an epilogue's write-back
+    reads stay live until the fused producer runs; graph outputs never
+    die), and assigns values to a small pool of reusable buffers with a
+    greedy best-fit policy: a dead value's buffer returns to the free
+    list and the smallest free buffer that fits is preferred over
+    allocating fresh bytes. Buffers are never grown — a value that fits
+    no free buffer opens a new one sized to it — so the report is a
+    conservative (achievable) plan, not a packing lower bound.
+
+    Weights and request inputs are resident, not planned; they are
+    reported separately. All byte figures derive from the bound shapes
+    only, so plans are bit-identical across runs and [--jobs]. *)
+
+type buffer = { buf_id : int; buf_bytes : float }
+
+type plan = {
+  naive_bytes : float;
+      (** Σ output bytes over device nodes — what materializing every
+          intermediate in its own allocation would cost *)
+  planned_bytes : float;  (** Σ buffer sizes after reuse *)
+  peak_live_bytes : float;
+      (** max over the schedule of simultaneously-live value bytes — a
+          lower bound no allocator can beat *)
+  resident_bytes : float;  (** weights + request inputs *)
+  buffers : buffer list;  (** the pool, in allocation order *)
+  assignments : (int * int) list;
+      (** (value id, buffer id) in schedule order *)
+}
+
+val plan : Infer.bound -> plan
+(** Runs inside a [graph.memplan] tracer span. *)
+
+val reuse_ratio : plan -> float
+(** [1 - planned/naive]: fraction of naive intermediate bytes the plan
+    eliminates (0 when there is nothing to plan). *)

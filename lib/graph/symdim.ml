@@ -1,0 +1,34 @@
+type dim = Const of int | Sym of string
+
+type env = (string * int) list
+
+let const n =
+  if n < 1 then invalid_arg "Symdim.const: dimension must be >= 1";
+  Const n
+
+let sym name =
+  if name = "" then invalid_arg "Symdim.sym: empty symbol name";
+  Sym name
+
+let eval env = function
+  | Const n -> Ok n
+  | Sym name -> (
+    match List.assoc_opt name env with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error (Printf.sprintf "symbol %S bound to %d (must be >= 1)" name n)
+    | None -> Error (Printf.sprintf "unbound symbol %S" name))
+
+let eval_all env dims =
+  List.fold_right
+    (fun d acc ->
+      match (eval env d, acc) with
+      | Ok n, Ok ns -> Ok (n :: ns)
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e)
+    dims (Ok [])
+
+let to_string = function Const n -> string_of_int n | Sym s -> s
+
+let dims_to_string dims =
+  "[" ^ String.concat "; " (List.map to_string dims) ^ "]"

@@ -1,0 +1,32 @@
+(** Symbolic tensor dimensions.
+
+    A model graph is built once per architecture with its dynamic
+    dimensions (batch, sequence length, token count) left symbolic;
+    {!Infer.bind} evaluates every dimension against a request-time
+    environment. Constants are validated at construction so an
+    ill-formed graph fails at build time, not at bind time. *)
+
+type dim =
+  | Const of int  (** a concrete dimension, always [>= 1] *)
+  | Sym of string  (** a named dynamic dimension bound per request *)
+
+type env = (string * int) list
+(** Request-time bindings for the symbolic dimensions. *)
+
+val const : int -> dim
+(** Raises [Invalid_argument] unless the value is [>= 1]. *)
+
+val sym : string -> dim
+(** Raises [Invalid_argument] on the empty name. *)
+
+val eval : env -> dim -> (int, string) result
+(** Evaluate one dimension. Unbound symbols and non-positive bindings
+    are reported by name. *)
+
+val eval_all : env -> dim list -> (int list, string) result
+(** Evaluate a shape left to right, failing on the first bad dim. *)
+
+val to_string : dim -> string
+
+val dims_to_string : dim list -> string
+(** ["[seq; 768]"]-style rendering for error messages. *)

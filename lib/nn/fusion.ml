@@ -1,5 +1,11 @@
 let fp16 = 2.
 
+type result = {
+  graph : Op.graph;
+  fused_ops : int;
+  fused_bytes : float;
+}
+
 let output_bytes (op : Op.t) =
   match op with
   | Op.Gemm { m; n; repeat; _ } -> Some (float_of_int (m * n * repeat) *. fp16)
@@ -8,18 +14,24 @@ let output_bytes (op : Op.t) =
     Some (float_of_int (m * n) *. fp16)
   | Op.Mem _ | Op.Comm _ -> None
 
-let fuse_epilogues ?(max_ratio = 4.) (g : Op.graph) =
+let fuse ?(max_ratio = 4.) (g : Op.graph) =
   (* One epilogue per producer: after fusing a Mem node into the preceding
      GEMM/conv, the producer's write-back slot is consumed. *)
-  let rec fold acc producer_out = function
-    | [] -> List.rev acc
-    | (Op.Mem { bytes; _ } as mem) :: rest -> (
+  let rec fold acc n bytes producer_out = function
+    | [] -> (List.rev acc, n, bytes)
+    | (Op.Mem { bytes = b; _ } as mem) :: rest -> (
       match producer_out with
-      | Some out when bytes <= max_ratio *. out -> fold acc None rest
-      | _ -> fold (mem :: acc) None rest)
-    | op :: rest -> fold (op :: acc) (output_bytes op) rest
+      | Some out when b <= max_ratio *. out -> fold acc (n + 1) (bytes +. b) None rest
+      | _ -> fold (mem :: acc) n bytes None rest)
+    | op :: rest -> fold (op :: acc) n bytes (output_bytes op) rest
   in
-  Op.graph ~name:(g.name ^ "+fused") (fold [] None g.ops)
+  let ops, fused_ops, fused_bytes = fold [] 0 0. None g.ops in
+  (* keep the graph's name when nothing fused, so zero-rewrite graphs
+     stay joinable with their unfused reports *)
+  let name = if fused_ops > 0 then g.name ^ "+fused" else g.name in
+  { graph = Op.graph ~name ops; fused_ops; fused_bytes }
+
+let fuse_epilogues ?max_ratio g = (fuse ?max_ratio g).graph
 
 let fused_ops ~(original : Op.graph) ~(fused : Op.graph) =
   List.length original.ops - List.length fused.ops

@@ -11,9 +11,20 @@
     output bytes), i.e. when it really is an elementwise epilogue and not
     a pooling/softmax-style operator over different data. *)
 
-val fuse_epilogues : ?max_ratio:float -> Op.graph -> Op.graph
+type result = {
+  graph : Op.graph;
+  fused_ops : int;  (** operators folded into a producer's write-back *)
+  fused_bytes : float;  (** their DRAM traffic, eliminated by fusion *)
+}
+
+val fuse : ?max_ratio:float -> Op.graph -> result
 (** Fuse eligible [Mem] successors into their producers (default
-    [max_ratio] = 4, covering read+write plus a residual input). *)
+    [max_ratio] = 4, covering read+write plus a residual input). The
+    graph is renamed ["<name>+fused"] only when at least one operator
+    actually fused; a zero-fusion graph keeps its name. *)
+
+val fuse_epilogues : ?max_ratio:float -> Op.graph -> Op.graph
+(** [(fuse ?max_ratio g).graph]. *)
 
 val fused_ops : original:Op.graph -> fused:Op.graph -> int
 (** Number of operators the rewrite removed. *)

@@ -144,6 +144,39 @@ let synthetic_engine ?(base = 2e-3) ?(per_token = 1e-4) ?(compile = 2e-4)
     compile_seconds = (fun _ -> compile);
   }
 
+let graph_engine ~name ~bind compiler =
+  let backend = Mikpoly_graph.Executor.mikpoly_backend compiler in
+  (* one whole-graph pass per step: bind the model at the step's token
+     count, price it once, and reuse the result for the engine's
+     lifetime (the executor re-walks the DAG per call) *)
+  let step_memo = Hashtbl.create 64 in
+  let step_lock = Mutex.create () in
+  let costs tokens =
+    memo_find_or step_lock step_memo tokens (fun () ->
+        let bound = bind ~tokens in
+        let run = Mikpoly_graph.Executor.execute backend bound in
+        ( run.Mikpoly_graph.Executor.r_exec_seconds,
+          Mikpoly_graph.Infer.shape_launches bound ))
+  in
+  let compile_memo = Hashtbl.create 256 in
+  let compile_lock = Mutex.create () in
+  let compile_seconds (m, n, k) =
+    memo_find_or compile_lock compile_memo (m, n, k) (fun () ->
+        let op = Mikpoly_ir.Operator.gemm ~m ~n ~k () in
+        Mikpoly_core.Polymerize.modeled_search_seconds
+          (Mikpoly_core.Compiler.compile compiler op))
+  in
+  {
+    engine_name = name;
+    step_seconds =
+      (fun ~tokens ~kv_tokens:_ ->
+        if tokens < 1 then
+          invalid_arg "Scheduler.step_seconds: tokens must be >= 1";
+        fst (costs tokens));
+    step_shapes = (fun ~tokens -> snd (costs tokens));
+    compile_seconds;
+  }
+
 type config = {
   replicas : int;
   batcher : Batcher.policy;

@@ -38,6 +38,22 @@ val synthetic_engine :
     stall per uncached shape, [shape_families] distinct GEMM shapes per
     step (4 launches each). Fully deterministic. *)
 
+val graph_engine :
+  name:string ->
+  bind:(tokens:int -> Mikpoly_graph.Infer.bound) ->
+  Mikpoly_core.Compiler.t ->
+  engine
+(** Whole-model graph engine: one engine step executes an entire bound
+    {!Mikpoly_graph.Dag} (as produced by [bind] at the step's token
+    count) through the graph executor on the compiler's platform.
+    [step_shapes] reports the bound graph's per-pass shape launches, so
+    the scheduler's per-replica shape cache and compile-stall
+    accounting apply to whole-graph admissions exactly as they do to
+    flat engines; step times are memoized per token count and compile
+    stalls use the modeled online-search cost, so runs are
+    deterministic. KV length is ignored — the graph's own cache
+    dimensions are fixed by [bind]. *)
+
 type config = {
   replicas : int;
   batcher : Batcher.policy;

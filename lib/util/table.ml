@@ -51,3 +51,10 @@ let fmt_time_us seconds =
   else if abs < 1e-3 then Printf.sprintf "%.2fus" (seconds *. 1e6)
   else if abs < 1. then Printf.sprintf "%.3fms" (seconds *. 1e3)
   else Printf.sprintf "%.3fs" seconds
+
+let fmt_bytes bytes =
+  let abs = abs_float bytes in
+  if abs < 1e3 then Printf.sprintf "%.0fB" bytes
+  else if abs < 1e6 then Printf.sprintf "%.1fKB" (bytes /. 1e3)
+  else if abs < 1e9 then Printf.sprintf "%.1fMB" (bytes /. 1e6)
+  else Printf.sprintf "%.2fGB" (bytes /. 1e9)

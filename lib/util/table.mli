@@ -28,3 +28,6 @@ val fmt_speedup : float -> string
 
 val fmt_time_us : float -> string
 (** Time formatting from seconds to a human unit (ns/us/ms/s). *)
+
+val fmt_bytes : float -> string
+(** Byte formatting to a human unit ("1.5KB", "32.0MB"). *)

@@ -1,0 +1,212 @@
+module Dag = Mikpoly_graph.Dag
+module Symdim = Mikpoly_graph.Symdim
+
+type entry = {
+  model : string;
+  dag : Dag.t;
+  bindings : Symdim.env list;
+}
+
+let c = Symdim.const
+
+let transformer (cfg : Mikpoly_nn.Transformer.config) =
+  let b = Dag.builder ~name:cfg.name in
+  let seq = Symdim.sym "seq" in
+  let h = cfg.hidden in
+  let hd = h / cfg.heads in
+  let tokens = Dag.input b ~label:"tokens" ~dims:[ seq; c h ] in
+  let x0 = Dag.elemwise b ~traffic:3. ~label:"embed" ~ew:"embed" [ tokens ] in
+  let layer x l =
+    let lb s = Printf.sprintf "L%d.%s" l s in
+    let w_qkv = Dag.weight b ~label:(lb "w_qkv") ~dims:[ h; 3 * h ] in
+    let qkv = Dag.gemm b ~label:(lb "qkv") x w_qkv in
+    let q = Dag.view b ~label:(lb "q") ~dims:[ seq; c hd ] qkv in
+    let kt = Dag.view b ~label:(lb "kT") ~dims:[ c hd; seq ] qkv in
+    let v = Dag.view b ~label:(lb "v") ~dims:[ seq; c hd ] qkv in
+    let scores =
+      List.init cfg.heads (fun i ->
+          Dag.gemm b ~label:(lb (Printf.sprintf "h%d.scores" i)) q kt)
+    in
+    let softmax =
+      Dag.elemwise b ~traffic:3. ~label:(lb "softmax") ~ew:"softmax" scores
+    in
+    let ctx =
+      List.init cfg.heads (fun i ->
+          Dag.gemm b ~label:(lb (Printf.sprintf "h%d.ctx" i)) softmax v)
+    in
+    let cat = Dag.concat b ~label:(lb "concat") ~axis:1 ctx in
+    let w_proj = Dag.weight b ~label:(lb "w_proj") ~dims:[ h; h ] in
+    let proj = Dag.gemm b ~label:(lb "proj") cat w_proj in
+    let ln1 =
+      Dag.elemwise b ~label:(lb "residual_ln1") ~ew:"add_ln" [ proj; x ]
+    in
+    let w_up = Dag.weight b ~label:(lb "w_up") ~dims:[ h; cfg.ffn ] in
+    let up = Dag.gemm b ~label:(lb "ffn_up") ln1 w_up in
+    let gelu = Dag.elemwise b ~label:(lb "gelu") ~ew:"gelu" [ up ] in
+    let w_down = Dag.weight b ~label:(lb "w_down") ~dims:[ cfg.ffn; h ] in
+    let down = Dag.gemm b ~label:(lb "ffn_down") gelu w_down in
+    Dag.elemwise b ~label:(lb "residual_ln2") ~ew:"add_ln" [ down; ln1 ]
+  in
+  let rec go x l = if l = cfg.layers then x else go (layer x l) (l + 1) in
+  ignore (go x0 0);
+  Dag.finish b
+
+let resnet18 () =
+  let b = Dag.builder ~name:"resnet18" in
+  let batch = Symdim.sym "batch" in
+  let res = Symdim.sym "res" in
+  let image = Dag.input b ~label:"image" ~dims:[ batch; c 3; res; res ] in
+  let conv1 =
+    Dag.conv b ~stride:2 ~label:"conv1" ~out_channels:64 ~kernel:7 image
+  in
+  let relu1 = Dag.elemwise b ~label:"conv1.relu" ~ew:"relu" [ conv1 ] in
+  let p1 = Dag.pool b ~kernel:3 ~stride:2 ~pad:1 ~label:"maxpool" relu1 in
+  let block x ~name ~ch ~stride ~project =
+    (* The projection shortcut comes first: it only reads the block
+       input, and scheduling it before conv2 keeps the residual add
+       fusable into conv2's write-back (an epilogue operand must be an
+       earlier node — Rewrite.fuse_epilogues refuses forward reads). *)
+    let sc =
+      if project then
+        Dag.conv b ~stride ~pad:0 ~label:(name ^ ".down") ~out_channels:ch
+          ~kernel:1 x
+      else x
+    in
+    let c1 =
+      Dag.conv b ~stride ~label:(name ^ ".conv1") ~out_channels:ch ~kernel:3 x
+    in
+    let r1 = Dag.elemwise b ~label:(name ^ ".relu1") ~ew:"relu" [ c1 ] in
+    let c2 =
+      Dag.conv b ~label:(name ^ ".conv2") ~out_channels:ch ~kernel:3 r1
+    in
+    let add =
+      Dag.elemwise b ~traffic:1.5 ~label:(name ^ ".residual") ~ew:"add"
+        [ c2; sc ]
+    in
+    Dag.elemwise b ~label:(name ^ ".relu2") ~ew:"relu" [ add ]
+  in
+  let x, _ =
+    List.fold_left
+      (fun (x, i) (ch, stride, project) ->
+        let x = block x ~name:(Printf.sprintf "s%d.b0" i) ~ch ~stride ~project in
+        let x =
+          block x ~name:(Printf.sprintf "s%d.b1" i) ~ch ~stride:1
+            ~project:false
+        in
+        (x, i + 1))
+      (p1, 1)
+      [ (64, 1, false); (128, 2, true); (256, 2, true); (512, 2, true) ]
+  in
+  let gp = Dag.global_pool b ~label:"avgpool" ~target:1 x in
+  let flat = Dag.view b ~label:"flatten" ~dims:[ batch; c 512 ] gp in
+  let w_fc = Dag.weight b ~label:"w_fc" ~dims:[ 512; 1000 ] in
+  ignore (Dag.gemm b ~label:"fc" flat w_fc);
+  Dag.finish b
+
+let vgg11 () =
+  let b = Dag.builder ~name:"vgg11" in
+  let batch = Symdim.sym "batch" in
+  let res = Symdim.sym "res" in
+  let image = Dag.input b ~label:"image" ~dims:[ batch; c 3; res; res ] in
+  let feature x ~name ~ch =
+    let cv = Dag.conv b ~label:name ~out_channels:ch ~kernel:3 x in
+    Dag.elemwise b ~label:(name ^ ".relu") ~ew:"relu" [ cv ]
+  in
+  let x, _ =
+    List.fold_left
+      (fun (x, i) chans ->
+        let x, _ =
+          List.fold_left
+            (fun (x, j) ch ->
+              (feature x ~name:(Printf.sprintf "conv%d_%d" i j) ~ch, j + 1))
+            (x, 0) chans
+        in
+        (Dag.pool b ~kernel:2 ~stride:2 ~label:(Printf.sprintf "pool%d" i) x,
+         i + 1))
+      (image, 1)
+      [ [ 64 ]; [ 128 ]; [ 256; 256 ]; [ 512; 512 ]; [ 512; 512 ] ]
+  in
+  let gp = Dag.global_pool b ~label:"avgpool" ~target:7 x in
+  let flat = Dag.view b ~label:"flatten" ~dims:[ batch; c (512 * 7 * 7) ] gp in
+  let fc x ~name ~m ~n ~relu =
+    let w = Dag.weight b ~label:("w_" ^ name) ~dims:[ m; n ] in
+    let g = Dag.gemm b ~label:name x w in
+    if relu then Dag.elemwise b ~label:(name ^ ".relu") ~ew:"relu" [ g ] else g
+  in
+  let f1 = fc flat ~name:"fc1" ~m:(512 * 7 * 7) ~n:4096 ~relu:true in
+  let f2 = fc f1 ~name:"fc2" ~m:4096 ~n:4096 ~relu:true in
+  ignore (fc f2 ~name:"fc3" ~m:4096 ~n:1000 ~relu:false);
+  Dag.finish b
+
+let llama_decode () =
+  let b = Dag.builder ~name:"llama2-13b.decode" in
+  let t = Symdim.sym "tokens" in
+  let kv = Symdim.sym "kv" in
+  let hidden = 5120 in
+  (* per-GPU TP-4 slice: 10 heads x 128, FFN slice 3456 (see Llama) *)
+  let attn_slice = 1280 in
+  let ffn_slice = 3456 in
+  let x0 = Dag.input b ~label:"tokens" ~dims:[ c hidden; t ] in
+  let layer x l =
+    let lb s = Printf.sprintf "L%d.%s" l s in
+    let rms = Dag.elemwise b ~traffic:4. ~label:(lb "rmsnorm") ~ew:"rmsnorm" [ x ] in
+    let w_qkv = Dag.weight b ~label:(lb "w_qkv") ~dims:[ 3 * attn_slice; hidden ] in
+    let qkv = Dag.gemm b ~label:(lb "qkv_proj") w_qkv rms in
+    let attn_in = Dag.view b ~label:(lb "q") ~dims:[ c attn_slice; t ] qkv in
+    let cache = Dag.input b ~label:(lb "kv") ~dims:[ c attn_slice; kv ] in
+    let attn = Dag.scan b ~label:(lb "kv_attention") attn_in cache in
+    let w_o = Dag.weight b ~label:(lb "w_o") ~dims:[ hidden; attn_slice ] in
+    let o = Dag.gemm b ~label:(lb "o_proj") w_o attn in
+    let ar1 = Dag.comm b ~traffic:2. ~label:(lb "allreduce_attn") ~gbps:300. o in
+    let w_up = Dag.weight b ~label:(lb "w_up") ~dims:[ ffn_slice; hidden ] in
+    let up = Dag.gemm b ~repeat:2 ~label:(lb "ffn_up") w_up ar1 in
+    let silu = Dag.elemwise b ~label:(lb "silu") ~ew:"silu" [ up ] in
+    let w_down = Dag.weight b ~label:(lb "w_down") ~dims:[ hidden; ffn_slice ] in
+    let down = Dag.gemm b ~label:(lb "ffn_down") w_down silu in
+    Dag.comm b ~traffic:2. ~label:(lb "allreduce_ffn") ~gbps:300. down
+  in
+  let rec go x l = if l = Mikpoly_nn.Llama.layers then x else go (layer x l) (l + 1) in
+  ignore (go x0 0);
+  Dag.finish b
+
+let suite ~quick =
+  let bert =
+    {
+      model = "bert-base";
+      dag = transformer Mikpoly_nn.Transformer.bert_base;
+      bindings =
+        (if quick then [ [ ("seq", 64) ]; [ ("seq", 128) ] ]
+         else [ [ ("seq", 64) ]; [ ("seq", 128) ]; [ ("seq", 256) ] ]);
+    }
+  in
+  let resnet =
+    {
+      model = "resnet18";
+      dag = resnet18 ();
+      bindings =
+        (if quick then [ [ ("batch", 2); ("res", 64) ] ]
+         else [ [ ("batch", 2); ("res", 64) ]; [ ("batch", 4); ("res", 96) ] ]);
+    }
+  in
+  let llama =
+    {
+      model = "llama2-13b.decode";
+      dag = llama_decode ();
+      bindings =
+        (if quick then [ [ ("tokens", 8); ("kv", 512) ] ]
+         else [ [ ("tokens", 8); ("kv", 512) ]; [ ("tokens", 16); ("kv", 1024) ] ]);
+    }
+  in
+  if quick then [ bert; resnet; llama ]
+  else
+    [
+      bert;
+      {
+        model = "distilbert";
+        dag = transformer Mikpoly_nn.Transformer.distilbert;
+        bindings = [ [ ("seq", 64) ]; [ ("seq", 128) ] ];
+      };
+      resnet;
+      { model = "vgg11"; dag = vgg11 (); bindings = [ [ ("batch", 2); ("res", 64) ] ] };
+      llama;
+    ]

@@ -1,0 +1,40 @@
+(** The evaluation models as typed operator DAGs.
+
+    Where {!Mikpoly_nn.Transformer} and friends enumerate a flat
+    operator list per concrete shape, these builders produce one
+    symbolic graph per model family: dynamic dimensions ([seq], [batch],
+    [res], [tokens], [kv]) stay {!Mikpoly_graph.Symdim.dim}s until a
+    request binds them, so the whole dynamic range shares a single
+    graph, rewrite result and memory plan. Per-head attention appears as
+    sibling GEMMs over shared views of the QKV value — exactly the
+    pattern {!Mikpoly_graph.Rewrite.merge_siblings} collapses into one
+    batched launch. *)
+
+type entry = {
+  model : string;
+  dag : Mikpoly_graph.Dag.t;
+  bindings : Mikpoly_graph.Symdim.env list;
+      (** request environments to evaluate the model at *)
+}
+
+val transformer : Mikpoly_nn.Transformer.config -> Mikpoly_graph.Dag.t
+(** Encoder pass at batch 1, symbolic in ["seq"]: embed, then per layer
+    QKV, per-head score/context GEMMs, softmax, concat, projection +
+    residual, FFN with GELU and a second residual. *)
+
+val resnet18 : unit -> Mikpoly_graph.Dag.t
+(** Symbolic in ["batch"] and ["res"] (input resolution, which must
+    survive five stride-2 reductions — 64 is the smallest sensible
+    binding). *)
+
+val vgg11 : unit -> Mikpoly_graph.Dag.t
+(** Symbolic in ["batch"] and ["res"]. *)
+
+val llama_decode : unit -> Mikpoly_graph.Dag.t
+(** One Llama2-13b TP-4 decoding step, symbolic in ["tokens"] (batch in
+    flight) and ["kv"] (cache length): per layer RMS-norm, the four
+    Table-8 projections, KV-cache scan attention and two all-reduces. *)
+
+val suite : quick:bool -> entry list
+(** The graph-serving evaluation set with per-model request bindings;
+    [quick] keeps one transformer, one CNN and the Llama decode step. *)

@@ -43,3 +43,11 @@ let evaluation_inventory () =
       ( "llama2-13b",
         List.length (llama_shapes ~token_counts:(List.init 13 (fun i -> 1 lsl i))) );
     ]
+
+let graph_shapes dag ~envs =
+  distinct
+    (List.concat_map
+       (fun env ->
+         Mikpoly_graph.Infer.distinct_shapes
+           (Mikpoly_graph.Infer.bind_exn dag ~env))
+       envs)

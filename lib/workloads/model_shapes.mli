@@ -19,3 +19,11 @@ val llama_shapes : token_counts:int list -> (int * int * int) list
 val evaluation_inventory : unit -> (string * int) list
 (** (model, distinct shape count) over the paper's Figure 8/9 dynamic
     ranges (150 sentence lengths; 8 batches × 10 resolutions). *)
+
+val graph_shapes :
+  Mikpoly_graph.Dag.t -> envs:Mikpoly_graph.Symdim.env list ->
+  (int * int * int) list
+(** Distinct lowered GEMM shapes a {!Model_graphs} DAG launches across
+    the given request environments — the graph-serving counterpart of
+    the per-model inventories above, used to cross-check that a graph
+    reproduces its flat builder's shape set. *)

@@ -1,0 +1,417 @@
+(* Tests for the whole-model graph subsystem: DAG construction, shape
+   binding, rewrite-pass legality, memory planning and the pipelined
+   executor's accounting identities. *)
+
+open Mikpoly_graph
+open Mikpoly_workloads
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let shape3 = Alcotest.(triple int int int)
+
+(* --- Symdim --- *)
+
+let test_symdim_eval () =
+  Alcotest.(check (result int string))
+    "const" (Ok 7)
+    (Symdim.eval [] (Symdim.const 7));
+  Alcotest.(check (result int string))
+    "sym" (Ok 64)
+    (Symdim.eval [ ("seq", 64) ] (Symdim.sym "seq"));
+  (match Symdim.eval [] (Symdim.sym "seq") with
+  | Error e -> Alcotest.(check bool) "unbound" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unbound symbol evaluated");
+  (match Symdim.eval [ ("seq", 0) ] (Symdim.sym "seq") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-positive binding evaluated");
+  Alcotest.check_raises "bad const"
+    (Invalid_argument "Symdim.const: dimension must be >= 1") (fun () ->
+      ignore (Symdim.const 0))
+
+(* --- Builder --- *)
+
+let test_builder_rejects_duplicate_label () =
+  let b = Dag.builder ~name:"dup" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 4 ] in
+  ignore (Dag.elemwise b ~label:"y" ~ew:"relu" [ x ]);
+  Alcotest.check_raises "dup" (Invalid_argument "Dag: duplicate label \"y\"")
+    (fun () -> ignore (Dag.elemwise b ~label:"y" ~ew:"relu" [ x ]))
+
+let test_finish_requires_outputs () =
+  let b = Dag.builder ~name:"empty" in
+  ignore (Dag.input b ~label:"x" ~dims:[ Symdim.const 4 ]);
+  try
+    ignore (Dag.finish b);
+    Alcotest.fail "finished a graph with no outputs"
+  with Invalid_argument _ -> ()
+
+(* --- Shape inference --- *)
+
+let bert = Mikpoly_nn.Transformer.bert_base
+
+let test_bind_matches_flat_transformer () =
+  let graph_shapes =
+    Model_shapes.graph_shapes (Model_graphs.transformer bert)
+      ~envs:[ [ ("seq", 64) ]; [ ("seq", 128) ] ]
+  in
+  let flat = Model_shapes.transformer_shapes bert ~seq_lens:[ 64; 128 ] in
+  Alcotest.(check (list shape3)) "same shape inventory" flat graph_shapes
+
+let test_bind_matches_flat_cnn () =
+  let graph_shapes =
+    Model_shapes.graph_shapes (Model_graphs.resnet18 ())
+      ~envs:[ [ ("batch", 2); ("res", 64) ] ]
+  in
+  let flat =
+    Model_shapes.cnn_shapes Mikpoly_nn.Cnn.resnet18 ~configs:[ (2, 64) ]
+  in
+  Alcotest.(check (list shape3)) "same shape inventory" flat graph_shapes
+
+let test_bind_matches_flat_llama () =
+  let graph_shapes =
+    Model_shapes.graph_shapes (Model_graphs.llama_decode ())
+      ~envs:[ [ ("tokens", 8); ("kv", 512) ] ]
+  in
+  let flat = Model_shapes.llama_shapes ~token_counts:[ 8 ] in
+  Alcotest.(check (list shape3)) "same shape inventory" flat graph_shapes
+
+let test_bind_reports_contraction_mismatch () =
+  let b = Dag.builder ~name:"bad" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.sym "s"; Symdim.const 8 ] in
+  let w = Dag.weight b ~label:"w" ~dims:[ 16; 4 ] in
+  ignore (Dag.gemm b ~label:"g" x w);
+  let g = Dag.finish b in
+  match Infer.bind g ~env:[ ("s", 2) ] with
+  | Error e ->
+    Alcotest.(check bool) "names mismatch" true
+      (contains ~sub:"contraction mismatch" e);
+    Alcotest.(check bool) "names node" true
+      (contains ~sub:"\"g\"" e)
+  | Ok _ -> Alcotest.fail "bound a mismatched contraction"
+
+let test_bind_reports_unbound_symbol () =
+  match Infer.bind (Model_graphs.transformer bert) ~env:[] with
+  | Error e ->
+    Alcotest.(check bool) "names symbol" true
+      (contains ~sub:"\"seq\"" e)
+  | Ok _ -> Alcotest.fail "bound with an empty environment"
+
+let test_shape_launches_counts_instances () =
+  (* seq 128 keeps the score shape distinct from the context GEMMs
+     (at seq = head_dim the two coincide) *)
+  let bound =
+    Infer.bind_exn (Model_graphs.transformer bert) ~env:[ ("seq", 128) ]
+  in
+  let hd = bert.hidden / bert.heads in
+  let launches = Infer.shape_launches bound in
+  Alcotest.(check int) "scores launch once per head per layer"
+    (bert.heads * bert.layers)
+    (List.assoc (128, 128, hd) launches)
+
+(* --- Rewrite passes --- *)
+
+let rewritten dag = Rewrite.run dag
+
+let test_rewrite_shrinks_bert () =
+  let dag = Model_graphs.transformer bert in
+  let fused, stats = rewritten dag in
+  (* per layer: qkv, batched scores (+softmax), batched ctx, concat,
+     proj (+residual), ffn_up (+gelu), ffn_down (+residual) = 7 device
+     ops, plus the embedding. *)
+  Alcotest.(check int) "ops before" ((33 * bert.layers) + 1) (Dag.op_count dag);
+  Alcotest.(check int) "ops after" ((7 * bert.layers) + 1) (Dag.op_count fused);
+  Alcotest.(check bool) "renamed" true
+    (contains ~sub:"+fused" fused.Dag.name);
+  let rewrites name =
+    let s = List.find (fun (s : Rewrite.stats) -> s.pass_name = name) stats in
+    s.rewrites
+  in
+  Alcotest.(check int) "merges" (2 * (bert.heads - 1) * bert.layers)
+    (rewrites "merge_siblings");
+  Alcotest.(check int) "epilogues" (4 * bert.layers) (rewrites "fuse_epilogues");
+  Alcotest.(check int) "chains" (2 * bert.layers) (rewrites "fuse_gemm_chains")
+
+let test_rewrite_preserves_shape_inventory () =
+  let dag = Model_graphs.transformer bert in
+  let fused, _ = rewritten dag in
+  let envs = [ [ ("seq", 64) ] ] in
+  Alcotest.(check (list shape3)) "same shapes"
+    (Model_shapes.graph_shapes dag ~envs)
+    (Model_shapes.graph_shapes fused ~envs)
+
+let test_merge_requires_single_shared_consumer () =
+  let b = Dag.builder ~name:"g" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+  let w = Dag.weight b ~label:"w" ~dims:[ 8; 8 ] in
+  let g1 = Dag.gemm b ~label:"g1" x w in
+  let g2 = Dag.gemm b ~label:"g2" x w in
+  (* g1 and g2 are siblings but feed different consumers *)
+  ignore (Dag.elemwise b ~label:"e1" ~ew:"relu" [ g1 ]);
+  ignore (Dag.elemwise b ~label:"e2" ~ew:"relu" [ g2 ]);
+  let merged, n = (Rewrite.merge_siblings ()).Rewrite.apply (Dag.finish b) in
+  Alcotest.(check int) "no merge" 0 n;
+  Alcotest.(check int) "ops kept" 4 (Dag.op_count merged)
+
+let test_epilogue_fusion_respects_other_readers () =
+  let b = Dag.builder ~name:"g" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+  let w = Dag.weight b ~label:"w" ~dims:[ 8; 8 ] in
+  let g1 = Dag.gemm b ~label:"g1" x w in
+  let r = Dag.elemwise b ~label:"relu" ~ew:"relu" [ g1 ] in
+  (* second reader of g1's value: fusing would lose it *)
+  ignore (Dag.elemwise b ~label:"probe" ~ew:"id" [ g1 ]);
+  ignore (Dag.elemwise b ~label:"sink" ~ew:"id" [ r ]);
+  let fused, n =
+    (Rewrite.fuse_epilogues ()).Rewrite.apply (Dag.finish b)
+  in
+  Alcotest.(check int) "no fusion" 0 n;
+  Alcotest.(check int) "ops kept" 4 (Dag.op_count fused)
+
+let test_epilogue_fusion_max_ratio_boundary () =
+  let build traffic =
+    let b = Dag.builder ~name:"g" in
+    let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+    let w = Dag.weight b ~label:"w" ~dims:[ 8; 8 ] in
+    let g1 = Dag.gemm b ~label:"g1" x w in
+    ignore (Dag.elemwise b ~traffic ~label:"ep" ~ew:"norm" [ g1 ]);
+    Dag.finish b
+  in
+  let _, at = (Rewrite.fuse_epilogues ()).Rewrite.apply (build 4.) in
+  Alcotest.(check int) "ratio = max fuses" 1 at;
+  let _, over = (Rewrite.fuse_epilogues ()).Rewrite.apply (build 4.25) in
+  Alcotest.(check int) "ratio > max kept" 0 over
+
+let test_back_to_back_epilogues_only_first_fuses () =
+  let b = Dag.builder ~name:"g" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+  let w = Dag.weight b ~label:"w" ~dims:[ 8; 8 ] in
+  let g1 = Dag.gemm b ~label:"g1" x w in
+  let r = Dag.elemwise b ~label:"relu" ~ew:"relu" [ g1 ] in
+  ignore (Dag.elemwise b ~label:"norm" ~ew:"norm" [ r ]);
+  let fused, n = (Rewrite.fuse_epilogues ()).Rewrite.apply (Dag.finish b) in
+  Alcotest.(check int) "one fusion" 1 n;
+  let g1n = Dag.find fused (Dag.value_id g1) in
+  Alcotest.(check (list string)) "relu fused into the gemm" [ "relu" ]
+    (List.map (fun fe -> fe.Dag.fe_label) g1n.Dag.fused);
+  Alcotest.(check bool) "norm survives" true
+    (List.exists (fun (n : Dag.node) -> n.label = "norm") fused.Dag.nodes)
+
+let test_chain_pass_marks_llama_ffn () =
+  let fused, stats = rewritten (Model_graphs.llama_decode ()) in
+  let chains =
+    (List.find (fun (s : Rewrite.stats) -> s.pass_name = "fuse_gemm_chains")
+       stats)
+      .rewrites
+  in
+  Alcotest.(check int) "one chain per layer" Mikpoly_nn.Llama.layers chains;
+  (* L0.ffn_down chains its silu-fused ffn_up operand *)
+  let down =
+    List.find (fun (n : Dag.node) -> n.label = "L0.ffn_down") fused.Dag.nodes
+  in
+  let up =
+    List.find (fun (n : Dag.node) -> n.label = "L0.ffn_up") fused.Dag.nodes
+  in
+  Alcotest.(check (option int)) "chains ffn_up" (Some up.Dag.id) down.Dag.chain
+
+let test_zero_rewrite_keeps_name () =
+  let b = Dag.builder ~name:"plain" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+  let w = Dag.weight b ~label:"w" ~dims:[ 8; 8 ] in
+  let g1 = Dag.gemm b ~label:"g1" x w in
+  ignore (Dag.elemwise b ~traffic:8. ~label:"big" ~ew:"softmax" [ g1 ]);
+  let fused, stats = rewritten (Dag.finish b) in
+  Alcotest.(check string) "name unchanged" "plain" fused.Dag.name;
+  Alcotest.(check bool) "no rewrites" true
+    (List.for_all (fun (s : Rewrite.stats) -> s.rewrites = 0) stats)
+
+(* --- Memory planning --- *)
+
+let check_liveness_disjoint bound plan =
+  (* independent checker: two values sharing a buffer must have
+     disjoint [def, last-use] intervals in the device schedule *)
+  let g = Infer.dag bound in
+  let devs = Array.of_list (Dag.device_nodes g) in
+  let pos = Hashtbl.create 64 in
+  Array.iteri (fun i (n : Dag.node) -> Hashtbl.replace pos n.Dag.id i) devs;
+  let interval v =
+    let def = Hashtbl.find pos v in
+    let last = ref def in
+    if List.mem v (List.map (Dag.root g) g.Dag.outputs) then
+      last := max_int
+    else
+      Array.iteri
+        (fun i (n : Dag.node) ->
+          let reads =
+            n.Dag.inputs
+            @ List.concat_map (fun fe -> fe.Dag.fe_inputs) n.Dag.fused
+          in
+          if List.exists (fun r -> Dag.root g r = v) reads then
+            last := max !last i)
+        devs;
+    (def, !last)
+  in
+  let by_buffer = Hashtbl.create 16 in
+  List.iter
+    (fun (v, buf) ->
+      Hashtbl.replace by_buffer buf
+        (v :: Option.value (Hashtbl.find_opt by_buffer buf) ~default:[]))
+    plan.Memplan.assignments;
+  Hashtbl.iter
+    (fun _ vs ->
+      let ivs = List.map interval vs in
+      List.iteri
+        (fun i (s1, e1) ->
+          List.iteri
+            (fun j (s2, e2) ->
+              if i < j && not (e1 < s2 || e2 < s1) then
+                Alcotest.failf "buffer shared by overlapping liveness")
+            ivs)
+        ivs)
+    by_buffer
+
+let test_memplan_reuses_buffers () =
+  let dag, _ = rewritten (Model_graphs.transformer bert) in
+  let bound = Infer.bind_exn dag ~env:[ ("seq", 64) ] in
+  let plan = Memplan.plan bound in
+  Alcotest.(check bool) "planned < naive" true
+    (plan.Memplan.planned_bytes < plan.Memplan.naive_bytes);
+  Alcotest.(check bool) "peak <= planned" true
+    (plan.Memplan.peak_live_bytes <= plan.Memplan.planned_bytes);
+  Alcotest.(check bool) "reuse > 0.5" true (Memplan.reuse_ratio plan > 0.5);
+  Alcotest.(check int) "every device node assigned"
+    (Dag.op_count dag)
+    (List.length plan.Memplan.assignments);
+  check_liveness_disjoint bound plan
+
+let test_memplan_no_reuse_without_deaths () =
+  (* a pure chain where everything is an output never reuses *)
+  let b = Dag.builder ~name:"g" in
+  let x = Dag.input b ~label:"x" ~dims:[ Symdim.const 8; Symdim.const 8 ] in
+  let e1 = Dag.elemwise b ~label:"e1" ~ew:"id" [ x ] in
+  let e2 = Dag.elemwise b ~label:"e2" ~ew:"id" [ e1 ] in
+  let g = Dag.finish ~outputs:[ e1; e2 ] b in
+  let plan = Memplan.plan (Infer.bind_exn g ~env:[]) in
+  Alcotest.(check (float 0.)) "no reuse" 0. (Memplan.reuse_ratio plan);
+  Alcotest.(check int) "two buffers" 2 (List.length plan.Memplan.buffers)
+
+(* --- Executor --- *)
+
+let bk = Executor.synthetic_backend ()
+
+let close what a b =
+  Alcotest.(check (float 1e-9)) what a b
+
+let test_executor_accounting_identities () =
+  let dag, _ = rewritten (Model_graphs.transformer bert) in
+  let bound = Infer.bind_exn dag ~env:[ ("seq", 64) ] in
+  let seq = Executor.execute ~overlap:false bk bound in
+  let ovl = Executor.execute bk bound in
+  close "seq e2e = exec + compile"
+    (seq.Executor.r_exec_seconds +. seq.Executor.r_compile_seconds)
+    seq.Executor.r_e2e_seconds;
+  close "ovl e2e = exec + stall"
+    (ovl.Executor.r_exec_seconds +. ovl.Executor.r_stall_seconds)
+    ovl.Executor.r_e2e_seconds;
+  close "hidden = compile - stall"
+    (ovl.Executor.r_compile_seconds -. ovl.Executor.r_stall_seconds)
+    ovl.Executor.r_hidden_seconds;
+  Alcotest.(check bool) "overlap strictly faster" true
+    (ovl.Executor.r_e2e_seconds < seq.Executor.r_e2e_seconds);
+  Alcotest.(check bool) "hides some compile" true
+    (ovl.Executor.r_hidden_seconds > 0.);
+  close "same exec" seq.Executor.r_exec_seconds ovl.Executor.r_exec_seconds;
+  close "same compile" seq.Executor.r_compile_seconds
+    ovl.Executor.r_compile_seconds
+
+let test_executor_caches_shapes_within_run () =
+  let dag, _ = rewritten (Model_graphs.transformer bert) in
+  let bound = Infer.bind_exn dag ~env:[ ("seq", 64) ] in
+  let run = Executor.execute bk bound in
+  let distinct = List.length (Infer.distinct_shapes bound) in
+  Alcotest.(check int) "compiles = distinct shapes" distinct
+    run.Executor.r_compiles;
+  (* 6 GEMM nodes per layer after rewriting (concat is not a GEMM);
+     every layer past the first hits on all its shapes *)
+  Alcotest.(check int) "hits = gemm nodes - distinct"
+    ((6 * bert.layers) - distinct)
+    run.Executor.r_cache_hits
+
+let test_executor_prices_fusion () =
+  let dag = Model_graphs.transformer bert in
+  let fused, _ = rewritten dag in
+  let env = [ ("seq", 64) ] in
+  let before = Executor.execute bk (Infer.bind_exn dag ~env) in
+  let after = Executor.execute bk (Infer.bind_exn fused ~env) in
+  Alcotest.(check bool) "fused graph executes faster" true
+    (after.Executor.r_e2e_seconds < before.Executor.r_e2e_seconds);
+  Alcotest.(check bool) "fused bytes reported" true
+    (after.Executor.r_fused_bytes > 0.);
+  Alcotest.(check (float 0.)) "unfused graph saves nothing" 0.
+    before.Executor.r_fused_bytes
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "symdim",
+        [
+          Alcotest.test_case "eval" `Quick test_symdim_eval;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "duplicate label" `Quick
+            test_builder_rejects_duplicate_label;
+          Alcotest.test_case "outputs required" `Quick
+            test_finish_requires_outputs;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "bert inventory" `Quick
+            test_bind_matches_flat_transformer;
+          Alcotest.test_case "resnet inventory" `Quick
+            test_bind_matches_flat_cnn;
+          Alcotest.test_case "llama inventory" `Quick
+            test_bind_matches_flat_llama;
+          Alcotest.test_case "contraction mismatch" `Quick
+            test_bind_reports_contraction_mismatch;
+          Alcotest.test_case "unbound symbol" `Quick
+            test_bind_reports_unbound_symbol;
+          Alcotest.test_case "shape launches" `Quick
+            test_shape_launches_counts_instances;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "shrinks bert" `Quick test_rewrite_shrinks_bert;
+          Alcotest.test_case "keeps shapes" `Quick
+            test_rewrite_preserves_shape_inventory;
+          Alcotest.test_case "merge legality" `Quick
+            test_merge_requires_single_shared_consumer;
+          Alcotest.test_case "epilogue legality" `Quick
+            test_epilogue_fusion_respects_other_readers;
+          Alcotest.test_case "max_ratio boundary" `Quick
+            test_epilogue_fusion_max_ratio_boundary;
+          Alcotest.test_case "back-to-back epilogues" `Quick
+            test_back_to_back_epilogues_only_first_fuses;
+          Alcotest.test_case "llama chains" `Quick
+            test_chain_pass_marks_llama_ffn;
+          Alcotest.test_case "zero-rewrite name" `Quick
+            test_zero_rewrite_keeps_name;
+        ] );
+      ( "memplan",
+        [
+          Alcotest.test_case "reuses buffers" `Quick
+            test_memplan_reuses_buffers;
+          Alcotest.test_case "outputs pin buffers" `Quick
+            test_memplan_no_reuse_without_deaths;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "accounting" `Quick
+            test_executor_accounting_identities;
+          Alcotest.test_case "run cache" `Quick
+            test_executor_caches_shapes_within_run;
+          Alcotest.test_case "fusion priced" `Quick test_executor_prices_fusion;
+        ] );
+    ]

@@ -336,6 +336,52 @@ let test_fusion_never_fuses_into_comm () =
   Alcotest.(check int) "comm is not a producer" 0
     (Fusion.fused_ops ~original:g ~fused)
 
+let test_fusion_repeat_producer () =
+  (* A batched GEMM writes repeat x m x n values, so its epilogue
+     threshold scales with the group size; the saved traffic is
+     reported alongside the count. *)
+  let out = 4. *. 64. *. 64. *. 2. in
+  let g =
+    Op.graph ~name:"g"
+      [
+        Op.gemm ~repeat:4 ~label:"heads" ~m:64 ~n:64 ~k:64 ();
+        Op.mem ~label:"softmax" ~bytes:(3. *. out);
+      ]
+  in
+  let r = Fusion.fuse g in
+  Alcotest.(check int) "epilogue of a batched GEMM fuses" 1 r.Fusion.fused_ops;
+  Alcotest.(check (float 1e-6)) "saved bytes reported" (3. *. out)
+    r.Fusion.fused_bytes
+
+let test_fusion_max_ratio_boundary () =
+  (* The legality bound is inclusive: exactly max_ratio x output bytes
+     fuses, one byte more does not. *)
+  let out = 64. *. 64. *. 2. in
+  let graph_with bytes =
+    Op.graph ~name:"g"
+      [ Op.gemm ~label:"mm" ~m:64 ~n:64 ~k:64 (); Op.mem ~label:"e" ~bytes ]
+  in
+  Alcotest.(check int) "exactly max_ratio fuses" 1
+    (Fusion.fuse (graph_with (4. *. out))).Fusion.fused_ops;
+  Alcotest.(check int) "just over stays" 0
+    (Fusion.fuse (graph_with ((4. *. out) +. 1.))).Fusion.fused_ops
+
+let test_fusion_zero_rewrite_keeps_name () =
+  let plain = Op.graph ~name:"plain" [ Op.gemm ~label:"mm" ~m:8 ~n:8 ~k:8 () ] in
+  let r = Fusion.fuse plain in
+  Alcotest.(check string) "zero-fusion graph keeps its name" "plain"
+    r.Fusion.graph.Op.name;
+  Alcotest.(check (float 0.)) "no bytes saved" 0. r.Fusion.fused_bytes;
+  let fusable =
+    Op.graph ~name:"net"
+      [
+        Op.gemm ~label:"mm" ~m:64 ~n:64 ~k:64 ();
+        Op.mem ~label:"relu" ~bytes:(64. *. 64. *. 2.);
+      ]
+  in
+  Alcotest.(check string) "fused graph is renamed" "net+fused"
+    (Fusion.fuse fusable).Fusion.graph.Op.name
+
 let test_fusion_speeds_up_bert () =
   let hw = gpu in
   let g = Transformer.graph Transformer.bert_base ~seq_len:64 in
@@ -409,6 +455,12 @@ let () =
           Alcotest.test_case "keeps large mem ops" `Quick test_fusion_keeps_large_mem;
           Alcotest.test_case "one epilogue per producer" `Quick
             test_fusion_one_epilogue_per_producer;
+          Alcotest.test_case "batched producer" `Quick
+            test_fusion_repeat_producer;
+          Alcotest.test_case "max_ratio boundary" `Quick
+            test_fusion_max_ratio_boundary;
+          Alcotest.test_case "zero-fusion name stable" `Quick
+            test_fusion_zero_rewrite_keeps_name;
           Alcotest.test_case "comm not a producer" `Quick
             test_fusion_never_fuses_into_comm;
           Alcotest.test_case "speeds up bert" `Quick test_fusion_speeds_up_bert;
