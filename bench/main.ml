@@ -9,7 +9,7 @@
 
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
           [--skip-telemetry] [--skip-parallel] [--skip-graph]
-          [--skip-adapt] [--skip-resilience] [ids...] *)
+          [--skip-adapt] [--skip-resilience] [--skip-fleet] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -29,6 +29,8 @@ let skip_graph = Array.exists (( = ) "--skip-graph") Sys.argv
 let skip_adapt = Array.exists (( = ) "--skip-adapt") Sys.argv
 
 let skip_resilience = Array.exists (( = ) "--skip-resilience") Sys.argv
+
+let skip_fleet = Array.exists (( = ) "--skip-fleet") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -643,6 +645,58 @@ let run_resilience_bench () =
     (fun () -> output_string oc (Json.to_string json));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Multi-tenant fleet serving: acceptance gates + jobs invariance ---
+
+   Runs the lib/fleet goodput A/B (WFQ + coalescing + warm store +
+   autoscaler vs the tenant-blind scheduler) on the heavy-tail
+   multi-tenant trace, asserts the acceptance gates hard (fleet goodput
+   beats the baseline at equal replicas, no tier starved and the tier
+   order respected, coalescing strictly cuts compile stalls, the warm
+   store engages, the autoscaler meets SLO on fewer replica-seconds
+   than the static fleet), re-runs everything on a fresh compiler at a
+   different worker-domain count and requires the byte-identical
+   report, then writes BENCH_fleet.json. *)
+
+let run_fleet_bench () =
+  let module E = Mikpoly_experiments.Exp_fleet in
+  let saved_jobs = Mikpoly_util.Domain_pool.default_jobs () in
+  let render jobs =
+    Mikpoly_util.Domain_pool.set_default_jobs jobs;
+    let compiler = Mikpoly_core.Compiler.create Mikpoly_accel.Hardware.a100 in
+    let r = E.results ~quick compiler in
+    (r, Mikpoly_telemetry.Json.to_string (E.json r))
+  in
+  let r, json1 =
+    Fun.protect
+      ~finally:(fun () -> Mikpoly_util.Domain_pool.set_default_jobs saved_jobs)
+      (fun () ->
+        let result = render 1 in
+        let _, json4 = render 4 in
+        let _, json1 = result in
+        if json1 <> json4 then begin
+          Printf.eprintf "fleet bench: report at jobs=4 differs from jobs=1\n";
+          exit 1
+        end;
+        result)
+  in
+  (match E.failed_gates (E.gates r) with
+  | [] -> ()
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "fleet bench: gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    exit 1);
+  Printf.printf "fleet bench: %d gates hold, report identical across --jobs\n"
+    (List.length (E.gates r));
+  let path = "BENCH_fleet.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json1);
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
@@ -650,4 +704,5 @@ let () =
   if not skip_parallel then run_parallel_bench ();
   if not skip_graph then run_graph_bench ();
   if not skip_adapt then run_adapt_bench ();
-  if not skip_resilience then run_resilience_bench ()
+  if not skip_resilience then run_resilience_bench ();
+  if not skip_fleet then run_fleet_bench ()

@@ -245,16 +245,17 @@ let serve jobs seed quick csv npu adapt_on replicas requests rate cache bucket
       ~header:Mikpoly_serve.Metrics.header
   in
   let measure label cfg =
-    let m = Metrics.of_outcome (Scheduler.run ?adapt cfg engine trace) in
+    let o = Scheduler.run ?adapt cfg engine trace in
+    let m = Metrics.of_outcome o in
     Mikpoly_util.Table.add_row table (Metrics.to_row ~label m);
-    m
+    (m, o)
   in
   let label =
     Printf.sprintf "cache-%d %s %s" cache (Bucketing.name bucketing)
       (Batcher.name batcher)
   in
-  let m = measure label config in
-  let b = measure "no-cache exact greedy" baseline in
+  let m, outcome = measure label config in
+  let b, _ = measure "no-cache exact greedy" baseline in
   if csv then print_endline (Mikpoly_util.Table.to_csv table)
   else begin
     print_endline (Mikpoly_util.Table.render table);
@@ -275,6 +276,8 @@ let serve jobs seed quick csv npu adapt_on replicas requests rate cache bucket
         s.Mikpoly_adapt.Adapter.drift_events
         (Mikpoly_util.Table.fmt_time_us m.Metrics.adapt_stall_seconds)
     | None -> ());
+    print_endline
+      (Mikpoly_util.Table.render (Metrics.cache_table ~replicas outcome));
     print_string (Mikpoly_telemetry.Report.telemetry_section ())
   end;
   0
@@ -507,6 +510,70 @@ let graph jobs quick csv out =
     List.iter
       (fun (g : E.gate) ->
         Printf.eprintf "graph gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    1
+
+(* Multi-tenant fleet serving: the WFQ / coalescing / warm-store /
+   autoscaler ladder against the tenant-blind scheduler on a heavy-tail
+   multi-tenant trace, with the acceptance gates asserted hard. The JSON
+   report contains only simulated quantities, so two runs — at any
+   --jobs count — must produce byte-identical files (checked by the CI
+   fleet-smoke stage with cmp). With --store, the compiler warm-loads
+   its kernel set from a Kernel_store artifact and precompiles every
+   admissible bucket program before serving starts. *)
+let fleet jobs quick csv out store =
+  set_jobs jobs;
+  let module E = Mikpoly_experiments.Exp_fleet in
+  let hw = Mikpoly_accel.Hardware.a100 in
+  let compiler =
+    match store with
+    | None -> Mikpoly_core.Compiler.create hw
+    | Some path ->
+      let config = Mikpoly_core.Config.default hw in
+      ignore (Mikpoly_core.Kernel_store.load_or_create ~path hw config);
+      let compiler, degraded =
+        Mikpoly_core.Compiler.create_resilient ~store_path:path hw
+      in
+      (match degraded with
+      | Some reason ->
+        Printf.eprintf "fleet: store %s unusable (%s); safe mode\n" path
+          reason
+      | None -> Printf.printf "fleet: kernel set loaded from %s\n" path);
+      let open Mikpoly_serve in
+      let engine = Scheduler.mikpoly_engine compiler in
+      let max_prompt = if quick then 64 else 256 in
+      let rec buckets b = if b > max_prompt then [] else b :: buckets (b * 2) in
+      let shapes =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun b -> List.map fst (engine.Scheduler.step_shapes ~tokens:b))
+             (buckets 1))
+      in
+      let fresh = Mikpoly_core.Compiler.warm compiler shapes in
+      Printf.printf "fleet: warmed %d bucket programs (%d compiled fresh)\n"
+        (List.length shapes) fresh;
+      compiler
+  in
+  let r = E.results ~quick compiler in
+  let report = E.report r in
+  if csv then
+    List.iter
+      (fun t -> print_endline (Mikpoly_util.Table.to_csv t))
+      report.Mikpoly_experiments.Exp.tables
+  else print_string (Mikpoly_experiments.Exp.render report);
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Mikpoly_telemetry.Json.to_string (E.json r)));
+  Printf.printf "wrote %s\n" out;
+  match E.failed_gates (E.gates r) with
+  | [] -> 0
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "fleet gate failed: %s: %s\n" g.E.gate_name
           g.E.gate_detail)
       fs;
     1
@@ -801,6 +868,35 @@ let graph_cmd =
   Cmd.v (Cmd.info "graph" ~doc)
     Term.(const graph $ jobs_arg $ quick_flag $ csv_flag $ out)
 
+let fleet_cmd =
+  let doc =
+    "Run the multi-tenant continuous-batching fleet (weighted fair \
+     queueing, shape-aware coalescing, learned warm store, \
+     telemetry-driven autoscaling) against the tenant-blind scheduler \
+     and write a machine-readable report"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_fleet.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Report file. Contains only simulated quantities, so runs are \
+             byte-identical at any $(b,--jobs) count.")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Warm-load the compiler's kernel set from this Kernel_store \
+             artifact (created on first use) and precompile every \
+             admissible bucket program before serving.")
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(const fleet $ jobs_arg $ quick_flag $ csv_flag $ out $ store)
+
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
   let count = Arg.(value & opt int 25 & info [ "count" ] ~docv:"N") in
@@ -857,7 +953,7 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      adapt_cmd; chaos_cmd; graph_cmd; verify_cmd; profile_cmd;
+      adapt_cmd; chaos_cmd; graph_cmd; fleet_cmd; verify_cmd; profile_cmd;
       validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

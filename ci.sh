@@ -92,20 +92,42 @@ dune exec bin/mikpoly_cli.exe -- graph --quick --jobs 4 --out "$graph_b"
 cmp "$graph_a" "$graph_b"
 rm -f "$graph_a" "$graph_b"
 
+echo "== fleet smoke test =="
+# Multi-tenant fleet serving end to end: weighted fair queueing,
+# shape-aware coalescing, the learned warm store and the autoscaler
+# on the heavy-tail multi-tenant trace. The subcommand exits non-zero
+# if any acceptance gate fails; the JSON report holds only simulated
+# quantities, so runs must produce byte-identical files across repeats
+# and across --jobs counts.
+fleet_a="${TMPDIR:-/tmp}/mikpoly_ci_fleet_a.json"
+fleet_b="${TMPDIR:-/tmp}/mikpoly_ci_fleet_b.json"
+dune exec bin/mikpoly_cli.exe -- fleet --quick --out "$fleet_a"
+test -s "$fleet_a"
+grep -q '"gates_ok":true' "$fleet_a"
+dune exec bin/mikpoly_cli.exe -- fleet --quick --out "$fleet_b"
+cmp "$fleet_a" "$fleet_b"
+dune exec bin/mikpoly_cli.exe -- fleet --quick --jobs 4 --out "$fleet_b"
+cmp "$fleet_a" "$fleet_b"
+rm -f "$fleet_a" "$fleet_b"
+
 echo "== parallel scaling bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet
 test -s BENCH_parallel.json
 
 echo "== graph bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet
 test -s BENCH_graph.json
 
 echo "== adapt bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience --skip-fleet
 test -s BENCH_adapt.json
 
 echo "== resilience bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-fleet
 test -s BENCH_resilience.json
+
+echo "== fleet bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience
+test -s BENCH_fleet.json
 
 echo "CI OK"

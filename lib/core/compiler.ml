@@ -281,6 +281,21 @@ let compile t op =
 let cached t op =
   locked t (fun () -> Hashtbl.mem t.cache (Operator.gemm_shape op))
 
+(* Bulk precompilation for warm stores: compile every not-yet-cached
+   shape through the normal ladder (so warmed programs are exactly what
+   a cache-miss compile would have produced). Returns the number of
+   fresh compiles; shapes already cached cost nothing and keep their
+   recency. *)
+let warm t shapes =
+  List.fold_left
+    (fun fresh ((m, n, k) as key) ->
+      if locked t (fun () -> Hashtbl.mem t.cache key) then fresh
+      else begin
+        ignore (compile t (Operator.gemm ~m ~n ~k ()));
+        fresh + 1
+      end)
+    0 shapes
+
 let cache_stats t =
   locked t (fun () ->
       {

@@ -26,6 +26,7 @@ let all =
     Exp_adaptation.exp;
     Exp_resilience.exp;
     Exp_graph.exp;
+    Exp_fleet.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

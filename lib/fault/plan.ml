@@ -71,6 +71,20 @@ let scenario ?(step_fail_rate = 0.05) ?(straggler_rate = 0.05)
   make ~step_fail_rate ~straggler_rate ~straggler_slowdown
     ~crashes:crash_list ~restart_delay ~seed ()
 
+(* Refit a plan's crash schedule to a fleet of [replicas]: crash events
+   aimed at replicas beyond the fleet are remapped (mod fleet size) so
+   the planned amount of chaos lands on a resized fleet instead of
+   silently missing it. The autoscaler uses this when replicas retire
+   below a crash target's index. *)
+let clamp_crashes t ~replicas =
+  if replicas < 1 then invalid_arg "Plan.clamp_crashes: replicas must be >= 1";
+  {
+    t with
+    crashes =
+      List.sort compare
+        (List.map (fun (time, r) -> (time, r mod replicas)) t.crashes);
+  }
+
 let is_quiet t =
   t.step_fail_rate <= 0. && t.straggler_rate <= 0. && t.crashes = []
 

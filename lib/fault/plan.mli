@@ -54,6 +54,12 @@ val scenario :
     stragglers at 3×, and one crash at a seed-drawn instant within the
     middle 80% of [horizon] on a seed-drawn replica. *)
 
+val clamp_crashes : t -> replicas:int -> t
+(** Refit the crash schedule to a fleet of [replicas]: events aimed at
+    replica indices beyond the fleet are remapped (index mod [replicas],
+    re-sorted) so a resized — e.g. autoscaled — fleet still absorbs the
+    planned chaos rather than silently skipping it. *)
+
 val is_quiet : t -> bool
 (** Whether the plan can inject nothing at all. *)
 

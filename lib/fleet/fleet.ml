@@ -1,0 +1,758 @@
+module Sch = Mikpoly_serve.Scheduler
+module Request = Mikpoly_serve.Request
+module Batcher = Mikpoly_serve.Batcher
+module Bucketing = Mikpoly_serve.Bucketing
+module Shape_cache = Mikpoly_serve.Shape_cache
+module Plan = Mikpoly_fault.Plan
+module Tm = Mikpoly_telemetry
+
+(* Always-on fleet metrics, alongside the serve.* family. The replica
+   gauge uses the lock-free relative adjustment so concurrent fleets in
+   one process never lose a +1/-1. *)
+let m_steps = Tm.Metrics.counter "fleet.steps"
+
+let m_completed = Tm.Metrics.counter "fleet.completed"
+
+let m_dropped = Tm.Metrics.counter "fleet.dropped"
+
+let m_warm_hits = Tm.Metrics.counter "fleet.warm.hits"
+
+let m_warm_compiles = Tm.Metrics.counter "fleet.warm.compiles"
+
+let m_scale_ups = Tm.Metrics.counter "fleet.scale.ups"
+
+let m_scale_downs = Tm.Metrics.counter "fleet.scale.downs"
+
+let m_crashes = Tm.Metrics.counter "fleet.crashes"
+
+let g_replicas = Tm.Metrics.gauge "fleet.replicas"
+
+type warm_config = {
+  warm_top_k : int;
+  warm_interval : float;
+  warm_half_life : float;
+  warm_capacity : int;
+}
+
+let default_warm =
+  {
+    warm_top_k = 8;
+    warm_interval = 0.25;
+    warm_half_life = 1.0;
+    warm_capacity = 4096;
+  }
+
+type config = {
+  replicas : int;
+  batcher : Batcher.policy;
+  bucketing : Bucketing.policy;
+  cache_capacity : int;
+  coalesce : bool;
+  steal_age : float;
+  warm : warm_config option;
+  autoscale : Autoscaler.config option;
+}
+
+let validate config =
+  if config.replicas < 1 then invalid_arg "Fleet: replicas must be >= 1";
+  if config.cache_capacity < 0 then
+    invalid_arg "Fleet: negative cache capacity";
+  if config.steal_age < 0. then invalid_arg "Fleet: steal_age must be >= 0";
+  (match config.warm with
+  | Some w ->
+    if w.warm_top_k < 0 then invalid_arg "Fleet: warm_top_k must be >= 0";
+    if w.warm_interval <= 0. then
+      invalid_arg "Fleet: warm_interval must be > 0";
+    if w.warm_half_life <= 0. then
+      invalid_arg "Fleet: warm_half_life must be > 0";
+    if w.warm_capacity < 0 then
+      invalid_arg "Fleet: warm_capacity must be >= 0"
+  | None -> ());
+  match config.autoscale with
+  | Some a -> Autoscaler.validate a
+  | None -> ()
+
+type tier_metrics = {
+  tm_tier : Tenant.tier;
+  tm_requests : int;
+  tm_completed : int;
+  tm_slo_met : int;
+  tm_attainment : float;
+}
+
+type outcome = {
+  completed : Sch.completed list;
+  dropped : Request.t list;
+  steps : int;
+  makespan : float;
+  compile_stall_seconds : float;
+  actual_tokens : int;
+  padded_tokens : int;
+  cache : Shape_cache.stats list;
+  warm_stats : Shape_cache.stats option;
+  warm_hits : int;
+  warm_compiles : int;
+  warm_background_seconds : float;
+  coalesced_groups : int;
+  queue_depth_sum : int;
+  queue_samples : int;
+  crashes : int;
+  injected_faults : int;
+  requeues : int;
+  scale_ups : int;
+  scale_downs : int;
+  peak_replicas : int;
+  replica_seconds : float;
+  lanes : Wfq.lane_stats list;
+  tiers : tier_metrics list;
+}
+
+let slo_met (c : Sch.completed) =
+  let r = c.Sch.request in
+  c.Sch.first_token -. r.Request.arrival <= r.Request.slo.Request.ttft
+  && c.Sch.finish -. r.Request.arrival <= r.Request.slo.Request.e2e
+
+let to_scheduler_outcome (o : outcome) : Sch.outcome =
+  {
+    Sch.completed = o.completed;
+    dropped = o.dropped;
+    rejected = [];
+    timed_out = [];
+    failed = [];
+    steps = o.steps;
+    makespan = o.makespan;
+    compile_stall_seconds = o.compile_stall_seconds;
+    adapt_stall_seconds = 0.;
+    actual_tokens = o.actual_tokens;
+    padded_tokens = o.padded_tokens;
+    cache = o.cache;
+    queue_depth_sum = o.queue_depth_sum;
+    queue_samples = o.queue_samples;
+    retries = o.requeues;
+    crashes = o.crashes;
+    injected_faults = o.injected_faults;
+  }
+
+type active = {
+  a_tg : Tenant.tagged;
+  mutable a_remaining : int;
+  mutable a_kv : int;
+  mutable a_prefill : int;
+  mutable a_first : float;
+}
+
+type slot = {
+  sl_idx : int;
+  mutable sl_active : bool;
+  mutable sl_clock : float;
+  mutable sl_act : active list;
+  mutable sl_cache : unit Shape_cache.t;
+  mutable sl_step : int;  (* monotone per slot: the fault-draw key *)
+  mutable sl_down_until : float;
+  mutable sl_spawned : float;
+}
+
+(* Event kinds in tie priority order: a crash preempts the arrival it
+   races, arrivals land before the background planes run, and the
+   replica step goes last so it sees the freshest queue — all fixed, so
+   the interleaving is deterministic. *)
+let prio_crash = 0
+
+let prio_arrival = 1
+
+let prio_refresh = 2
+
+let prio_scale = 3
+
+let prio_step = 4
+
+let run ?(faults = Plan.none) config engine trace =
+  validate config;
+  let max_slots =
+    match config.autoscale with
+    | Some a -> max config.replicas a.Autoscaler.max_replicas
+    | None -> config.replicas
+  in
+  let init_active =
+    match config.autoscale with
+    | Some a ->
+      max a.Autoscaler.min_replicas
+        (min config.replicas a.Autoscaler.max_replicas)
+    | None -> config.replicas
+  in
+  let slots =
+    Array.init max_slots (fun i ->
+        {
+          sl_idx = i;
+          sl_active = i < init_active;
+          sl_clock = 0.;
+          sl_act = [];
+          sl_cache = Shape_cache.create ~capacity:config.cache_capacity;
+          sl_step = 0;
+          sl_down_until = 0.;
+          sl_spawned = 0.;
+        })
+  in
+  Tm.Metrics.gauge_add g_replicas (float_of_int init_active);
+  let q = Wfq.create () in
+  let learner =
+    match config.warm with
+    | Some w -> Some (Learner.create ~half_life:w.warm_half_life ())
+    | None -> None
+  in
+  let warm_store =
+    match config.warm with
+    | Some w -> Some (Shape_cache.create ~capacity:w.warm_capacity)
+    | None -> None
+  in
+  (* Coalescing affinity: which slot last led a group for a signature.
+     A signature stays sticky to its owner until the owner retires or a
+     head request ages past [steal_age] — then the stealing slot claims
+     it. *)
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let pending =
+    ref
+      (List.stable_sort
+         (fun (a : Tenant.tagged) (b : Tenant.tagged) ->
+           Request.compare_arrival a.Tenant.req b.Tenant.req)
+         trace)
+  in
+  let completed = ref [] in
+  let dropped = ref [] in
+  let steps = ref 0 in
+  let stall_total = ref 0. in
+  let actual_tokens = ref 0 in
+  let padded_tokens = ref 0 in
+  let qsum = ref 0 in
+  let qsamples = ref 0 in
+  let makespan = ref 0. in
+  let crash_count = ref 0 in
+  let injected = ref 0 in
+  let requeues = ref 0 in
+  let warm_hits = ref 0 in
+  let warm_compiles = ref 0 in
+  let warm_bg_clock = ref 0. in
+  let warm_bg_seconds = ref 0. in
+  let coalesced_groups = ref 0 in
+  let scale_ups = ref 0 in
+  let scale_downs = ref 0 in
+  let retired_caches = ref [] in
+  let replica_acc = ref 0. in
+  let peak = ref init_active in
+  let met_count = ref 0 in
+  let resolved = ref 0 in
+  let crashes_left = ref faults.Plan.crashes in
+  let next_refresh =
+    ref (match config.warm with Some w -> w.warm_interval | None -> infinity)
+  in
+  let next_tick =
+    ref
+      (match config.autoscale with
+      | Some a -> a.Autoscaler.interval
+      | None -> infinity)
+  in
+  let last_change = ref 0. in
+  let signature tg =
+    Bucketing.bucket config.bucketing tg.Tenant.req.Request.prompt_len
+  in
+  let owner_of s =
+    match Hashtbl.find_opt owner s with
+    | Some i when slots.(i).sl_active -> Some i
+    | _ -> None
+  in
+  (* Policy-aging instant for a queued request, mirroring the
+     [Batcher] predicates over the fleet-wide queue: a Timeout batcher
+     holds a request back for its window unless the shared queue alone
+     can fill the batch. *)
+  let aged_time in_flight tg =
+    let arrival = tg.Tenant.req.Request.arrival in
+    match config.batcher with
+    | Batcher.Greedy _ | Batcher.Slo_aware _ -> arrival
+    | Batcher.Timeout { window; max_batch } ->
+      if Wfq.length q + in_flight >= max_batch then arrival
+      else arrival +. window
+  in
+  (* Earliest instant slot [r] may take this request as a group leader.
+     Affinity never un-work-conserves the fleet: a busy or down owner is
+     stolen from immediately (its cache locality is moot — it cannot
+     serve now, and the warm store shares programs anyway); only an
+     idle, live owner — which is about to take the request itself — is
+     deferred to, and at most until the request ages past [steal_age].
+     Owner state is read at evaluation time; the event loop recomputes
+     slot wake-ups every iteration, so the answer is always current. *)
+  let affinity_time r in_flight tg =
+    let aged = aged_time in_flight tg in
+    if not config.coalesce then aged
+    else
+      match owner_of (signature tg) with
+      | None -> aged
+      | Some i when i = r.sl_idx -> aged
+      | Some i ->
+        let o = slots.(i) in
+        if o.sl_act <> [] || o.sl_down_until > aged then aged
+        else Float.max aged (tg.Tenant.req.Request.arrival +. config.steal_age)
+  in
+  let slot_next_time r =
+    if not r.sl_active then None
+    else
+      let base = Float.max r.sl_clock r.sl_down_until in
+      if r.sl_act <> [] then Some base
+      else if Wfq.is_empty q then None
+      else begin
+        let earliest =
+          List.fold_left
+            (fun acc tg -> Float.min acc (affinity_time r 0 tg))
+            infinity (Wfq.to_list q)
+        in
+        Some (Float.max base earliest)
+      end
+  in
+  let active_slots () =
+    Array.to_list slots |> List.filter (fun r -> r.sl_active)
+  in
+  let work_remains () =
+    !pending <> []
+    || (not (Wfq.is_empty q))
+    || Array.exists (fun r -> r.sl_active && r.sl_act <> []) slots
+  in
+  let resolve_drop (req : Request.t) =
+    dropped := !dropped @ [ req ];
+    incr resolved;
+    Tm.Metrics.incr m_dropped
+  in
+  let do_crash target ~now =
+    match active_slots () with
+    | [] -> ()
+    | actives ->
+      let r = List.nth actives (target mod List.length actives) in
+      incr crash_count;
+      incr injected;
+      Tm.Metrics.incr m_crashes;
+      (* In-flight work bounces back to the front of its tenants' lanes
+         uncharged — progress (tokens, KV) is lost with the process, but
+         the requests are not. *)
+      requeues := !requeues + List.length r.sl_act;
+      List.iter
+        (fun a -> Wfq.push_front q a.a_tg)
+        (List.rev r.sl_act);
+      r.sl_act <- [];
+      retired_caches := Shape_cache.stats r.sl_cache :: !retired_caches;
+      r.sl_cache <- Shape_cache.create ~capacity:config.cache_capacity;
+      r.sl_down_until <- now +. faults.Plan.restart_delay;
+      r.sl_clock <- Float.max r.sl_clock r.sl_down_until;
+      makespan := Float.max !makespan r.sl_down_until
+  in
+  let do_refresh w ~now =
+    match (learner, warm_store) with
+    | Some l, Some ws ->
+      List.iter
+        (fun (signature, _) ->
+          List.iter
+            (fun (shape, _) ->
+              if not (Shape_cache.mem ws shape) then begin
+                (* One background worker compiles serially, off every
+                   replica's critical path; the program only becomes
+                   warm once its compile finishes on that clock. *)
+                let c = engine.Sch.compile_seconds shape in
+                warm_bg_clock := Float.max !warm_bg_clock now +. c;
+                warm_bg_seconds := !warm_bg_seconds +. c;
+                Shape_cache.add ws shape !warm_bg_clock;
+                incr warm_compiles;
+                Tm.Metrics.incr m_warm_compiles
+              end)
+            (engine.Sch.step_shapes ~tokens:signature))
+        (Learner.top_k l ~now ~k:w.warm_top_k)
+    | _ -> ()
+  in
+  let spawn ~now =
+    let rec find i =
+      if i >= max_slots then None
+      else if not slots.(i).sl_active then Some slots.(i)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> false
+    | Some r ->
+      r.sl_active <- true;
+      r.sl_spawned <- now;
+      r.sl_clock <- now;
+      r.sl_down_until <- 0.;
+      r.sl_cache <- Shape_cache.create ~capacity:config.cache_capacity;
+      incr scale_ups;
+      Tm.Metrics.incr m_scale_ups;
+      Tm.Metrics.gauge_add g_replicas 1.;
+      peak := max !peak (List.length (active_slots ()));
+      true
+  in
+  let retire ~now =
+    (* Retire the youngest idle, healthy replica; if every replica is
+       busy or down, hold — never kill in-flight work for efficiency. *)
+    let candidates =
+      List.filter
+        (fun r -> r.sl_act = [] && r.sl_down_until <= now)
+        (active_slots ())
+    in
+    match List.rev candidates with
+    | [] -> false
+    | r :: _ ->
+      r.sl_active <- false;
+      replica_acc := !replica_acc +. (now -. r.sl_spawned);
+      retired_caches := Shape_cache.stats r.sl_cache :: !retired_caches;
+      r.sl_cache <- Shape_cache.create ~capacity:config.cache_capacity;
+      incr scale_downs;
+      Tm.Metrics.incr m_scale_downs;
+      Tm.Metrics.gauge_add g_replicas (-1.);
+      true
+  in
+  let do_tick a ~now =
+    let live, down =
+      List.partition (fun r -> r.sl_down_until <= now) (active_slots ())
+    in
+    let n_live = max 1 (List.length live) in
+    let signal =
+      {
+        Autoscaler.queue_depth =
+          float_of_int (Wfq.length q) /. float_of_int n_live;
+        slo_attainment =
+          (if !resolved = 0 then 1.
+           else float_of_int !met_count /. float_of_int !resolved);
+        stall_ratio =
+          (if now <= 0. then 0.
+           else !stall_total /. (now *. float_of_int n_live));
+        live_replicas = List.length live;
+        down_replicas = List.length down;
+      }
+    in
+    match Autoscaler.decide a ~last_change:!last_change ~now signal with
+    | Autoscaler.Hold -> ()
+    | Autoscaler.Scale_up -> if spawn ~now then last_change := now
+    | Autoscaler.Scale_down -> if retire ~now then last_change := now
+  in
+  let do_step r ~now =
+    (* Admission: pull an offer from the fleet queue in WFQ order (the
+       first grant is affinity-restricted when coalescing), then let the
+       Batcher policy rule on it. By construction the offer is already
+       policy-eligible, so the batcher admits or sheds — a deferral
+       would only mean the fleet-level aging predicate and the batcher
+       disagreed, and then the request simply returns to its lane. *)
+    let in_flight = List.length r.sl_act in
+    let cap = Batcher.max_batch config.batcher - in_flight in
+    let offer =
+      if cap <= 0 || Wfq.is_empty q then []
+      else
+        Wfq.take q ~max:cap
+          ~eligible:(fun tg -> aged_time in_flight tg <= now)
+          ~first:(fun tg -> affinity_time r in_flight tg <= now)
+          ~group:(fun leader tg ->
+            (not config.coalesce) || signature leader = signature tg)
+          ()
+    in
+    let tagged_of =
+      let table = Hashtbl.create 8 in
+      List.iter
+        (fun tg -> Hashtbl.replace table tg.Tenant.req.Request.id tg)
+        offer;
+      fun (req : Request.t) -> Hashtbl.find table req.Request.id
+    in
+    let d =
+      Batcher.admit config.batcher ~now ~in_flight
+        ~waiting:(List.map (fun tg -> tg.Tenant.req) offer)
+    in
+    List.iter
+      (fun req -> Wfq.push_front q (tagged_of req))
+      (List.rev d.Batcher.deferred);
+    List.iter resolve_drop d.Batcher.dropped;
+    (match offer with
+    | leader :: _ when config.coalesce ->
+      let s = signature leader in
+      Hashtbl.replace owner s r.sl_idx;
+      if
+        List.length offer > 1
+        && List.for_all (fun tg -> signature tg = s) offer
+      then incr coalesced_groups
+    | _ -> ());
+    r.sl_act <-
+      r.sl_act
+      @ List.map
+          (fun (req : Request.t) ->
+            let tg = tagged_of req in
+            {
+              a_tg = tg;
+              a_remaining = req.Request.output_len;
+              a_kv = 0;
+              a_prefill = req.Request.prompt_len;
+              a_first = nan;
+            })
+          d.Batcher.admitted;
+    if r.sl_act = [] then
+      (* SLO shedding may have emptied the offer; otherwise nudge the
+         clock so an admit-nothing policy step cannot livelock. *)
+      r.sl_clock <- (if d.Batcher.dropped <> [] then now else now +. 1e-6)
+    else begin
+      incr qsamples;
+      qsum := !qsum + Wfq.length q;
+      let tokens =
+        List.fold_left
+          (fun acc a -> acc + if a.a_prefill > 0 then a.a_prefill else 1)
+          0 r.sl_act
+      in
+      let kv_tokens = List.fold_left (fun acc a -> acc + a.a_kv) 0 r.sl_act in
+      (* Coalesced batches pad each member to its own bucket, so a group
+         of k same-signature prefills runs the k x bucket polymerized
+         program exactly — the step shape repeats whenever the same
+         group composition recurs, instead of chasing the bucket of an
+         arbitrary mixed sum. Uncoalesced admission keeps the
+         scheduler's bucket-of-the-sum model. *)
+      let btokens =
+        if config.coalesce then
+          List.fold_left
+            (fun acc a ->
+              acc
+              + if a.a_prefill > 0 then
+                  Bucketing.bucket config.bucketing a.a_prefill
+                else 1)
+            0 r.sl_act
+        else Bucketing.bucket config.bucketing tokens
+      in
+      actual_tokens := !actual_tokens + tokens;
+      padded_tokens := !padded_tokens + btokens;
+      (* Program lookup ladder: replica cache, then the fleet-shared
+         warm store (stall-free if its background compile finished by
+         [now]), then an on-path compile that stalls this step — and
+         publishes the program fleet-wide, so no other replica ever
+         compiles this shape again. *)
+      let stall = ref 0. in
+      (* Coalesced batches launch the *bucket's* polymerized program per
+         member — k same-signature prefills reuse one compiled program
+         whatever k is (the runtime glues k micro-kernel instances), so
+         the compile key is the bucket, never the k x bucket product.
+         Uncoalesced batches compile for the bucket of the mixed sum,
+         like the baseline scheduler. *)
+      let launch_shapes =
+        if config.coalesce then begin
+          let prefills = List.filter (fun a -> a.a_prefill > 0) r.sl_act in
+          let decodes = List.length r.sl_act - List.length prefills in
+          let buckets =
+            List.sort_uniq compare
+              (List.map
+                 (fun a -> Bucketing.bucket config.bucketing a.a_prefill)
+                 prefills)
+          in
+          List.concat_map
+            (fun b -> engine.Sch.step_shapes ~tokens:b)
+            buckets
+          @ (if decodes > 0 then
+               engine.Sch.step_shapes
+                 ~tokens:(Bucketing.bucket config.bucketing decodes)
+             else [])
+        end
+        else engine.Sch.step_shapes ~tokens:btokens
+      in
+      List.iter
+        (fun (shape, launches) ->
+          for _ = 1 to launches do
+            match Shape_cache.find r.sl_cache shape with
+            | Some () -> ()
+            | None -> (
+              let warm_ready =
+                match warm_store with
+                | Some ws -> (
+                  match Shape_cache.find ws shape with
+                  | Some ready when ready <= now -> true
+                  | _ -> false)
+                | None -> false
+              in
+              if warm_ready then begin
+                incr warm_hits;
+                Tm.Metrics.incr m_warm_hits;
+                Shape_cache.add r.sl_cache shape ()
+              end
+              else begin
+                let c = engine.Sch.compile_seconds shape in
+                stall := !stall +. c;
+                Shape_cache.add r.sl_cache shape ();
+                match warm_store with
+                | Some ws -> Shape_cache.add ws shape (now +. !stall)
+                | None -> ()
+              end)
+          done)
+        launch_shapes;
+      let step_idx = r.sl_step in
+      r.sl_step <- r.sl_step + 1;
+      let slowdown = Plan.step_slowdown faults ~replica:r.sl_idx ~step:step_idx in
+      if slowdown > 1. then incr injected;
+      let dt =
+        (engine.Sch.step_seconds ~tokens:btokens ~kv_tokens +. !stall)
+        *. slowdown
+      in
+      stall_total := !stall_total +. !stall;
+      Tm.Metrics.incr m_steps;
+      let fin = now +. dt in
+      if Plan.step_fails faults ~replica:r.sl_idx ~step:step_idx then begin
+        (* Transient step fault: device time elapses, the step's work is
+           lost, and the batch bounces back to its lanes for a fresh
+           attempt (progress restarts, like a crash). *)
+        incr injected;
+        requeues := !requeues + List.length r.sl_act;
+        List.iter (fun a -> Wfq.push_front q a.a_tg) (List.rev r.sl_act);
+        r.sl_act <- []
+      end
+      else
+        r.sl_act <-
+          List.filter
+            (fun a ->
+              if a.a_prefill > 0 then begin
+                a.a_kv <- a.a_prefill;
+                a.a_prefill <- 0;
+                true
+              end
+              else begin
+                a.a_kv <- a.a_kv + 1;
+                a.a_remaining <- a.a_remaining - 1;
+                if Float.is_nan a.a_first then a.a_first <- fin;
+                if a.a_remaining = 0 then begin
+                  let c =
+                    {
+                      Sch.request = a.a_tg.Tenant.req;
+                      first_token = a.a_first;
+                      finish = fin;
+                      replica = r.sl_idx;
+                    }
+                  in
+                  completed := c :: !completed;
+                  incr resolved;
+                  if slo_met c then incr met_count;
+                  Tm.Metrics.incr m_completed;
+                  false
+                end
+                else true
+              end)
+            r.sl_act;
+      r.sl_clock <- fin;
+      makespan := Float.max !makespan fin;
+      incr steps
+    end
+  in
+  let rec loop () =
+    let best = ref None in
+    let consider time prio payload =
+      match !best with
+      | Some (bt, bp, _) when bt < time || (bt = time && bp <= prio) -> ()
+      | _ -> best := Some (time, prio, payload)
+    in
+    (match !crashes_left with
+    | (t, i) :: _ -> consider t prio_crash (`Crash i)
+    | [] -> ());
+    (match !pending with
+    | tg :: _ -> consider tg.Tenant.req.Request.arrival prio_arrival `Arrival
+    | [] -> ());
+    if work_remains () then begin
+      (match config.warm with
+      | Some w -> consider !next_refresh prio_refresh (`Refresh w)
+      | None -> ());
+      match config.autoscale with
+      | Some a -> consider !next_tick prio_scale (`Tick a)
+      | None -> ()
+    end;
+    Array.iter
+      (fun r ->
+        match slot_next_time r with
+        | Some t -> consider t prio_step (`Step r)
+        | None -> ())
+      slots;
+    match !best with
+    | None -> ()
+    | Some (t, _, payload) ->
+      (match payload with
+      | `Crash i ->
+        crashes_left := List.tl !crashes_left;
+        do_crash i ~now:t
+      | `Arrival ->
+        let tg = List.hd !pending in
+        pending := List.tl !pending;
+        (match learner with
+        | Some l ->
+          Learner.observe l ~now:t
+            ~tenant:tg.Tenant.tenant.Tenant.tenant_id
+            ~signature:(signature tg)
+            ~weight:
+              (float_of_int (Tenant.weight tg.Tenant.tenant.Tenant.tier))
+        | None -> ());
+        Wfq.push q tg
+      | `Refresh w ->
+        do_refresh w ~now:t;
+        next_refresh := !next_refresh +. w.warm_interval
+      | `Tick a ->
+        do_tick a ~now:t;
+        next_tick := !next_tick +. a.Autoscaler.interval
+      | `Step r -> do_step r ~now:t);
+      loop ()
+  in
+  loop ();
+  let replica_seconds =
+    !replica_acc
+    +. List.fold_left
+         (fun acc r -> acc +. Float.max 0. (!makespan -. r.sl_spawned))
+         0. (active_slots ())
+  in
+  Tm.Metrics.gauge_add g_replicas
+    (-.float_of_int (List.length (active_slots ())));
+  let tenant_of = Tenant.lookup trace in
+  let tiers =
+    List.map
+      (fun tier ->
+        let of_tier id = (tenant_of id).Tenant.tier = tier in
+        let reqs =
+          List.length
+            (List.filter
+               (fun (tg : Tenant.tagged) ->
+                 tg.Tenant.tenant.Tenant.tier = tier)
+               trace)
+        in
+        let comps =
+          List.filter
+            (fun (c : Sch.completed) -> of_tier c.Sch.request.Request.id)
+            !completed
+        in
+        let met = List.length (List.filter slo_met comps) in
+        {
+          tm_tier = tier;
+          tm_requests = reqs;
+          tm_completed = List.length comps;
+          tm_slo_met = met;
+          tm_attainment =
+            (if reqs = 0 then 1.
+             else float_of_int met /. float_of_int reqs);
+        })
+      Tenant.tiers
+  in
+  {
+    completed = List.rev !completed;
+    dropped = !dropped;
+    steps = !steps;
+    makespan = !makespan;
+    compile_stall_seconds = !stall_total;
+    actual_tokens = !actual_tokens;
+    padded_tokens = !padded_tokens;
+    cache =
+      (Array.to_list slots
+      |> List.filter (fun r -> r.sl_active)
+      |> List.map (fun r -> Shape_cache.stats r.sl_cache))
+      @ List.rev !retired_caches;
+    warm_stats = Option.map Shape_cache.stats warm_store;
+    warm_hits = !warm_hits;
+    warm_compiles = !warm_compiles;
+    warm_background_seconds = !warm_bg_seconds;
+    coalesced_groups = !coalesced_groups;
+    queue_depth_sum = !qsum;
+    queue_samples = !qsamples;
+    crashes = !crash_count;
+    injected_faults = !injected;
+    requeues = !requeues;
+    scale_ups = !scale_ups;
+    scale_downs = !scale_downs;
+    peak_replicas = !peak;
+    replica_seconds;
+    lanes = Wfq.stats q;
+    tiers;
+  }

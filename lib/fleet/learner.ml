@@ -1,0 +1,62 @@
+(* Decayed histogram of observed shape signatures, per tenant. Mass
+   decays exponentially with the event clock (half-life semantics), so
+   the top-K reflects the *live* shape distribution: a tenant that
+   stopped sending 4k-token prompts an hour ago stops pinning that
+   bucket's programs in the warm store. *)
+
+type cell = {
+  mutable mass : float;
+  mutable last : float;
+}
+
+type t = {
+  half_life : float;
+  cells : (int * int, cell) Hashtbl.t;  (* (tenant_id, signature) *)
+}
+
+let create ?(half_life = 1.0) () =
+  if half_life <= 0. then invalid_arg "Learner.create: half_life must be > 0";
+  { half_life; cells = Hashtbl.create 64 }
+
+let decay t cell ~now =
+  if now > cell.last then begin
+    cell.mass <- cell.mass *. (0.5 ** ((now -. cell.last) /. t.half_life));
+    cell.last <- now
+  end
+
+let observe t ~now ~tenant ~signature ~weight =
+  if weight < 0. then invalid_arg "Learner.observe: negative weight";
+  let key = (tenant, signature) in
+  let cell =
+    match Hashtbl.find_opt t.cells key with
+    | Some c -> c
+    | None ->
+      let c = { mass = 0.; last = now } in
+      Hashtbl.replace t.cells key c;
+      c
+  in
+  decay t cell ~now;
+  cell.mass <- cell.mass +. weight
+
+(* Merge across tenants: decayed mass summed per signature, ranked
+   descending with ties to the smaller signature — hash order never
+   leaks into the ranking. *)
+let top_k t ~now ~k =
+  if k < 0 then invalid_arg "Learner.top_k: negative k";
+  let merged = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (_, signature) cell ->
+      decay t cell ~now;
+      let prev =
+        Option.value (Hashtbl.find_opt merged signature) ~default:0.
+      in
+      Hashtbl.replace merged signature (prev +. cell.mass))
+    t.cells;
+  Hashtbl.fold (fun signature mass acc -> (signature, mass) :: acc) merged []
+  |> List.sort (fun (s1, m1) (s2, m2) ->
+         match compare m2 m1 with 0 -> compare s1 s2 | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+
+let signatures t =
+  Hashtbl.fold (fun (_, s) _ acc -> s :: acc) t.cells []
+  |> List.sort_uniq compare

@@ -1,0 +1,27 @@
+(** Online bucket learner: a decayed histogram of observed shape
+    signatures per tenant.
+
+    The fleet observes every arrival's bucketed shape signature and
+    periodically asks for the top-K signatures by decayed mass; the warm
+    store precompiles those buckets off the request critical path. Mass
+    halves every [half_life] event-clock seconds, so the ranking tracks
+    the live distribution rather than the whole history. Fully
+    deterministic: ranking ties go to the smaller signature, never to
+    hash order. *)
+
+type t
+
+val create : ?half_life:float -> unit -> t
+(** [half_life] in event-clock seconds (default 1.0, must be > 0). *)
+
+val observe : t -> now:float -> tenant:int -> signature:int -> weight:float -> unit
+(** Add [weight] mass (typically the tenant's tier weight, so paid
+    traffic steers the warm store harder) to [(tenant, signature)] at
+    event time [now]. *)
+
+val top_k : t -> now:float -> k:int -> (int * float) list
+(** Signatures ranked by decayed mass summed across tenants, largest
+    first, at most [k]; ties break to the smaller signature. *)
+
+val signatures : t -> int list
+(** Every signature ever observed, ascending — for reports. *)

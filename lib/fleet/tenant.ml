@@ -1,0 +1,77 @@
+module Request = Mikpoly_serve.Request
+
+type tier = Gold | Silver | Best_effort
+
+let tier_name = function
+  | Gold -> "gold"
+  | Silver -> "silver"
+  | Best_effort -> "best-effort"
+
+let weight = function Gold -> 4 | Silver -> 2 | Best_effort -> 1
+
+let tiers = [ Gold; Silver; Best_effort ]
+
+type t = {
+  tenant_id : int;
+  tenant_name : string;
+  tier : tier;
+}
+
+type tagged = {
+  req : Request.t;
+  tenant : t;
+}
+
+let compare_by_id a b = compare a.tenant_id b.tenant_id
+
+type spec = {
+  tenant : t;
+  rate : float;
+  count : int;
+}
+
+let requests tagged = List.map (fun tg -> tg.req) tagged
+
+(* Merge per-tenant Poisson streams into one fleet trace. Each tenant
+   draws from its own seed-derived PRNG stream, so adding or resizing
+   one tenant never perturbs another's arrivals; the merge re-identifies
+   requests so ids are unique fleet-wide (the scheduler keys per-request
+   state on them). *)
+let trace ?length_dist ?ttft_budget ?tpot_budget ~seed ~max_prompt ~max_output
+    specs () =
+  let ids = List.map (fun s -> s.tenant.tenant_id) specs in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Tenant.trace: duplicate tenant ids";
+  List.iter
+    (fun s ->
+      if s.tenant.tenant_id < 0 then
+        invalid_arg "Tenant.trace: tenant ids must be non-negative")
+    specs;
+  let streams =
+    List.map
+      (fun s ->
+        let tseed = seed + (0x9E3779B9 * (s.tenant.tenant_id + 1)) in
+        List.map
+          (fun r -> { req = r; tenant = s.tenant })
+          (Request.poisson ?length_dist ?ttft_budget ?tpot_budget
+             ~seed:(abs tseed) ~rate:s.rate ~count:s.count ~max_prompt
+             ~max_output ()))
+      specs
+  in
+  List.concat streams
+  |> List.stable_sort (fun a b ->
+         match compare a.req.Request.arrival b.req.Request.arrival with
+         | 0 -> (
+           match compare_by_id a.tenant b.tenant with
+           | 0 -> compare a.req.Request.id b.req.Request.id
+           | c -> c)
+         | c -> c)
+  |> List.mapi (fun i tg -> { tg with req = { tg.req with Request.id = i } })
+
+let lookup tagged =
+  let table = Hashtbl.create (List.length tagged) in
+  List.iter (fun tg -> Hashtbl.replace table tg.req.Request.id tg.tenant) tagged;
+  fun id ->
+    match Hashtbl.find_opt table id with
+    | Some t -> t
+    | None -> invalid_arg "Tenant.lookup: unknown request id"

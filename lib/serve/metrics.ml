@@ -97,14 +97,58 @@ let of_outcome (o : Scheduler.outcome) =
     steps = o.steps;
   }
 
+let pc x = Printf.sprintf "%.0f%%" (100. *. x)
+
+(* Per-replica program-cache economics, surfaced in the human-readable
+   serve report (previously only visible as telemetry counters or in a
+   Chrome trace). The scheduler lists live replicas first, then one
+   entry per cache retired by a crash, so hits and misses paid before a
+   crash stay accounted; the final rows total the fleet and restate the
+   run's compile/adapt stall charges. *)
+let cache_table ?(replicas = max_int) (o : Scheduler.outcome) =
+  let table =
+    Table.create ~title:"Per-replica program cache and compile stalls"
+      ~header:
+        [ "replica"; "hits"; "misses"; "hit%"; "insert"; "evict"; "size" ]
+  in
+  let stat_row label (s : Shape_cache.stats) =
+    Table.add_row table
+      [
+        label;
+        string_of_int s.Shape_cache.hits;
+        string_of_int s.Shape_cache.misses;
+        pc (Shape_cache.hit_rate s);
+        string_of_int s.Shape_cache.insertions;
+        string_of_int s.Shape_cache.evictions;
+        Printf.sprintf "%d/%d" s.Shape_cache.size s.Shape_cache.capacity;
+      ]
+  in
+  List.iteri
+    (fun i s ->
+      stat_row
+        (if i < replicas then string_of_int i
+         else Printf.sprintf "crashed-%d" (i - replicas))
+        s)
+    o.Scheduler.cache;
+  stat_row "total" (Shape_cache.total o.Scheduler.cache);
+  Table.add_row table
+    [
+      "stall";
+      "compile";
+      Table.fmt_time_us o.Scheduler.compile_stall_seconds;
+      "";
+      "adapt";
+      Table.fmt_time_us o.Scheduler.adapt_stall_seconds;
+      "";
+    ];
+  table
+
 let header =
   [
     "config"; "req"; "done"; "drop"; "lost"; "retry"; "p50"; "p95"; "p99";
     "ttft p95"; "tpot"; "goodput/s"; "SLO%"; "hit%"; "stall"; "adapt"; "pad%";
     "queue";
   ]
-
-let pc x = Printf.sprintf "%.0f%%" (100. *. x)
 
 let to_row ~label m =
   [

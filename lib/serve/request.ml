@@ -11,6 +11,23 @@ type t = {
   slo : slo;
 }
 
+type length_dist =
+  | Log_uniform
+  | Pareto of { alpha : float }
+  | Log_normal of { sigma : float }
+
+let dist_name = function
+  | Log_uniform -> "log-uniform"
+  | Pareto { alpha } -> Printf.sprintf "pareto-%g" alpha
+  | Log_normal { sigma } -> Printf.sprintf "lognormal-%g" sigma
+
+let validate_dist = function
+  | Log_uniform -> ()
+  | Pareto { alpha } ->
+    if alpha <= 0. then invalid_arg "Request: Pareto alpha must be positive"
+  | Log_normal { sigma } ->
+    if sigma <= 0. then invalid_arg "Request: Log_normal sigma must be positive"
+
 let compare_arrival a b =
   match compare a.arrival b.arrival with 0 -> compare a.id b.id | c -> c
 
@@ -27,9 +44,31 @@ let exponential rng ~rate =
   let u = Mikpoly_util.Prng.float rng 1.0 in
   -.log (1. -. u) /. rate
 
-let draw rng ?ttft_budget ?tpot_budget ~id ~arrival ~max_prompt ~max_output () =
-  let prompt_len = Mikpoly_util.Prng.log_int_in rng 1 max_prompt in
-  let output_len = Mikpoly_util.Prng.log_int_in rng 1 max_output in
+(* Draw a length in [1, hi] under the chosen tail. All three draws
+   consume a bounded, distribution-dependent number of PRNG values, so
+   traces remain bit-reproducible per seed. *)
+let length_in rng dist hi =
+  match dist with
+  | Log_uniform -> Mikpoly_util.Prng.log_int_in rng 1 hi
+  | Pareto { alpha } ->
+    (* Inverse-CDF Pareto with x_min = 1: the classic heavy tail. [u] is
+       in [0, 1), so [1 - u] is in (0, 1] and the power is finite. *)
+    let u = Mikpoly_util.Prng.float rng 1.0 in
+    let v = (1. -. u) ** (-1. /. alpha) in
+    max 1 (min hi (int_of_float v))
+  | Log_normal { sigma } ->
+    (* Box–Muller on two draws; the median sits near the low end (x_min
+       = 1) like Pareto, with sigma widening the tail. *)
+    let u1 = Mikpoly_util.Prng.float rng 1.0 in
+    let u2 = Mikpoly_util.Prng.float rng 1.0 in
+    let z = sqrt (-2. *. log (1. -. u1)) *. cos (2. *. Float.pi *. u2) in
+    let v = exp (sigma *. z) in
+    max 1 (min hi (int_of_float v))
+
+let draw rng ?(length_dist = Log_uniform) ?ttft_budget ?tpot_budget ~id ~arrival
+    ~max_prompt ~max_output () =
+  let prompt_len = length_in rng length_dist max_prompt in
+  let output_len = length_in rng length_dist max_output in
   {
     id;
     arrival;
@@ -43,23 +82,26 @@ let check_lengths ~count ~max_prompt ~max_output =
   if max_prompt < 1 || max_output < 1 then
     invalid_arg "Request: max_prompt and max_output must be >= 1"
 
-let poisson ?ttft_budget ?tpot_budget ~seed ~rate ~count ~max_prompt ~max_output () =
+let poisson ?(length_dist = Log_uniform) ?ttft_budget ?tpot_budget ~seed ~rate
+    ~count ~max_prompt ~max_output () =
   if rate <= 0. then invalid_arg "Request.poisson: rate must be positive";
   check_lengths ~count ~max_prompt ~max_output;
+  validate_dist length_dist;
   let rng = Mikpoly_util.Prng.create seed in
   let clock = ref 0. in
   List.init count (fun id ->
       clock := !clock +. exponential rng ~rate;
-      draw rng ?ttft_budget ?tpot_budget ~id ~arrival:!clock ~max_prompt
-        ~max_output ())
+      draw rng ~length_dist ?ttft_budget ?tpot_budget ~id ~arrival:!clock
+        ~max_prompt ~max_output ())
 
-let bursty ?ttft_budget ?tpot_budget ~seed ~base_rate ~burst_rate ~period ~duty
-    ~count ~max_prompt ~max_output () =
+let bursty ?(length_dist = Log_uniform) ?ttft_budget ?tpot_budget ~seed
+    ~base_rate ~burst_rate ~period ~duty ~count ~max_prompt ~max_output () =
   if base_rate <= 0. || burst_rate <= 0. then
     invalid_arg "Request.bursty: rates must be positive";
   if period <= 0. || duty <= 0. || duty > 1. then
     invalid_arg "Request.bursty: need period > 0 and 0 < duty <= 1";
   check_lengths ~count ~max_prompt ~max_output;
+  validate_dist length_dist;
   let rng = Mikpoly_util.Prng.create seed in
   let rate_at t =
     let phase = Float.rem t period in
@@ -68,5 +110,5 @@ let bursty ?ttft_budget ?tpot_budget ~seed ~base_rate ~burst_rate ~period ~duty
   let clock = ref 0. in
   List.init count (fun id ->
       clock := !clock +. exponential rng ~rate:(rate_at !clock);
-      draw rng ?ttft_budget ?tpot_budget ~id ~arrival:!clock ~max_prompt
-        ~max_output ())
+      draw rng ~length_dist ?ttft_budget ?tpot_budget ~id ~arrival:!clock
+        ~max_prompt ~max_output ())

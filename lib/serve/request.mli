@@ -19,6 +19,22 @@ type t = {
   slo : slo;
 }
 
+(** Prompt/output length distribution for generated traces. All three
+    draw in [\[1, max\]] from the trace's PRNG stream, so traces stay
+    bit-reproducible per seed.
+
+    - [Log_uniform]: the original moderate skew;
+    - [Pareto]: power-law tail with x_min = 1 — a small [alpha]
+      (e.g. 1.1) produces the heavy tail of real multi-tenant traffic,
+      where a few huge prompts dominate token work;
+    - [Log_normal]: median near 1, [sigma] widening the tail. *)
+type length_dist =
+  | Log_uniform
+  | Pareto of { alpha : float }  (** requires [alpha > 0] *)
+  | Log_normal of { sigma : float }  (** requires [sigma > 0] *)
+
+val dist_name : length_dist -> string
+
 val compare_arrival : t -> t -> int
 (** Order by arrival time, ties broken by id (total and deterministic). *)
 
@@ -34,16 +50,17 @@ val slo_for : ?ttft_budget:float -> ?tpot_budget:float -> output_len:int -> unit
     deadline — longer generations get proportionally longer deadlines. *)
 
 val poisson :
-  ?ttft_budget:float -> ?tpot_budget:float -> seed:int -> rate:float ->
-  count:int -> max_prompt:int -> max_output:int -> unit -> t list
+  ?length_dist:length_dist -> ?ttft_budget:float -> ?tpot_budget:float ->
+  seed:int -> rate:float -> count:int -> max_prompt:int -> max_output:int ->
+  unit -> t list
 (** [count] requests with exponential inter-arrival times at [rate]
-    requests/second; prompt and output lengths are log-uniform in
-    [\[1, max\]] the way real traffic skews. Sorted by arrival. *)
+    requests/second; prompt and output lengths follow [length_dist]
+    (default [Log_uniform]) in [\[1, max\]]. Sorted by arrival. *)
 
 val bursty :
-  ?ttft_budget:float -> ?tpot_budget:float -> seed:int -> base_rate:float ->
-  burst_rate:float -> period:float -> duty:float -> count:int ->
-  max_prompt:int -> max_output:int -> unit -> t list
+  ?length_dist:length_dist -> ?ttft_budget:float -> ?tpot_budget:float ->
+  seed:int -> base_rate:float -> burst_rate:float -> period:float ->
+  duty:float -> count:int -> max_prompt:int -> max_output:int -> unit -> t list
 (** Piecewise-Poisson arrivals: within every [period] seconds the first
     [duty] fraction runs at [burst_rate], the remainder at [base_rate] —
     the diurnal / thundering-herd pattern serving systems must absorb.

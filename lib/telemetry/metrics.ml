@@ -67,6 +67,15 @@ let gauge ?registry:reg name =
 
 let set g v = Atomic.set g v
 
+(* Lock-free add for gauges tracking a level (queue depth, live
+   replicas): CAS loop so concurrent deltas never lose an update. *)
+let gauge_add g d =
+  let rec retry () =
+    let cur = Atomic.get g in
+    if not (Atomic.compare_and_set g cur (cur +. d)) then retry ()
+  in
+  retry ()
+
 let gauge_value g = Atomic.get g
 
 let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]

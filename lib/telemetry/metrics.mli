@@ -36,6 +36,12 @@ type gauge
 
 val gauge : ?registry:t -> string -> gauge
 val set : gauge -> float -> unit
+
+val gauge_add : gauge -> float -> unit
+(** Atomic relative adjustment (CAS loop) — for gauges tracking a level
+    such as queue depth or live replica count, where concurrent [+1]/[-1]
+    deltas must not lose updates the way a read-modify-[set] would. *)
+
 val gauge_value : gauge -> float
 
 (** {1 Histograms} *)

@@ -1,0 +1,47 @@
+(* Interactive (gold) traffic is steady human-driven load; batch
+   (best-effort) tenants blast their backlog at the highest rate. The
+   tier order is deliberately anti-correlated with burstiness — the
+   fleet must protect gold from OTHER tenants' bursts, not from its
+   own. *)
+type tenant_row = {
+  mix_name : string;
+  mix_tier : string;
+  mix_rate : float;
+  mix_share : float;
+}
+
+let rows =
+  [
+    { mix_name = "interactive"; mix_tier = "gold"; mix_rate = 12.; mix_share = 0.25 };
+    { mix_name = "enterprise"; mix_tier = "silver"; mix_rate = 20.; mix_share = 0.35 };
+    { mix_name = "batch"; mix_tier = "best-effort"; mix_rate = 30.; mix_share = 0.40 };
+  ]
+
+let pareto_alpha = 1.1
+
+(* Largest-remainder apportionment so the per-tenant counts always sum
+   exactly to [total], whatever the shares. *)
+let counts ~total =
+  if total < 0 then invalid_arg "Serving_mix.counts: negative total";
+  let weight = List.fold_left (fun acc r -> acc +. r.mix_share) 0. rows in
+  let quota =
+    List.map
+      (fun r ->
+        let exact = float_of_int total *. r.mix_share /. weight in
+        (r, int_of_float exact, exact -. Float.of_int (int_of_float exact)))
+      rows
+  in
+  let base = List.fold_left (fun acc (_, n, _) -> acc + n) 0 quota in
+  let rest = total - base in
+  let by_remainder =
+    List.mapi (fun i (r, n, frac) -> (i, r, n, frac)) quota
+    |> List.sort (fun (i1, _, _, f1) (i2, _, _, f2) ->
+           match compare f2 f1 with 0 -> compare i1 i2 | c -> c)
+  in
+  let bumped =
+    List.mapi
+      (fun rank (i, r, n, _) -> (i, r, if rank < rest then n + 1 else n))
+      by_remainder
+  in
+  List.sort (fun (i1, _, _) (i2, _, _) -> compare i1 i2) bumped
+  |> List.map (fun (_, r, n) -> (r, n))

@@ -1,0 +1,26 @@
+(** The multi-tenant serving workload mix used by the fleet experiment
+    and bench: three tenants on distinct SLO tiers with heavy-tail
+    (Pareto) prompt lengths — the shape-diverse, priority-diverse
+    traffic a shared dynamic-shape serving fleet actually sees.
+
+    Tiers are named by string so this module stays independent of
+    [lib/fleet] (workloads sit below the serving stack); the fleet
+    experiment maps the names onto its tier type. *)
+
+type tenant_row = {
+  mix_name : string;
+  mix_tier : string;  (** "gold" | "silver" | "best-effort" *)
+  mix_rate : float;  (** Poisson arrival rate, requests/second *)
+  mix_share : float;  (** fraction of the trace's total request count *)
+}
+
+val rows : tenant_row list
+(** Gold first; shares sum to 1. *)
+
+val pareto_alpha : float
+(** Tail index of the prompt-length distribution (heavy-tailed: finite
+    mean, infinite variance at 1.1). *)
+
+val counts : total:int -> (tenant_row * int) list
+(** Split [total] requests across the rows by share
+    (largest-remainder, so the counts sum exactly to [total]). *)

@@ -1,0 +1,479 @@
+(* Unit tests for the multi-tenant fleet: tenant traces, weighted fair
+   queueing, the decayed shape-bucket learner, autoscaler hysteresis and
+   fault-plane rules, and the fleet event loop's determinism and
+   request-conservation invariants. *)
+
+open Mikpoly_fleet
+module Request = Mikpoly_serve.Request
+module Batcher = Mikpoly_serve.Batcher
+module Bucketing = Mikpoly_serve.Bucketing
+module Scheduler = Mikpoly_serve.Scheduler
+module Plan = Mikpoly_fault.Plan
+
+let gold = { Tenant.tenant_id = 0; tenant_name = "gold"; tier = Tenant.Gold }
+let silver = { Tenant.tenant_id = 1; tenant_name = "silver"; tier = Tenant.Silver }
+
+let be =
+  { Tenant.tenant_id = 2; tenant_name = "batch"; tier = Tenant.Best_effort }
+
+let req ?(ttft = 0.25) ?(e2e = 2.0) ~id ~arrival ?(prompt = 8) ?(output = 2) () =
+  {
+    Request.id;
+    arrival;
+    prompt_len = prompt;
+    output_len = output;
+    slo = { Request.ttft; e2e };
+  }
+
+let tag tenant r = { Tenant.req = r; tenant }
+
+let specs ?(count = 8) () =
+  [
+    { Tenant.tenant = gold; rate = 40.; count };
+    { Tenant.tenant = silver; rate = 40.; count };
+    { Tenant.tenant = be; rate = 40.; count };
+  ]
+
+let trace ?count () =
+  Tenant.trace ~seed:7 ~max_prompt:64 ~max_output:4 (specs ?count ()) ()
+
+let fleet_config =
+  {
+    Fleet.replicas = 2;
+    batcher = Batcher.Greedy { max_batch = 4 };
+    bucketing = Bucketing.Pow2;
+    cache_capacity = 32;
+    coalesce = false;
+    steal_age = 0.05;
+    warm = None;
+    autoscale = None;
+  }
+
+(* --- Tenant --- *)
+
+let test_trace_deterministic () =
+  let t1 = trace () and t2 = trace () in
+  Alcotest.(check bool) "identical traces" true (t1 = t2);
+  let ids = List.map (fun (tg : Tenant.tagged) -> tg.req.Request.id) t1 in
+  Alcotest.(check int)
+    "unique fleet-wide ids"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  let arrivals =
+    List.map (fun (tg : Tenant.tagged) -> tg.req.Request.arrival) t1
+  in
+  Alcotest.(check bool)
+    "arrival-ordered" true
+    (arrivals = List.sort compare arrivals)
+
+let test_trace_stream_independence () =
+  (* Resizing one tenant must not perturb another tenant's arrivals. *)
+  let big = trace ~count:8 () and small = trace ~count:2 () in
+  let arrivals_of t tr =
+    List.filter_map
+      (fun (tg : Tenant.tagged) ->
+        if tg.tenant.Tenant.tenant_id = t then Some tg.req.Request.arrival
+        else None)
+      tr
+  in
+  let prefix n l = List.filteri (fun i _ -> i < n) l in
+  Alcotest.(check (list (float 1e-12)))
+    "gold arrivals unchanged"
+    (prefix 2 (arrivals_of 0 big))
+    (arrivals_of 0 small)
+
+let test_trace_rejects_duplicate_ids () =
+  Alcotest.check_raises "duplicate tenant id"
+    (Invalid_argument "Tenant.trace: duplicate tenant ids") (fun () ->
+      ignore
+        (Tenant.trace ~seed:1 ~max_prompt:8 ~max_output:2
+           [
+             { Tenant.tenant = gold; rate = 1.; count = 1 };
+             { Tenant.tenant = { gold with tenant_name = "dup" }; rate = 1.; count = 1 };
+           ]
+           ()))
+
+let test_lookup () =
+  let tr = trace () in
+  let first = List.hd tr in
+  Alcotest.(check string)
+    "lookup finds"
+    first.Tenant.tenant.Tenant.tenant_name
+    (Tenant.lookup tr first.Tenant.req.Request.id).Tenant.tenant_name;
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Tenant.lookup: unknown request id") (fun () ->
+      ignore (Tenant.lookup tr 99999))
+
+(* --- Wfq --- *)
+
+let take_ids q ~max =
+  Wfq.take q ~max ~eligible:(fun _ -> true) ()
+  |> List.map (fun (tg : Tenant.tagged) -> tg.req.Request.id)
+
+let test_wfq_weighted_order () =
+  let q = Wfq.create () in
+  (* Equal-cost backlogs: weight-4 gold finishes four grants per
+     virtual-time unit the weight-1 batch tenant finishes one, and the
+     tie at equal tags goes to the lower tenant id. *)
+  for i = 0 to 4 do
+    Wfq.push q (tag gold (req ~id:i ~arrival:0. ()))
+  done;
+  for i = 10 to 14 do
+    Wfq.push q (tag be (req ~id:i ~arrival:0. ()))
+  done;
+  Alcotest.(check (list int))
+    "gold drains 4:1" [ 0; 1; 2; 3; 10; 4 ] (take_ids q ~max:6);
+  let s = Wfq.stats q in
+  Alcotest.(check (list int))
+    "grants per lane" [ 5; 1 ]
+    (List.map (fun l -> l.Wfq.s_grants) s);
+  Alcotest.(check (list int))
+    "queued per lane" [ 0; 4 ]
+    (List.map (fun l -> l.Wfq.s_queued) s)
+
+let test_wfq_starvation_bound () =
+  let q = Wfq.create () in
+  for i = 0 to 19 do
+    Wfq.push q (tag gold (req ~id:i ~arrival:0. ()))
+  done;
+  Wfq.push q (tag be (req ~id:100 ~arrival:0. ()));
+  let granted = take_ids q ~max:6 in
+  Alcotest.(check bool)
+    "weight-1 tenant served within one weight-4 round" true
+    (List.mem 100 granted)
+
+let test_wfq_push_front () =
+  let q = Wfq.create () in
+  Wfq.push q (tag gold (req ~id:0 ~arrival:0. ()));
+  Wfq.push q (tag gold (req ~id:1 ~arrival:0. ()));
+  Alcotest.(check (list int)) "fifo head" [ 0 ] (take_ids q ~max:1);
+  Wfq.push_front q (tag gold (req ~id:0 ~arrival:0. ()));
+  Alcotest.(check (list int))
+    "requeued request goes first" [ 0; 1 ] (take_ids q ~max:2);
+  Alcotest.(check bool) "drained" true (Wfq.is_empty q)
+
+let test_wfq_eligible_filter () =
+  let q = Wfq.create () in
+  Wfq.push q (tag gold (req ~id:0 ~arrival:5. ()));
+  let late =
+    Wfq.take q ~max:1
+      ~eligible:(fun tg -> tg.Tenant.req.Request.arrival <= 1.)
+      ()
+  in
+  Alcotest.(check int) "nothing eligible" 0 (List.length late);
+  Alcotest.(check int) "still queued" 1 (Wfq.length q)
+
+let test_wfq_group_coalescing () =
+  let q = Wfq.create () in
+  Wfq.push q (tag gold (req ~id:0 ~arrival:0. ~prompt:8 ()));
+  Wfq.push q (tag silver (req ~id:1 ~arrival:0. ~prompt:16 ()));
+  Wfq.push q (tag be (req ~id:2 ~arrival:0. ~prompt:8 ()));
+  let same_prompt (l : Tenant.tagged) (r : Tenant.tagged) =
+    l.req.Request.prompt_len = r.req.Request.prompt_len
+  in
+  let ids =
+    Wfq.take q ~max:3
+      ~eligible:(fun _ -> true)
+      ~group:same_prompt ()
+    |> List.map (fun (tg : Tenant.tagged) -> tg.req.Request.id)
+  in
+  (* The best-effort shape-mate jumps ahead of silver's smaller WFQ tag
+     into the leader's group; the mismatched silver request still rides
+     along once the group is exhausted (work conservation). *)
+  Alcotest.(check (list int)) "group-first order" [ 0; 2; 1 ] ids
+
+let test_wfq_first_filter_gates_offer () =
+  let q = Wfq.create () in
+  Wfq.push q (tag gold (req ~id:0 ~arrival:0. ~prompt:8 ()));
+  let none =
+    Wfq.take q ~max:2
+      ~eligible:(fun _ -> true)
+      ~first:(fun tg -> tg.Tenant.req.Request.prompt_len = 16)
+      ()
+  in
+  Alcotest.(check int) "offer declined entirely" 0 (List.length none);
+  Alcotest.(check int) "nothing consumed" 1 (Wfq.length q)
+
+(* --- Learner --- *)
+
+let test_learner_decay_and_ranking () =
+  let l = Learner.create ~half_life:1.0 () in
+  Learner.observe l ~now:0. ~tenant:0 ~signature:64 ~weight:4.;
+  Learner.observe l ~now:0. ~tenant:1 ~signature:128 ~weight:1.;
+  (match Learner.top_k l ~now:0. ~k:2 with
+  | [ (64, m1); (128, m2) ] ->
+    Alcotest.(check (float 1e-9)) "gold mass" 4. m1;
+    Alcotest.(check (float 1e-9)) "be mass" 1. m2
+  | other ->
+    Alcotest.failf "unexpected ranking (%d entries)" (List.length other));
+  (* One half-life halves the old mass; fresh mass overtakes it. *)
+  Learner.observe l ~now:1. ~tenant:1 ~signature:128 ~weight:3.;
+  (match Learner.top_k l ~now:1. ~k:2 with
+  | [ (128, m1); (64, m2) ] ->
+    Alcotest.(check (float 1e-9)) "decayed+fresh" 3.5 m1;
+    Alcotest.(check (float 1e-9)) "halved" 2. m2
+  | other ->
+    Alcotest.failf "unexpected ranking (%d entries)" (List.length other))
+
+let test_learner_ties_to_smaller_signature () =
+  let l = Learner.create () in
+  Learner.observe l ~now:0. ~tenant:0 ~signature:512 ~weight:1.;
+  Learner.observe l ~now:0. ~tenant:0 ~signature:32 ~weight:1.;
+  Alcotest.(check (list int))
+    "tie breaks small-first" [ 32; 512 ]
+    (List.map fst (Learner.top_k l ~now:0. ~k:4));
+  Alcotest.(check (list int))
+    "signatures ascending" [ 32; 512 ] (Learner.signatures l)
+
+(* --- Autoscaler --- *)
+
+let asc =
+  {
+    Autoscaler.min_replicas = 1;
+    max_replicas = 4;
+    up_queue_depth = 4.;
+    down_queue_depth = 1.;
+    slo_floor = 0.9;
+    stall_ceiling = 0.5;
+    cooldown = 1.0;
+    interval = 0.25;
+  }
+
+let sig_ ?(queue = 0.) ?(slo = 1.) ?(stall = 0.) ?(live = 2) ?(down = 0) () =
+  {
+    Autoscaler.queue_depth = queue;
+    slo_attainment = slo;
+    stall_ratio = stall;
+    live_replicas = live;
+    down_replicas = down;
+  }
+
+let decision = Alcotest.testable
+    (fun fmt d -> Format.pp_print_string fmt (Autoscaler.decision_name d))
+    ( = )
+
+let decide = Autoscaler.decide asc ~last_change:0.
+
+let test_autoscaler_hysteresis () =
+  Alcotest.check decision "above up threshold" Autoscaler.Scale_up
+    (decide ~now:2. (sig_ ~queue:5. ()));
+  Alcotest.check decision "inside the band" Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:2. ()));
+  Alcotest.check decision "below down threshold" Autoscaler.Scale_down
+    (decide ~now:2. (sig_ ~queue:0.5 ()));
+  Alcotest.check decision "slo breach scales up" Autoscaler.Scale_up
+    (decide ~now:2. (sig_ ~queue:0. ~slo:0.5 ()));
+  Alcotest.check decision "cooldown holds" Autoscaler.Hold
+    (decide ~now:0.5 (sig_ ~queue:5. ()))
+
+let test_autoscaler_bounds_and_stalls () =
+  Alcotest.check decision "at max replicas" Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:9. ~live:4 ()));
+  Alcotest.check decision "down replica counts against capacity"
+    Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:9. ~live:3 ~down:1 ()));
+  Alcotest.check decision "at min replicas" Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:0. ~live:1 ()));
+  Alcotest.check decision "compile-bound fleet holds" Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:9. ~stall:0.8 ()))
+
+let test_autoscaler_fault_rules () =
+  Alcotest.check decision "crash is not a scale-down signal"
+    Autoscaler.Hold
+    (decide ~now:2. (sig_ ~queue:0. ~live:3 ~down:1 ()));
+  Alcotest.check decision "below floor bypasses cooldown"
+    Autoscaler.Scale_up
+    (decide ~now:0.01 (sig_ ~live:0 ~down:0 ()))
+
+let test_autoscaler_validate () =
+  Alcotest.check_raises "no hysteresis gap"
+    (Invalid_argument
+       "Autoscaler: need 0 <= down_queue_depth < up_queue_depth (hysteresis)")
+    (fun () -> Autoscaler.validate { asc with down_queue_depth = 4. });
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Autoscaler: max_replicas must be >= min_replicas")
+    (fun () -> Autoscaler.validate { asc with max_replicas = 0 })
+
+(* --- Fleet --- *)
+
+let engine = Scheduler.synthetic_engine ~compile:1e-3 ~shape_families:2 ()
+
+let full_config =
+  {
+    fleet_config with
+    coalesce = true;
+    warm = Some { Fleet.default_warm with warm_interval = 0.01 };
+    autoscale = Some { asc with cooldown = 0.05; interval = 0.05 };
+  }
+
+let test_fleet_deterministic () =
+  let tr = trace () in
+  let o1 = Fleet.run full_config engine tr in
+  let o2 = Fleet.run full_config engine tr in
+  Alcotest.(check bool) "bit-identical outcomes" true (o1 = o2)
+
+let test_fleet_conserves_requests () =
+  let tr = trace () in
+  let check_arm name config =
+    let o = Fleet.run config engine tr in
+    Alcotest.(check int)
+      (name ^ ": completed+dropped covers the trace")
+      (List.length tr)
+      (List.length o.Fleet.completed + List.length o.Fleet.dropped)
+  in
+  check_arm "plain" fleet_config;
+  check_arm "coalesced" { fleet_config with coalesce = true };
+  check_arm "full" full_config
+
+let test_fleet_validate () =
+  Alcotest.check_raises "no replicas"
+    (Invalid_argument "Fleet: replicas must be >= 1") (fun () ->
+      ignore (Fleet.run { fleet_config with replicas = 0 } engine []));
+  Alcotest.check_raises "bad warm interval"
+    (Invalid_argument "Fleet: warm_interval must be > 0") (fun () ->
+      Fleet.validate
+        {
+          fleet_config with
+          warm = Some { Fleet.default_warm with warm_interval = 0. };
+        })
+
+let test_fleet_coalescing_cuts_stalls () =
+  (* A synchronized burst of same-shape prompts from all three tenants:
+     the coalescer must pull them into shared-signature admissions. *)
+  let tr =
+    List.concat_map
+      (fun (tenant, base) ->
+        List.init 4 (fun i ->
+            tag tenant (req ~id:(base + i) ~arrival:0. ~prompt:8 ())))
+      [ (gold, 0); (silver, 10); (be, 20) ]
+  in
+  let plain = Fleet.run fleet_config engine tr in
+  let grouped = Fleet.run { fleet_config with coalesce = true } engine tr in
+  Alcotest.(check bool)
+    "groups formed" true
+    (grouped.Fleet.coalesced_groups > 0);
+  Alcotest.(check bool)
+    "no more stalls than uncoalesced" true
+    (grouped.Fleet.compile_stall_seconds
+    <= plain.Fleet.compile_stall_seconds +. 1e-12)
+
+let test_fleet_warm_store_offloads_compiles () =
+  let tr = trace ~count:24 () in
+  let warm = Fleet.run full_config engine tr in
+  (match warm.Fleet.warm_stats with
+  | None -> Alcotest.fail "warm store enabled but no stats"
+  | Some _ -> ());
+  Alcotest.(check bool)
+    "fleet-shared cache engaged" true
+    (warm.Fleet.warm_hits > 0);
+  let cold = Fleet.run { full_config with warm = None } engine tr in
+  Alcotest.(check bool)
+    "warm fleet stalls no more than cold" true
+    (warm.Fleet.compile_stall_seconds
+    <= cold.Fleet.compile_stall_seconds +. 1e-12)
+
+let test_fleet_crash_requeues_and_conserves () =
+  let tr = trace ~count:16 () in
+  let plan = Plan.make ~crashes:[ (0.02, 0) ] ~restart_delay:0.05 ~seed:3 () in
+  let o = Fleet.run ~faults:plan fleet_config engine tr in
+  Alcotest.(check int) "crash injected" 1 o.Fleet.crashes;
+  Alcotest.(check int)
+    "no request lost to the crash"
+    (List.length tr)
+    (List.length o.Fleet.completed + List.length o.Fleet.dropped);
+  let calm = Fleet.run fleet_config engine tr in
+  Alcotest.(check bool)
+    "crash cannot speed the fleet up" true
+    (o.Fleet.makespan >= calm.Fleet.makespan -. 1e-12)
+
+let test_fleet_autoscaler_stays_in_bounds () =
+  let tr = trace ~count:24 () in
+  let o = Fleet.run full_config engine tr in
+  (match full_config.autoscale with
+  | None -> Alcotest.fail "autoscale arm missing"
+  | Some a ->
+    Alcotest.(check bool)
+      "peak within max" true
+      (o.Fleet.peak_replicas <= a.Autoscaler.max_replicas));
+  Alcotest.(check bool)
+    "replica-seconds accounted" true
+    (o.Fleet.replica_seconds > 0.)
+
+let test_fleet_scheduler_projection () =
+  let tr = trace () in
+  let o = Fleet.run fleet_config engine tr in
+  let s = Fleet.to_scheduler_outcome o in
+  Alcotest.(check int)
+    "completions carried over"
+    (List.length o.Fleet.completed)
+    (List.length s.Scheduler.completed);
+  Alcotest.(check int) "no rejections modeled" 0
+    (List.length s.Scheduler.rejected);
+  Alcotest.(check (float 1e-12))
+    "stall carried over" o.Fleet.compile_stall_seconds
+    s.Scheduler.compile_stall_seconds;
+  let tier_reqs =
+    List.fold_left (fun acc t -> acc + t.Fleet.tm_requests) 0 o.Fleet.tiers
+  in
+  Alcotest.(check int) "tier rows partition the trace" (List.length tr)
+    tier_reqs
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "tenant",
+        [
+          Alcotest.test_case "trace determinism" `Quick
+            test_trace_deterministic;
+          Alcotest.test_case "stream independence" `Quick
+            test_trace_stream_independence;
+          Alcotest.test_case "duplicate ids" `Quick
+            test_trace_rejects_duplicate_ids;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+        ] );
+      ( "wfq",
+        [
+          Alcotest.test_case "weighted order" `Quick test_wfq_weighted_order;
+          Alcotest.test_case "starvation bound" `Quick
+            test_wfq_starvation_bound;
+          Alcotest.test_case "push_front" `Quick test_wfq_push_front;
+          Alcotest.test_case "eligible filter" `Quick
+            test_wfq_eligible_filter;
+          Alcotest.test_case "group coalescing" `Quick
+            test_wfq_group_coalescing;
+          Alcotest.test_case "first filter" `Quick
+            test_wfq_first_filter_gates_offer;
+        ] );
+      ( "learner",
+        [
+          Alcotest.test_case "decay and ranking" `Quick
+            test_learner_decay_and_ranking;
+          Alcotest.test_case "deterministic ties" `Quick
+            test_learner_ties_to_smaller_signature;
+        ] );
+      ( "autoscaler",
+        [
+          Alcotest.test_case "hysteresis" `Quick test_autoscaler_hysteresis;
+          Alcotest.test_case "bounds and stalls" `Quick
+            test_autoscaler_bounds_and_stalls;
+          Alcotest.test_case "fault rules" `Quick test_autoscaler_fault_rules;
+          Alcotest.test_case "validate" `Quick test_autoscaler_validate;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "determinism" `Quick test_fleet_deterministic;
+          Alcotest.test_case "request conservation" `Quick
+            test_fleet_conserves_requests;
+          Alcotest.test_case "validate" `Quick test_fleet_validate;
+          Alcotest.test_case "coalescing stalls" `Quick
+            test_fleet_coalescing_cuts_stalls;
+          Alcotest.test_case "warm store" `Quick
+            test_fleet_warm_store_offloads_compiles;
+          Alcotest.test_case "crash conservation" `Quick
+            test_fleet_crash_requeues_and_conserves;
+          Alcotest.test_case "autoscaler bounds" `Quick
+            test_fleet_autoscaler_stays_in_bounds;
+          Alcotest.test_case "scheduler projection" `Quick
+            test_fleet_scheduler_projection;
+        ] );
+    ]

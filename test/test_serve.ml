@@ -147,6 +147,44 @@ let test_next_eligible () =
   Alcotest.(check (option (float 1e-9))) "timeout: arrival + window" (Some 0.4)
     (Batcher.next_eligible (Batcher.Timeout { max_batch = 4; window = 0.1 }) ~waiting)
 
+let test_next_eligible_edges () =
+  (* Empty queue: None for every policy — the only case with no event. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 1e-9)))
+        (Batcher.name p ^ ": empty queue") None
+        (Batcher.next_eligible p ~waiting:[]))
+    [
+      Batcher.Greedy { max_batch = 4 };
+      Batcher.Timeout { max_batch = 4; window = 0.1 };
+      Batcher.Slo_aware { max_batch = 4 };
+    ];
+  (* Timeout window expiring exactly at [now]: the instant next_eligible
+     reports must admit — [now >= arrival +. window] is deliberately
+     non-strict, else the event loop would livelock at that instant. *)
+  let p = Batcher.Timeout { max_batch = 4; window = 0.1 } in
+  let waiting = [ req ~id:1 ~arrival:0.3 () ] in
+  let at = Option.get (Batcher.next_eligible p ~waiting) in
+  Alcotest.(check (float 1e-9)) "reported instant" 0.4 at;
+  let d = Batcher.admit p ~now:at ~in_flight:0 ~waiting in
+  Alcotest.(check (list int)) "admits at exactly the reported instant" [ 1 ]
+    (List.map (fun (r : Request.t) -> r.Request.id) d.Batcher.admitted);
+  (* Slo_aware with every waiting request past its deadline: the queue
+     still has a pending event (the shed), so next_eligible must report
+     the drop instant, not None — and admitting there drops them all. *)
+  let p = Batcher.Slo_aware { max_batch = 4 } in
+  let expired =
+    [ req ~id:1 ~arrival:0.1 ~e2e:0.5 (); req ~id:2 ~arrival:0.2 ~e2e:0.5 () ]
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "all-expired queue still reports an instant" (Some 0.1)
+    (Batcher.next_eligible p ~waiting:expired);
+  let d = Batcher.admit p ~now:5.0 ~in_flight:0 ~waiting:expired in
+  Alcotest.(check int) "nothing admitted" 0 (List.length d.Batcher.admitted);
+  Alcotest.(check int) "nothing deferred" 0 (List.length d.Batcher.deferred);
+  Alcotest.(check (list int)) "both shed" [ 1; 2 ]
+    (List.sort compare (List.map (fun (r : Request.t) -> r.Request.id) d.Batcher.dropped))
+
 (* --- Scheduler + Metrics --- *)
 
 let trace = Request.poisson ~seed:42 ~rate:40. ~count:24 ~max_prompt:32 ~max_output:6 ()
@@ -281,6 +319,47 @@ let test_poisson_trace_properties () =
   in
   Alcotest.(check int) "bursty count" 40 (List.length bursty)
 
+let test_heavy_tail_traces () =
+  let gen dist =
+    Request.poisson ~length_dist:dist ~seed:11 ~rate:20. ~count:200
+      ~max_prompt:4096 ~max_output:64 ()
+  in
+  let pareto = gen (Request.Pareto { alpha = 1.1 }) in
+  let lognormal = gen (Request.Log_normal { sigma = 2.0 }) in
+  (* Determinism: same seed and distribution, bit-identical trace. *)
+  Alcotest.(check bool) "pareto reproducible" true
+    (pareto = gen (Request.Pareto { alpha = 1.1 }));
+  Alcotest.(check bool) "lognormal reproducible" true
+    (lognormal = gen (Request.Log_normal { sigma = 2.0 }));
+  Alcotest.(check bool) "distinct tails diverge" true (pareto <> lognormal);
+  (* Lengths stay clamped to [1, max] under any tail. *)
+  List.iter
+    (fun (r : Request.t) ->
+      Alcotest.(check bool) "clamped" true
+        (r.prompt_len >= 1 && r.prompt_len <= 4096 && r.output_len >= 1
+        && r.output_len <= 64))
+    (pareto @ lognormal);
+  (* Heavy tail: mass concentrates near 1 yet huge prompts appear — the
+     defining shape log-uniform lacks. Both facts are deterministic
+     under the fixed seed. *)
+  let prompts = List.map (fun (r : Request.t) -> r.prompt_len) pareto in
+  let small = List.length (List.filter (fun p -> p <= 8) prompts) in
+  Alcotest.(check bool) "pareto mass near x_min" true
+    (small > List.length prompts / 2);
+  Alcotest.(check bool) "pareto tail reaches large prompts" true
+    (List.exists (fun p -> p >= 256) prompts);
+  Alcotest.(check string) "dist names" "log-uniform/pareto-1.1/lognormal-2"
+    (String.concat "/"
+       (List.map Request.dist_name
+          [ Request.Log_uniform; Request.Pareto { alpha = 1.1 };
+            Request.Log_normal { sigma = 2.0 } ]));
+  Alcotest.check_raises "pareto alpha validated"
+    (Invalid_argument "Request: Pareto alpha must be positive") (fun () ->
+      ignore (gen (Request.Pareto { alpha = 0. })));
+  Alcotest.check_raises "lognormal sigma validated"
+    (Invalid_argument "Request: Log_normal sigma must be positive") (fun () ->
+      ignore (gen (Request.Log_normal { sigma = -1. })))
+
 let () =
   Alcotest.run "serve"
     [
@@ -302,6 +381,8 @@ let () =
           Alcotest.test_case "timeout" `Quick test_timeout_admission;
           Alcotest.test_case "slo-aware" `Quick test_slo_aware_admission;
           Alcotest.test_case "next_eligible" `Quick test_next_eligible;
+          Alcotest.test_case "next_eligible edge cases" `Quick
+            test_next_eligible_edges;
         ] );
       ( "scheduler",
         [
@@ -315,5 +396,6 @@ let () =
           Alcotest.test_case "adapt hook charges stall" `Quick
             test_adapt_hook_charges_stall;
           Alcotest.test_case "poisson trace" `Quick test_poisson_trace_properties;
+          Alcotest.test_case "heavy-tail traces" `Quick test_heavy_tail_traces;
         ] );
     ]
