@@ -67,9 +67,10 @@ let compile_shape jobs m n k npu =
   let compiled = Mikpoly_core.Compiler.compile compiler op in
   let sim = Mikpoly_core.Compiler.simulate compiler compiled in
   Printf.printf "%s\n" (Mikpoly_ir.Program.to_string compiled.program);
-  Printf.printf "pattern: %s   candidates: %d (pruned %d)   search: %s\n"
+  Printf.printf
+    "pattern: %s   candidates: %d (pruned %d bound, %d analytic)   search: %s\n"
     (Mikpoly_core.Pattern.to_string compiled.pattern)
-    compiled.candidates compiled.pruned
+    compiled.candidates compiled.pruned compiled.pruned_analytic
     (Mikpoly_util.Table.fmt_time_us compiled.search_seconds);
   Printf.printf "device time: %s   %.1f TFLOPS   sm_eff %.1f%%   waves %.0f\n"
     (Mikpoly_util.Table.fmt_time_us sim.seconds)

@@ -110,9 +110,24 @@ dune exec bin/mikpoly_cli.exe -- fleet --quick --jobs 4 --out "$fleet_b"
 cmp "$fleet_a" "$fleet_b"
 rm -f "$fleet_a" "$fleet_b"
 
-echo "== parallel scaling bench =="
+echo "== parallel-win =="
+# The parallel-polymerization acceptance gate. The bench itself exits
+# non-zero when its gate fails: on a multicore host, batched search at
+# jobs=4 must outrun jobs=1 (speedup_vs_jobs1 > 1.0) without degrading
+# at jobs=8; on a single-core host (where a speedup is physically
+# impossible and effective_jobs clamps every level to one worker) the
+# batch machinery must stay within 10% of plain sequential. Either way
+# the programs must be byte-identical across job counts, and analytic
+# pruning must cut scored candidates at least 5x with the identical
+# program. The greps re-assert the recorded verdicts on the artifact.
 dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet
 test -s BENCH_parallel.json
+grep -q '"passed":true' BENCH_parallel.json
+if grep -q '"programs_identical":false' BENCH_parallel.json; then
+  echo "parallel-win: programs diverged across job counts"
+  exit 1
+fi
+grep -q '"candidates_scored"' BENCH_parallel.json
 
 echo "== graph bench =="
 dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet

@@ -36,11 +36,20 @@ let generate ?(jobs = 0) ?(n_gen = 32) ?(n_syn = 12) ?(n_mik = 40)
      domain pool; order-preserving [map_array] keeps the result list
      identical to the sequential one. *)
   let pmap f l =
-    if jobs > 1 then
+    if jobs > 1 then begin
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let out = Array.make n None in
+      (* Batched fan-out: coarse chunks amortize pool dispatch, and the
+         [min_chunk] floor keeps tiny candidate lists on the inline path
+         (zero dispatches) instead of paying per-element submissions. *)
+      Mikpoly_util.Domain_pool.parallel_for_batched
+        (Mikpoly_util.Domain_pool.global ~jobs ())
+        ~min_chunk:8 ~start:0 ~stop:n
+        (fun i -> out.(i) <- Some (f arr.(i)));
       Array.to_list
-        (Mikpoly_util.Domain_pool.map_array
-           (Mikpoly_util.Domain_pool.global ~jobs ())
-           f (Array.of_list l))
+        (Array.map (function Some v -> v | None -> assert false) out)
+    end
     else List.map f l
   in
   let candidates = Search_space.enumerate hw ~n_gen ~dtype ~path ~codegen_eff in

@@ -281,20 +281,56 @@ let compile t op =
 let cached t op =
   locked t (fun () -> Hashtbl.mem t.cache (Operator.gemm_shape op))
 
-(* Bulk precompilation for warm stores: compile every not-yet-cached
-   shape through the normal ladder (so warmed programs are exactly what
-   a cache-miss compile would have produced). Returns the number of
-   fresh compiles; shapes already cached cost nothing and keep their
-   recency. *)
-let warm t shapes =
-  List.fold_left
-    (fun fresh ((m, n, k) as key) ->
-      if locked t (fun () -> Hashtbl.mem t.cache key) then fresh
-      else begin
-        ignore (compile t (Operator.gemm ~m ~n ~k ()));
-        fresh + 1
-      end)
-    0 shapes
+(* Bulk precompilation for warm stores. The distinct not-yet-cached
+   shapes go through one [Polymerize.search_batch] — per-shape pool
+   units, so the dispatch amortizes over the whole suite — and each
+   result is exactly what a cache-miss compile of that shape would have
+   produced (same scorer, same config, deterministic search), with the
+   same Full_search/Best_effort rung accounting. If the batch search
+   itself fails, every shape falls back to the sequential per-shape
+   ladder ([compile]), which can still degrade rung by rung. Returns the
+   number of fresh compiles; shapes already cached cost nothing and keep
+   their recency. *)
+let warm ?jobs t shapes =
+  let missing =
+    List.sort_uniq compare shapes
+    |> List.filter (fun key -> not (locked t (fun () -> Hashtbl.mem t.cache key)))
+  in
+  match missing with
+  | [] -> 0
+  | _ ->
+    let keys = Array.of_list missing in
+    let batched =
+      if t.safe_mode then None
+      else
+        let ops =
+          Array.map (fun (m, n, k) -> Operator.gemm ~m ~n ~k ()) keys
+        in
+        match
+          Polymerize.search_batch ~scorer:(default_scorer t) ?jobs t.kernels
+            t.config ops
+        with
+        | cs -> Some cs
+        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+        | exception _ -> None
+    in
+    (match batched with
+    | Some cs ->
+      Array.iteri
+        (fun i (c : Polymerize.compiled) ->
+          note_rung t (if c.deadline_hit then Best_effort else Full_search);
+          locked t (fun () ->
+              match Hashtbl.find_opt t.cache keys.(i) with
+              | Some slot -> touch t slot
+              | None -> insert t keys.(i) c))
+        cs;
+      Array.length cs
+    | None ->
+      List.fold_left
+        (fun fresh (m, n, k) ->
+          ignore (compile t (Operator.gemm ~m ~n ~k ()));
+          fresh + 1)
+        0 missing)
 
 let cache_stats t =
   locked t (fun () ->

@@ -80,13 +80,16 @@ val cached : t -> Mikpoly_ir.Operator.t -> bool
 (** Whether the operator's shape already has a compiled program (i.e. a
     new execution would pay no polymerization overhead). *)
 
-val warm : t -> (int * int * int) list -> int
-(** [warm t shapes] precompiles every shape not already in the memo,
-    through the normal degradation ladder — so a warmed program is
-    exactly what the first cache-miss compile would have produced, and
-    later [compile] calls for those shapes are pure hits. Returns the
-    number of fresh compiles performed. The fleet warm store uses this
-    to pay compile cost off the request critical path. *)
+val warm : ?jobs:int -> t -> (int * int * int) list -> int
+(** [warm t shapes] precompiles every shape not already in the memo —
+    the distinct misses go through one {!Polymerize.search_batch}
+    (per-shape pool units; [jobs] resolves and clamps like there), with
+    per-shape fallback to the full degradation ladder if the batch
+    fails — so a warmed program is exactly what the first cache-miss
+    compile would have produced, and later [compile] calls for those
+    shapes are pure hits. Returns the number of fresh compiles
+    performed. The fleet warm store and the graph executor's compile
+    stage use this to pay compile cost off the request critical path. *)
 
 type cache_stats = {
   hits : int;  (** [compile] calls served from the per-shape memo *)

@@ -17,6 +17,7 @@ type t = {
   cut_style : [ `Wave_aligned | `Remainder_only ];
   search_jobs : int;
   search_deadline_ms : float;
+  analytic_prune : bool;
 }
 
 let default (hw : Hardware.t) =
@@ -39,6 +40,7 @@ let default (hw : Hardware.t) =
       cut_style = `Wave_aligned;
       search_jobs = 0;
       search_deadline_ms = 0.;
+      analytic_prune = true;
     }
   | Npu ->
     {
@@ -58,6 +60,7 @@ let default (hw : Hardware.t) =
       cut_style = `Wave_aligned;
       search_jobs = 0;
       search_deadline_ms = 0.;
+      analytic_prune = true;
     }
 
 let with_path path t =

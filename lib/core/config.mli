@@ -41,6 +41,13 @@ type t = {
           completed (un-truncated) search chooses, and a truncated
           search is still deterministic, so it is excluded from
           {!cache_key}. *)
+  analytic_prune : bool;
+      (** apply {!Strategy_space}'s analytic pre-pruning (kernel
+          dominance, Pattern-I bound seeding, pipeline-depth floors)
+          before scoring candidates (default [true]; ablation /
+          soundness-oracle knob). Only active under the plain
+          [Model Full] scorer, never changes the chosen program, and is
+          excluded from {!cache_key}. *)
 }
 
 val default : Mikpoly_accel.Hardware.t -> t

@@ -15,6 +15,22 @@ let m_search_s =
   Tm.Metrics.histogram "polymerize.search_seconds"
     ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1. |]
 
+(* Prune accounting, split by mechanism: [pruned_analytic] candidates were
+   ruled out by [Strategy_space] before scoring (dominated kernel, or
+   pinned cost + region floors already past the bound); [pruned_bound]
+   candidates started scoring and were cut by the running Eq.-2 partial
+   sum. The serve/fleet compile-stall tables read these via
+   {!prune_counter_values}. *)
+let m_pruned_analytic = Tm.Metrics.counter "polymerize.pruned_analytic"
+
+let m_pruned_bound = Tm.Metrics.counter "polymerize.pruned_bound"
+
+let m_batches = Tm.Metrics.counter "polymerize.batches"
+
+let prune_counter_values () =
+  ( Tm.Metrics.counter_value m_pruned_analytic,
+    Tm.Metrics.counter_value m_pruned_bound )
+
 type scorer =
   | Model of Cost_model.objective
   | Calibrated of (Kernel_set.entry -> float -> float)
@@ -27,66 +43,18 @@ type compiled = {
   pattern : Pattern.t;
   candidates : int;
   pruned : int;
+  pruned_analytic : int;
   search_seconds : float;
   deadline_hit : bool;
 }
 
 let ceil_div a b = (a + b - 1) / b
 
-(* Cut candidates along one axis for a pinned primary kernel: positions
-   [q·tile] such that the primary strip of [q] tile rows fills exactly a
-   whole number of waves (walked from the largest feasible strip down, the
-   way the Section 6 case study carves 3072 of 4096 rows), plus the
-   maximal full-tile cut. *)
-let axis_cuts ?(style = `Wave_aligned) ~tile ~other_tile ~cap ~axis_len
-    ~other_len ~max_cuts () =
-  let q_full = axis_len / tile in
-  if q_full < 1 then []
-  else if style = `Remainder_only then begin
-    let cut = q_full * tile in
-    if cut > 0 && cut < axis_len then [ cut ] else []
-  end
-  else begin
-    let tiles_other = ceil_div other_len other_tile in
-    let full_waves = ceil_div (q_full * tiles_other) cap in
-    let acc = ref [] and count = ref 0 in
-    (* The walk visits q values in non-increasing order, so a duplicate
-       can only equal the most recent cut — one comparison replaces the
-       O(cuts) membership scan of the old [List.mem] dedupe. *)
-    let last_added = ref max_int in
-    let add q =
-      if q >= 1 && q <= q_full then begin
-        let cut = q * tile in
-        if cut > 0 && cut < axis_len && cut < !last_added then begin
-          acc := cut :: !acc;
-          last_added := cut;
-          incr count
-        end
-      end
-    in
-    add q_full;
-    (* Walk wave boundaries downward; each step strictly shrinks q, so the
-       loop runs at most max_cuts iterations. *)
-    let w = ref (full_waves - 1) in
-    let continue = ref true in
-    while !continue && !w >= 1 && !count < max_cuts do
-      let q = !w * cap / tiles_other in
-      if q < 1 then continue := false
-      else begin
-        add q;
-        w := min (!w - 1) (ceil_div (q * tiles_other) cap - 1)
-      end
-    done;
-    List.rev !acc
-  end
+(* Cut derivation (wave-capacity divisibility) lives in
+   [Strategy_space] now; re-exported here for tests and callers. *)
+let row_cuts = Strategy_space.row_cuts
 
-let row_cuts ?style (e : Kernel_set.entry) ~rows ~cols ~max_cuts =
-  axis_cuts ?style ~tile:e.desc.um ~other_tile:e.desc.un ~cap:e.wave_capacity
-    ~axis_len:rows ~other_len:cols ~max_cuts ()
-
-let col_cuts ?style (e : Kernel_set.entry) ~rows ~cols ~max_cuts =
-  axis_cuts ?style ~tile:e.desc.un ~other_tile:e.desc.um ~cap:e.wave_capacity
-    ~axis_len:cols ~other_len:rows ~max_cuts ()
+let col_cuts = Strategy_space.col_cuts
 
 (* A winning strategy is remembered as (pattern, cuts, pinned kernels);
    the program is only materialized for the winner. Pins cover the
@@ -136,15 +104,17 @@ let choice_key (ch : choice) : tie_key =
     match ch.c_fill with Some e -> e.rank | None -> -1 )
 
 (* One enumeration unit of the candidate space: a pattern together with
-   one pinned primary kernel (or the whole of Pattern I). Units are the
-   grain the domain pool distributes; each carries its own incumbent,
-   counters and best-single memo so workers never share mutable state —
-   only the atomic cost bound, which is monotone and therefore safe to
-   share for pruning. *)
+   one pinned primary kernel (or the whole of Pattern I). Units run
+   sequentially in configuration order within one search — since the
+   coarse-grain rework, the pool's grain is whole shapes
+   ({!search_batch}), never units — but each still carries its own
+   counters so the deadline quota stays a per-unit budget; the
+   best-single memo is shared across units. *)
 type unit_state = {
   mutable l_best : (float * tie_key * choice) option;
   mutable l_cand : int;
   mutable l_pruned : int;
+  mutable l_pruned_a : int;  (** skipped unscored by the analytic filters *)
   l_quota : int;  (** candidate budget for this unit; [max_int] = none *)
   mutable l_truncated : bool;  (** the quota cut enumeration short *)
   memo : (int * int, Kernel_set.entry * float) Hashtbl.t;
@@ -154,10 +124,11 @@ type unit_result = {
   u_best : (float * tie_key * choice) option;
   u_cand : int;
   u_pruned : int;
+  u_pruned_a : int;
   u_truncated : bool;
 }
 
-let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
+let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   if Array.length set.entries = 0 then
     invalid_arg "Polymerize.polymerize: empty kernel set";
   let t0 = Unix.gettimeofday () in
@@ -218,10 +189,12 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   (* Heuristic narrowing (Algorithm 1): only the kernels whose Pattern-I
      cost for this shape ranks best are tried as primary/secondary kernels
      of split patterns — a kernel hopeless on its own never anchors a
-     region. *)
+     region. The per-entry costs are kept: they are exactly the Pattern-I
+     candidate scores, so the enumeration below never recomputes them and
+     the analytic pruner can seed its bound with the best one. *)
+  let p1 = Array.map (fun e -> rcost_dims e m n) entries in
   let by_p1 =
     let idx = Array.init n_entries Fun.id in
-    let p1 = Array.map (fun e -> rcost_dims e m n) entries in
     Array.sort (fun a b -> compare p1.(a) p1.(b)) idx;
     idx
   in
@@ -252,14 +225,48 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     let b = Atomic.get bound in
     if c < b && not (Atomic.compare_and_set bound b c) then lower_bound c
   in
+  (* Analytic pre-pruning (Strategy_space). Sound only under the plain
+     Eq.-2 Full objective: calibrated corrections are arbitrary per-kernel
+     functions that break cross-kernel dominance, the ablated objectives
+     reorder costs, and simulator cycles are not Eq.-2 costs at all. All
+     three filters preserve the total tie-break order, so the chosen
+     program is bit-identical with pruning on or off
+     ([Selfcheck.check_prune] is the oracle). *)
+  let analytic =
+    config.analytic_prune
+    && (match scorer with Model Cost_model.Full -> true | _ -> false)
+  in
+  let view =
+    if analytic then
+      Some (Strategy_space.view (Strategy_space.skeleton set) set ~pipe ~launch)
+    else None
+  in
+  let live_ok =
+    match view with Some v -> fun i -> v.live.(i) | None -> fun _ -> true
+  in
+  let floor_cost rows cols =
+    match view with
+    | Some v -> Strategy_space.region_floor v ~icount ~rows ~cols
+    | None -> 0.
+  in
+  (* Seed the bound with the best Pattern-I candidate. That cost is
+     achievable — [pattern_one] records it — so strict-(>) pruning against
+     it can never discard the winner or an exact tie. Only valid when
+     Pattern I is actually explored. *)
+  if analytic && List.mem Pattern.I config.patterns then
+    lower_bound p1.(by_p1.(0));
+  (* The best-single memo is shared by every unit: units run sequentially
+     now, and [best_single] is a pure function of the extent. *)
+  let shared_memo = Hashtbl.create 64 in
   let fresh_state ~quota () =
     {
       l_best = None;
       l_cand = 0;
       l_pruned = 0;
+      l_pruned_a = 0;
       l_quota = quota;
       l_truncated = false;
-      memo = Hashtbl.create 64;
+      memo = shared_memo;
     }
   in
   (* One check per candidate: a unit whose quota is spent skips its
@@ -274,9 +281,10 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       false
     end
   in
-  (* Best single kernel for a free region, memoized per extent (one memo
-     per unit: [best_single] is a pure function of the extent, so private
-     memos cost a little recompute but no determinism). *)
+  (* Best single kernel for a free region, memoized per extent. Dominated
+     entries are skipped: the dominator costs no more and sits at a lower
+     index, so the lowest-index argmin is unchanged — entry 0 (rank 0) is
+     always live, so the scan never comes up empty. *)
   let best_single st rows cols =
     let key = (rows, cols) in
     match Hashtbl.find_opt st.memo key with
@@ -284,10 +292,12 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     | None ->
       let best_e = ref entries.(0) and best_c = ref infinity in
       for i = 0 to n_entries - 1 do
-        let c = rcost_dims entries.(i) rows cols in
-        if c < !best_c then begin
-          best_c := c;
-          best_e := entries.(i)
+        if live_ok i then begin
+          let c = rcost_dims entries.(i) rows cols in
+          if c < !best_c then begin
+            best_c := c;
+            best_e := entries.(i)
+          end
         end
       done;
       let hit = (!best_e, !best_c) in
@@ -322,21 +332,44 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
   in
   (* Model scoring of a generic (multi-cut) choice, with region-order
      pruning against the global bound. Pruning is strict (>): a partial
-     sum equal to the incumbent may still win the tie-break. *)
+     sum equal to the incumbent may still win the tie-break.
+
+     Analytic gate (before the candidate is counted or any free region
+     resolved): pinned regions at their exact cost plus free regions at
+     their pipeline-depth floor already lower-bound the candidate, so
+     strictly exceeding the achievable bound proves it cannot win — the
+     expensive best-single scans for the free regions never happen. *)
   let score_choice_model st (ch : choice) =
-    match resolve st ch with
-    | None -> ()
-    | Some _ when not (budget_ok st) -> ()
-    | Some assignment ->
-      st.l_cand <- st.l_cand + 1;
-      let limit = Atomic.get bound in
-      let rec go acc = function
-        | [] -> record st acc ch
-        | ((r : Pattern.rect), e) :: rest ->
-          let acc = acc +. rcost_dims e r.rows r.cols in
-          if acc > limit then st.l_pruned <- st.l_pruned + 1 else go acc rest
-      in
-      go 0. assignment
+    let gated =
+      analytic
+      && (match Pattern.decompose ch.c_pattern ~m ~n ~cuts:ch.c_cuts with
+         | None -> false
+         | Some rects ->
+           let rec lb acc rects pins =
+             match (rects, pins) with
+             | [], _ -> acc
+             | (r : Pattern.rect) :: rs, (e : Kernel_set.entry) :: ps ->
+               lb (acc +. rcost_dims e r.rows r.cols) rs ps
+             | (r : Pattern.rect) :: rs, [] ->
+               lb (acc +. floor_cost r.rows r.cols) rs []
+           in
+           lb 0. rects ch.c_pins > Atomic.get bound)
+    in
+    if gated then st.l_pruned_a <- st.l_pruned_a + 1
+    else
+      match resolve st ch with
+      | None -> ()
+      | Some _ when not (budget_ok st) -> ()
+      | Some assignment ->
+        st.l_cand <- st.l_cand + 1;
+        let limit = Atomic.get bound in
+        let rec go acc = function
+          | [] -> record st acc ch
+          | ((r : Pattern.rect), e) :: rest ->
+            let acc = acc +. rcost_dims e r.rows r.cols in
+            if acc > limit then st.l_pruned <- st.l_pruned + 1 else go acc rest
+        in
+        go 0. assignment
   in
   let score_choice_simulate st (ch : choice) =
     match resolve st ch with
@@ -374,16 +407,20 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
           (fun e -> score_choice_simulate st (choice pattern cuts pins (Some e)))
           secondaries
   in
-  (* Fast allocation-free path for Pattern I (a single unit). *)
+  (* Fast allocation-free path for Pattern I (a single unit). Under the
+     analytic pruner only live entries whose precomputed cost can still
+     matter are counted: a dominated entry loses to its dominator
+     including the tie-break, and an entry strictly above the achievable
+     bound cannot win — both skips keep the recorded winner identical. *)
   let pattern_one st =
     match sim_hw with
     | None ->
       for i = 0 to n_entries - 1 do
-        if budget_ok st then begin
+        if analytic && (not (live_ok i) || p1.(i) > Atomic.get bound) then
+          st.l_pruned_a <- st.l_pruned_a + 1
+        else if budget_ok st then begin
           st.l_cand <- st.l_cand + 1;
-          let e = entries.(i) in
-          let c = rcost_dims e m n in
-          record st c (choice I [] [ e ] None)
+          record st p1.(i) (choice I [] [ entries.(i) ] None)
         end
       done
     | Some _ ->
@@ -394,9 +431,11 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       (fun r ->
         match sim_hw with
         | None ->
-          if budget_ok st then begin
+          let c1 = rcost_dims e1 r n in
+          if analytic && c1 +. floor_cost (m - r) n > Atomic.get bound then
+            st.l_pruned_a <- st.l_pruned_a + 1
+          else if budget_ok st then begin
             st.l_cand <- st.l_cand + 1;
-            let c1 = rcost_dims e1 r n in
             if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
             else begin
               let e2, c2 = best_single st (m - r) n in
@@ -411,9 +450,11 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       (fun c ->
         match sim_hw with
         | None ->
-          if budget_ok st then begin
+          let c1 = rcost_dims e1 m c in
+          if analytic && c1 +. floor_cost m (n - c) > Atomic.get bound then
+            st.l_pruned_a <- st.l_pruned_a + 1
+          else if budget_ok st then begin
             st.l_cand <- st.l_cand + 1;
-            let c1 = rcost_dims e1 m c in
             if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
             else begin
               let e2, c2 = best_single st m (n - c) in
@@ -482,13 +523,16 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
       u_best = st.l_best;
       u_cand = st.l_cand;
       u_pruned = st.l_pruned;
+      u_pruned_a = st.l_pruned_a;
       u_truncated = st.l_truncated;
     }
   in
   (* The candidate space, flattened to (pattern × primary) units in
-     configuration order; the reduction below folds unit results in this
-     same fixed order, so the outcome cannot depend on which domain ran
-     which unit. *)
+     configuration order. Units run sequentially: per-unit pool
+     submissions lost to dispatch overhead (the pre-rework bench showed
+     0.28× at jobs=2), so the pool's grain is now whole shapes — see
+     {!search_batch}. Sequential units also make the bound's evolution,
+     and with it every per-search tally, deterministic. *)
   let units =
     Array.of_list
       (List.concat_map
@@ -500,15 +544,19 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
          config.patterns)
   in
   let results =
-    if jobs > 1 then
-      Dp.map_array (Dp.global ~jobs ()) run_unit units
-    else if not tracing then Array.map run_unit units
+    if not tracing then Array.map run_unit units
     else begin
-      (* Sequential tracing keeps the per-pattern child spans: units of
-         one pattern are contiguous by construction. *)
+      (* Tracing keeps the per-pattern child spans: units of one pattern
+         are contiguous by construction. *)
       let res =
         Array.make (Array.length units)
-          { u_best = None; u_cand = 0; u_pruned = 0; u_truncated = false }
+          {
+            u_best = None;
+            u_cand = 0;
+            u_pruned = 0;
+            u_pruned_a = 0;
+            u_truncated = false;
+          }
       in
       let i = ref 0 in
       let n_units = Array.length units in
@@ -516,39 +564,47 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
         let p = fst units.(!i) in
         Tm.Tracer.with_span ("polymerize.pattern." ^ Pattern.to_string p)
           (fun () ->
-            let c0 = ref 0 and p0 = ref 0 in
+            let c0 = ref 0 and p0 = ref 0 and a0 = ref 0 in
             while !i < n_units && fst units.(!i) = p do
               let r = run_unit units.(!i) in
               res.(!i) <- r;
               c0 := !c0 + r.u_cand;
               p0 := !p0 + r.u_pruned;
+              a0 := !a0 + r.u_pruned_a;
               incr i
             done;
             Tm.Tracer.annotate "candidates" (string_of_int !c0);
-            Tm.Tracer.annotate "pruned" (string_of_int !p0))
+            Tm.Tracer.annotate "pruned" (string_of_int !p0);
+            Tm.Tracer.annotate "pruned_analytic" (string_of_int !a0))
       done;
       res
     end
   in
-  let merge (best, cand, pruned, trunc) (r : unit_result) =
+  let merge (best, cand, pruned, pruned_a, trunc) (r : unit_result) =
     let best =
       match (best, r.u_best) with
       | None, b | b, None -> b
       | (Some (bc, bk, _) as cur), (Some (rc, rk, _) as inc) ->
         if (rc, rk) < (bc, bk) then inc else cur
     in
-    (best, cand + r.u_cand, pruned + r.u_pruned, trunc || r.u_truncated)
+    ( best,
+      cand + r.u_cand,
+      pruned + r.u_pruned,
+      pruned_a + r.u_pruned_a,
+      trunc || r.u_truncated )
   in
-  let best, candidates, pruned, deadline_hit =
-    Array.fold_left merge (None, 0, 0, false) results
+  let best, candidates, pruned, pruned_analytic, deadline_hit =
+    Array.fold_left merge (None, 0, 0, 0, false) results
   in
   (* Pattern I is always feasible; make sure it was explored even when the
      configuration omits it and every split pattern degenerated. *)
-  let best, candidates, pruned, deadline_hit =
+  let best, candidates, pruned, pruned_analytic, deadline_hit =
     match best with
-    | Some _ -> (best, candidates, pruned, deadline_hit)
+    | Some _ -> (best, candidates, pruned, pruned_analytic, deadline_hit)
     | None ->
-      merge (best, candidates, pruned, deadline_hit) (run_unit (Pattern.I, None))
+      merge
+        (best, candidates, pruned, pruned_analytic, deadline_hit)
+        (run_unit (Pattern.I, None))
   in
   let cost, _, winner = match best with Some x -> x | None -> assert false in
   let assignment =
@@ -575,41 +631,84 @@ let search ~scorer ~tracing ~jobs (set : Kernel_set.t) (config : Config.t) op =
     pattern = winner.c_pattern;
     candidates;
     pruned;
+    pruned_analytic;
     search_seconds = Unix.gettimeofday () -. t0;
     deadline_hit;
   }
 
-let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true) ?jobs
-    (set : Kernel_set.t) (config : Config.t) op =
-  let jobs =
-    match jobs with
-    | Some j -> max 1 j
-    | None -> Dp.resolve_jobs config.search_jobs
-  in
+let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
+    ?jobs:(_ = 1) (set : Kernel_set.t) (config : Config.t) op =
+  (* [jobs] is accepted for compatibility: since the coarse-grain rework a
+     single-shape search always runs its units sequentially (the
+     per-unit pool dispatch it used to pay was the slowdown the parallel
+     bench measured); parallelism across shapes lives in
+     {!search_batch}. *)
   let finish (c : compiled) =
     if instrument then begin
       Tm.Metrics.incr m_searches;
       Tm.Metrics.observe m_candidates (float_of_int c.candidates);
-      Tm.Metrics.observe m_search_s c.search_seconds
+      Tm.Metrics.observe m_search_s c.search_seconds;
+      Tm.Metrics.add m_pruned_analytic c.pruned_analytic;
+      Tm.Metrics.add m_pruned_bound c.pruned
     end;
     c
   in
   if not (instrument && Tm.Tracer.enabled ()) then
-    finish (search ~scorer ~tracing:false ~jobs set config op)
+    finish (search ~scorer ~tracing:false set config op)
   else begin
     let m, n, k = Operator.gemm_shape op in
     Tm.Tracer.with_span "polymerize.search"
-      ~attrs:
-        [
-          ("shape", Printf.sprintf "%dx%dx%d" m n k);
-          ("search.jobs", string_of_int jobs);
-        ]
+      ~attrs:[ ("shape", Printf.sprintf "%dx%dx%d" m n k) ]
       (fun () ->
-        if jobs > 1 then
-          Tm.Tracer.annotate "parallel.domains" (string_of_int jobs);
-        let c = search ~scorer ~tracing:true ~jobs set config op in
+        let c = search ~scorer ~tracing:true set config op in
         Tm.Tracer.annotate "pattern" (Pattern.to_string c.pattern);
         Tm.Tracer.annotate "candidates" (string_of_int c.candidates);
         Tm.Tracer.annotate "pruned" (string_of_int c.pruned);
+        Tm.Tracer.annotate "pruned_analytic" (string_of_int c.pruned_analytic);
         finish c)
   end
+
+(* Batched suite search: one pool region over whole shapes. Each shape's
+   search is independent and fully deterministic, so the result array is
+   bit-identical to [Array.map (polymerize ...)] at every job count —
+   only wall-clock changes. The requested job count is clamped to the
+   cores that can actually run concurrently ([Dp.effective_jobs]):
+   over-subscribing a small host with worker domains is precisely the
+   slowdown the per-unit design suffered from. *)
+let search_batch ?(scorer = Model Cost_model.Full) ?(instrument = true) ?jobs
+    ?(min_chunk = 4) (set : Kernel_set.t) (config : Config.t) ops =
+  if min_chunk < 1 then
+    invalid_arg "Polymerize.search_batch: min_chunk must be >= 1";
+  let requested =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Dp.resolve_jobs config.search_jobs
+  in
+  let ejobs = Dp.effective_jobs requested in
+  let n = Array.length ops in
+  let one op = polymerize ~scorer ~instrument ~jobs:1 set config op in
+  let run () =
+    if n = 0 then [||]
+    else begin
+      if instrument then Tm.Metrics.incr m_batches;
+      if ejobs <= 1 || n <= min_chunk then Array.map one ops
+      else begin
+        let res = Array.make n None in
+        Dp.parallel_for_batched
+          (Dp.global ~jobs:ejobs ())
+          ~min_chunk ~start:0 ~stop:n
+          (fun i -> res.(i) <- Some (one ops.(i)));
+        Array.map (function Some c -> c | None -> assert false) res
+      end
+    end
+  in
+  if not (instrument && Tm.Tracer.enabled ()) then run ()
+  else
+    Tm.Tracer.with_span "polymerize.search_batch"
+      ~attrs:
+        [
+          ("shapes", string_of_int n);
+          ("search.jobs", string_of_int requested);
+          ("search.effective_jobs", string_of_int ejobs);
+        ]
+      run

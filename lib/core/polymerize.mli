@@ -31,8 +31,15 @@ type compiled = {
   program : Mikpoly_ir.Program.t;
   predicted_cost : float;  (** winner's score under the scorer *)
   pattern : Pattern.t;
-  candidates : int;  (** polymerization strategies examined *)
-  pruned : int;  (** strategies abandoned early by the cost bound *)
+  candidates : int;  (** polymerization strategies examined (scored) *)
+  pruned : int;  (** strategies abandoned mid-scoring by the cost bound *)
+  pruned_analytic : int;
+      (** strategies ruled out by {!Strategy_space} before any scoring:
+          dominated kernels, and candidates whose pinned cost plus
+          pipeline-depth floors already exceeded an achievable bound.
+          Never affects the chosen program ([Selfcheck.check_prune]);
+          [0] when [Config.analytic_prune] is off or the scorer is not
+          the plain [Model Full]. *)
   search_seconds : float;  (** wall-clock online overhead *)
   deadline_hit : bool;
       (** [Config.search_deadline_ms] truncated at least one enumeration
@@ -61,25 +68,54 @@ val polymerize :
     a valid program for the exact runtime shape — MikPoly has no
     out-of-range failure mode.
 
-    [jobs] sets the worker-domain count for the search ([1] =
-    sequential); when omitted it resolves [Config.search_jobs] through
-    {!Mikpoly_util.Domain_pool.resolve_jobs}. The search is partitioned
-    into (pattern × primary kernel) units executed on the shared domain
-    pool with a common atomic cost bound; because pruning is strict and
-    ties break on a total (pattern, cuts, kernel-rank) key, the chosen
-    program, pattern and [predicted_cost] are bit-identical for every
-    job count. The [candidates]/[pruned] tallies are exact under
-    [jobs = 1] but scheduling-dependent above (a faster domain tightens
-    the bound earlier, pruning more for the others).
+    A single-shape search runs its (pattern × primary kernel) units
+    sequentially in configuration order: per-unit pool submissions were
+    far too fine for the pool's dispatch overhead (the pre-rework bench
+    measured 0.28× at jobs=2), so the pool's grain is now whole shapes —
+    see {!search_batch}. [jobs] is accepted for compatibility and does
+    not affect the search; the chosen program, [predicted_cost] {e and}
+    every tally are therefore trivially bit-identical at every job
+    count, and the [candidates]/[pruned]/[pruned_analytic] tallies are
+    always exact.
+
+    With [Config.analytic_prune] (default) and the plain [Model Full]
+    scorer, {!Strategy_space}'s filters — kernel dominance,
+    Pattern-I bound seeding and pipeline-depth floors — skip most of the
+    candidate space before scoring ([pruned_analytic] counts them);
+    all three preserve the total tie-break order, so the chosen program
+    is bit-identical with pruning on or off. (Under a
+    [search_deadline_ms] budget the truncation point may differ between
+    pruned and unpruned searches — both remain deterministic, but the
+    soundness oracle compares untruncated searches.)
 
     Every search feeds the always-on [polymerize.*] metrics (search
-    count, candidate and wall-time histograms); with the telemetry
-    tracer enabled it additionally records a [polymerize.search] span
-    carrying [search.jobs] — with one child span per explored pattern
-    when sequential, or a [parallel.domains] annotation when parallel
-    (worker domains skip child spans to keep parent linkage coherent).
+    count, candidate and wall-time histograms, and the
+    [polymerize.pruned_analytic] / [polymerize.pruned_bound] counters);
+    with the telemetry tracer enabled it additionally records a
+    [polymerize.search] span with one child span per explored pattern.
     [instrument:false] disables both — the uninstrumented baseline for
     the telemetry overhead benchmark. *)
+
+val search_batch :
+  ?scorer:scorer -> ?instrument:bool -> ?jobs:int -> ?min_chunk:int ->
+  Kernel_set.t -> Config.t -> Mikpoly_ir.Operator.t array -> compiled array
+(** Search a whole suite of shapes with the domain pool at per-shape
+    granularity: element [i] of the result is exactly what
+    [polymerize ops.(i)] returns (each shape's search is independent and
+    deterministic, so the array is bit-identical at every job count).
+    [jobs] resolves like {!polymerize}'s and is then clamped to the
+    host's concurrency ({!Mikpoly_util.Domain_pool.effective_jobs}) —
+    worker domains beyond the core count only add dispatch overhead.
+    Chunks carry at least [min_chunk] shapes (default 4) so dispatch
+    amortizes across many searches; batches of [<= min_chunk] shapes (or
+    an effective job count of 1) run inline with zero pool dispatches.
+    This is the entry the compiler's precompile paths, the fleet warm
+    store and the graph executor's compile stage go through. *)
+
+val prune_counter_values : unit -> int * int
+(** Current process-wide ([polymerize.pruned_analytic],
+    [polymerize.pruned_bound]) counter values — the split the serve and
+    fleet compile-stall tables display. *)
 
 val modeled_search_seconds : compiled -> float
 (** Online overhead charged to end-to-end runs: a fixed dispatch cost plus

@@ -25,3 +25,32 @@ val check_random_shapes :
 (** Verify [count] random shapes (dimensions log-uniform in
     [\[1, max_dim\]], default 300); returns the number checked or the
     first failure. *)
+
+type prune_failure = {
+  pf_shape : int * int * int;
+  pf_pruned_key : string;  (** pruned arm's program rendering *)
+  pf_unpruned_key : string;
+  pf_pruned_cost : float;
+  pf_unpruned_cost : float;
+}
+
+val check_prune :
+  ?config:Config.t -> Compiler.t -> m:int -> n:int -> k:int ->
+  (int, prune_failure) result
+(** Prune-soundness oracle: run the online search twice on the
+    compiler's kernel set — {!Config.analytic_prune} on and off — and
+    demand a structurally identical program, identical rendering and
+    bit-equal [predicted_cost]. Both arms run with the search deadline
+    lifted ([search_deadline_ms = 0.]): under a budget the truncation
+    point legitimately differs between the arms, so soundness is defined
+    on the untruncated search. [config] overrides the compiler's
+    configuration as the base (the deadline and prune flag are still
+    forced per arm). Returns the pruned arm's [pruned_analytic] tally on
+    success. *)
+
+val check_prune_random :
+  ?config:Config.t -> ?seed:int -> ?max_dim:int -> Compiler.t -> count:int ->
+  (int, prune_failure) result
+(** {!check_prune} over [count] random shapes (dimensions log-uniform in
+    [\[1, max_dim\]], default 4096); returns the summed
+    [pruned_analytic] tally or the first divergence. *)

@@ -369,6 +369,18 @@ let report r =
           Printf.sprintf "%.2f" o.F.replica_seconds;
         ])
     arms;
+  (* process-wide search-pruning counters behind every arm's compile
+     work: candidates discarded analytically before scoring vs rejected
+     by the scored bound (cumulative across the whole experiment) *)
+  (let pruned_a, pruned_b = Mikpoly_core.Polymerize.prune_counter_values () in
+   Table.add_row planes
+     [
+       "search";
+       "pruned";
+       Printf.sprintf "%d analytic" pruned_a;
+       Printf.sprintf "%d bound" pruned_b;
+       ""; ""; ""; ""; ""; ""; "";
+     ]);
   let tiers =
     Table.create ~title:"Per-tier SLO attainment (full fleet arm)"
       ~header:[ "tier"; "weight"; "requests"; "completed"; "SLO met"; "attain%" ]

@@ -102,6 +102,7 @@ let serving_ab ~quick compiler =
             | Some launch -> [ launch ]
             | None -> []);
       compile_seconds = backend.Executor.bk_compile;
+      precompile_batch = backend.Executor.bk_precompile;
     }
   in
   let total =

@@ -345,6 +345,23 @@ let run ?(faults = Plan.none) config engine trace =
   let do_refresh w ~now =
     match (learner, warm_store) with
     | Some l, Some ws ->
+      let top = Learner.top_k l ~now ~k:w.warm_top_k in
+      (* Batch prewarm (wall clock only): every shape this refresh will
+         compile goes through one coarse batched search, so the modeled
+         [compile_seconds] lookups below are memo hits. The simulated
+         event-clock math is unchanged — the background worker still
+         charges each shape's modeled cost serially on its own clock. *)
+      let missing =
+        List.concat_map
+          (fun (signature, _) ->
+            List.filter_map
+              (fun (shape, _) ->
+                if Shape_cache.mem ws shape then None else Some shape)
+              (engine.Sch.step_shapes ~tokens:signature))
+          top
+      in
+      if missing <> [] then
+        ignore (engine.Sch.precompile_batch ~jobs:0 missing);
       List.iter
         (fun (signature, _) ->
           List.iter
@@ -361,7 +378,7 @@ let run ?(faults = Plan.none) config engine trace =
                 Tm.Metrics.incr m_warm_compiles
               end)
             (engine.Sch.step_shapes ~tokens:signature))
-        (Learner.top_k l ~now ~k:w.warm_top_k)
+        top
     | _ -> ()
   in
   let spawn ~now =

@@ -28,6 +28,12 @@ type backend = {
       (** online polymerization cost of one lowered GEMM shape *)
   bk_gemm : int * int * int -> float;
       (** device seconds of one compiled instance of the shape *)
+  bk_precompile : jobs:int -> (int * int * int) list -> int;
+      (** warm the backend's compile path for a whole shape list in one
+          batched search ({!Mikpoly_core.Compiler.warm} for the mikpoly
+          backend; a no-op for synthetic ones); returns fresh compiles.
+          [jobs = 0] inherits the default worker count. Wall-clock
+          optimization only — charged costs are unchanged. *)
   bk_launch : float;  (** per-node launch overhead, seconds *)
   bk_dram_bps : float;  (** device DRAM bandwidth, bytes/second *)
 }

@@ -47,6 +47,7 @@ type engine = {
   step_seconds : tokens:int -> kv_tokens:int -> float;
   step_shapes : tokens:int -> ((int * int * int) * int) list;
   compile_seconds : int * int * int -> float;
+  precompile_batch : jobs:int -> (int * int * int) list -> int;
 }
 
 let next_pow2 n =
@@ -125,6 +126,8 @@ let mikpoly_engine compiler =
     step_seconds;
     step_shapes;
     compile_seconds;
+    precompile_batch =
+      (fun ~jobs shapes -> Mikpoly_core.Compiler.warm ~jobs compiler shapes);
   }
 
 let synthetic_engine ?(base = 2e-3) ?(per_token = 1e-4) ?(compile = 2e-4)
@@ -142,6 +145,7 @@ let synthetic_engine ?(base = 2e-3) ?(per_token = 1e-4) ?(compile = 2e-4)
       (fun ~tokens ->
         List.init shape_families (fun i -> ((256 * (i + 1), tokens, 512), 4)));
     compile_seconds = (fun _ -> compile);
+    precompile_batch = (fun ~jobs:_ _ -> 0);
   }
 
 let graph_engine ~name ~bind compiler =
@@ -175,6 +179,8 @@ let graph_engine ~name ~bind compiler =
         fst (costs tokens));
     step_shapes = (fun ~tokens -> snd (costs tokens));
     compile_seconds;
+    precompile_batch =
+      (fun ~jobs shapes -> Mikpoly_core.Compiler.warm ~jobs compiler shapes);
   }
 
 type config = {
@@ -264,14 +270,17 @@ module Shape_set = Set.Make (struct
   let compare = compare
 end)
 
-(* Warm the engine's compile path concurrently before the event loop:
-   the bucketed token counts the batcher can admit map to a bounded set
-   of GEMM shapes, and [compile_seconds] memoizes behind a mutex, so the
-   fan-out fills the compiler memo with [jobs] domains. Purely a
-   wall-clock optimization of the harness itself — replica shape caches
-   are untouched, so the simulated outcome (compile stalls included) is
-   bit-identical to a cold sequential run. Prefill steps can exceed the
-   batch cap in tokens; their shapes just compile lazily as before. *)
+(* Warm the engine's compile path before the event loop: the bucketed
+   token counts the batcher can admit map to a bounded set of GEMM
+   shapes, which go through the engine's [precompile_batch] — one
+   coarse batched search with per-shape pool units, instead of the
+   per-shape pool dispatches this harness used before. The sequential
+   [compile_seconds] sweep afterwards fills the engine's stall memo from
+   the now-hot compiler cache. Purely a wall-clock optimization of the
+   harness itself — replica shape caches are untouched, so the
+   simulated outcome (compile stalls included) is bit-identical to a
+   cold sequential run. Prefill steps can exceed the batch cap in
+   tokens; their shapes just compile lazily as before. *)
 let precompile ~jobs config engine =
   let module IS = Set.Make (Int) in
   let buckets = ref IS.empty in
@@ -294,8 +303,8 @@ let precompile ~jobs config engine =
           ("jobs", string_of_int jobs);
         ]
       (fun () ->
-        Dp.parallel_for (Dp.global ~jobs ()) ~start:0 ~stop:(Array.length arr)
-          (fun i -> ignore (engine.compile_seconds arr.(i))))
+        ignore (engine.precompile_batch ~jobs (Array.to_list arr));
+        Array.iter (fun s -> ignore (engine.compile_seconds s)) arr)
 
 let run ?(jobs = 0) ?(adapt = fun () -> 0.) ?(faults = Plan.none) ?resilience
     config engine requests =

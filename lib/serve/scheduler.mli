@@ -21,6 +21,13 @@ type engine = {
           (shape, launches) — e.g. one per layer per projection family *)
   compile_seconds : int * int * int -> float;
       (** stall for polymerizing one uncached shape *)
+  precompile_batch : jobs:int -> (int * int * int) list -> int;
+      (** warm the engine's compile path for a whole shape suite in one
+          batched search ({!Mikpoly_core.Compiler.warm} →
+          [Polymerize.search_batch]: per-shape pool units, [jobs]
+          clamped to host concurrency); returns the number of fresh
+          compiles. Purely a wall-clock optimization of the harness —
+          modeled stalls and simulated outcomes are unchanged. *)
 }
 
 val mikpoly_engine : Mikpoly_core.Compiler.t -> engine

@@ -24,6 +24,9 @@ type t = {
   mutable epoch : int;  (** bumped once per submitted region *)
   mutable active : int;  (** spawned workers still inside the region *)
   mutable stopped : bool;
+  mutable dispatched : int;
+      (** regions handed to worker domains (the parallel path); inline
+          sequential executions are not counted *)
 }
 
 (* True while this domain is executing a region body: nested submissions
@@ -114,12 +117,19 @@ let create ~jobs =
       epoch = 0;
       active = 0;
       stopped = false;
+      dispatched = 0;
     }
   in
   t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
   t
 
 let jobs t = t.n_jobs
+
+let dispatches t =
+  Mutex.lock t.lock;
+  let d = t.dispatched in
+  Mutex.unlock t.lock;
+  d
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -170,6 +180,7 @@ let run_region t ~n_chunks body =
         t.job <- Some r;
         t.epoch <- t.epoch + 1;
         t.active <- w - 1;
+        t.dispatched <- t.dispatched + 1;
         Condition.broadcast t.cv;
         Mutex.unlock t.lock;
         participate r 0;
@@ -205,6 +216,25 @@ let parallel_for t ?chunk ~start ~stop f =
           f i
         done)
   end
+
+(* Like [parallel_for], but with a floor on chunk size: a pool dispatch
+   is only worth paying when each unit carries at least [min_chunk]
+   iterations of work. When the whole range fits inside one chunk the
+   region degenerates to a single chunk, which [run_region] executes on
+   the caller without waking workers only if the pool is sequential —
+   so short ranges additionally bypass region submission entirely. *)
+let parallel_for_batched t ?(min_chunk = 1) ~start ~stop f =
+  if min_chunk < 1 then
+    invalid_arg "Domain_pool.parallel_for_batched: min_chunk must be >= 1";
+  let n = stop - start in
+  if n > 0 then
+    if n <= min_chunk || t.n_jobs = 1 then
+      for i = start to stop - 1 do
+        f i
+      done
+    else
+      let chunk = max min_chunk (ceil_div n (4 * t.n_jobs)) in
+      parallel_for t ~chunk ~start ~stop f
 
 let map_array t ?chunk f a =
   let n = Array.length a in
@@ -247,6 +277,35 @@ let resolve_jobs j = if j <= 0 then default_jobs () else j
 
 let recommended_jobs ?(cap = 8) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
+
+(* Physical cores available to this process. [recommended_domain_count]
+   already folds in affinity masks and cgroup quotas; the /proc probe is
+   a cross-check for containers where the runtime under-reports. *)
+let host_cores () =
+  let proc_cpus =
+    match open_in "/proc/cpuinfo" with
+    | exception Sys_error _ -> 0
+    | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor" then
+             incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !n
+  in
+  max 1 (max proc_cpus (Domain.recommended_domain_count ()))
+
+(* Workers that can actually run concurrently for a requested job count:
+   spawning more domains than cores makes a search *slower* (the extra
+   domains time-slice the same core and pay dispatch overhead for it),
+   so batch-search entry points clamp to this. [0] means "inherit the
+   process default" like [resolve_jobs]. *)
+let effective_jobs j =
+  max 1 (min (resolve_jobs j) (Domain.recommended_domain_count ()))
 
 let global_lock = Mutex.create ()
 

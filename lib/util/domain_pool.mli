@@ -30,6 +30,12 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Worker count the pool was created with (including the caller). *)
 
+val dispatches : t -> int
+(** Number of regions this pool has actually handed to worker domains.
+    Regions that ran inline — [jobs = 1] pools, nested submissions,
+    busy-pool and post-shutdown fallbacks — are not counted, so a test
+    can pin "this path never paid a pool dispatch" exactly. *)
+
 val shutdown : t -> unit
 (** Join all worker domains. Idempotent. Submitting to a shut-down
     pool runs sequentially. *)
@@ -44,6 +50,16 @@ val parallel_for :
     number of consecutive indices per stealable task (default: the
     range split ~4 ways per worker). Within a chunk, indices run in
     order; across chunks, order is unspecified. *)
+
+val parallel_for_batched :
+  t -> ?min_chunk:int -> start:int -> stop:int -> (int -> unit) -> unit
+(** [parallel_for] with a floor on work-unit size: chunks carry at
+    least [min_chunk] (default 1) consecutive indices, and a range of
+    [<= min_chunk] indices (or a [jobs = 1] pool) runs inline on the
+    caller with zero pool dispatches. Use this when the per-index body
+    is cheap enough that fine chunks would lose to dispatch overhead —
+    the polymerization batch search and serve-side precompile fan-outs
+    go through here. Raises [Invalid_argument] when [min_chunk < 1]. *)
 
 val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] — element [i] of the result is [f a.(i)], so
@@ -71,6 +87,18 @@ val map_reduce :
 
 val recommended_jobs : ?cap:int -> unit -> int
 (** [Domain.recommended_domain_count ()] capped at [cap] (default 8). *)
+
+val host_cores : unit -> int
+(** Detected physical core count available to this process: the larger
+    of a [/proc/cpuinfo] probe and [Domain.recommended_domain_count].
+    Recorded in bench artifacts so speedup numbers are interpretable. *)
+
+val effective_jobs : int -> int
+(** [effective_jobs j] resolves [j] like {!resolve_jobs} and then clamps
+    it to [Domain.recommended_domain_count ()]: the number of workers
+    that can make concurrent progress. Batch-search entry points use
+    this so that requesting [jobs = 8] on a 2-core host dispatches 2
+    workers instead of 8 domains time-slicing 2 cores. *)
 
 val default_jobs : unit -> int
 (** The process-wide default job count consulted by layers whose

@@ -215,8 +215,13 @@ let test_polymerize_always_valid () =
 let test_polymerize_explores_and_prunes () =
   let compiler = Lazy.force gpu_compiler in
   let c = compile_shape compiler (4096, 1024, 4096) in
-  Alcotest.(check bool) "many candidates" true (c.candidates > 50);
-  Alcotest.(check bool) "pruning active" true (c.pruned > 0);
+  (* The enumerated strategy space is still large, but the analytic
+     pruner rules most of it out before scoring. *)
+  Alcotest.(check bool) "many candidates considered" true
+    (c.candidates + c.pruned + c.pruned_analytic > 50);
+  Alcotest.(check bool) "analytic pruning active" true (c.pruned_analytic > 0);
+  Alcotest.(check bool) "few candidates actually scored" true
+    (c.candidates < c.pruned_analytic);
   Alcotest.(check bool) "search time measured" true (c.search_seconds > 0.)
 
 let test_polymerize_case_study_splits () =
@@ -231,7 +236,8 @@ let test_polymerize_npu_patterns () =
   let compiler = Lazy.force npu_compiler in
   let c = compile_shape compiler (4096, 1024, 4096) in
   Alcotest.(check bool) "npu compiles" true (Program.num_regions c.program >= 1);
-  Alcotest.(check bool) "npu explores more patterns" true (c.candidates > 100)
+  Alcotest.(check bool) "npu explores more patterns" true
+    (c.candidates + c.pruned + c.pruned_analytic > 100)
 
 let test_variants_differ () =
   let compiler = Lazy.force gpu_compiler in
@@ -780,6 +786,98 @@ let test_parallel_oracle_deterministic () =
   check_jobs_invariant ~scorer:Polymerize.Simulate (Lazy.force gpu_compiler)
     cases
 
+(* --- Analytic pruning soundness and batched search (this PR) --- *)
+
+let prune_arms compiler (m, n, k) =
+  let set = Compiler.kernels compiler in
+  let config = Compiler.config compiler in
+  let op = Operator.gemm ~m ~n ~k () in
+  let at analytic =
+    Polymerize.polymerize ~instrument:false set
+      { config with Config.analytic_prune = analytic }
+      op
+  in
+  (at true, at false)
+
+let prop_prune_sound_gpu =
+  QCheck.Test.make
+    ~name:"analytic pruning: identical program and cost (GPU)" ~count:30
+    QCheck.(triple (int_range 1 5000) (int_range 1 5000) (int_range 1 5000))
+    (fun shape ->
+      let pruned, unpruned = prune_arms (Lazy.force gpu_compiler) shape in
+      compiled_fingerprint pruned = compiled_fingerprint unpruned)
+
+let prop_prune_sound_npu =
+  QCheck.Test.make
+    ~name:"analytic pruning: identical program and cost (NPU, 9 patterns)"
+    ~count:12
+    QCheck.(triple (int_range 1 3000) (int_range 1 3000) (int_range 1 3000))
+    (fun shape ->
+      let pruned, unpruned = prune_arms (Lazy.force npu_compiler) shape in
+      compiled_fingerprint pruned = compiled_fingerprint unpruned)
+
+let test_prune_candidates_reduction () =
+  (* The acceptance bar: analytic pruning must cut scored candidates at
+     least 5x on the headline shapes while keeping the program. *)
+  let compiler = Lazy.force gpu_compiler in
+  List.iter
+    (fun shape ->
+      let pruned, unpruned = prune_arms compiler shape in
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d,%d): >= 5x fewer candidates scored"
+           (let a, _, _ = shape in a)
+           (let _, b, _ = shape in b)
+           (let _, _, c = shape in c))
+        true
+        (5 * pruned.Polymerize.candidates <= unpruned.Polymerize.candidates);
+      Alcotest.(check (triple string (float 0.) string))
+        "same program" (compiled_fingerprint unpruned)
+        (compiled_fingerprint pruned))
+    [ (4096, 1024, 4096); (4096, 4096, 4096); (512, 768, 1024) ]
+
+let test_prune_selfcheck_oracle () =
+  let compiler = Lazy.force gpu_compiler in
+  match Selfcheck.check_prune_random compiler ~seed:7 ~count:6 with
+  | Ok pruned ->
+    Alcotest.(check bool) "oracle saw analytic pruning" true (pruned > 0)
+  | Error f ->
+    Alcotest.failf "prune oracle diverged on (%d,%d,%d): %g vs %g"
+      (let a, _, _ = f.Selfcheck.pf_shape in a)
+      (let _, b, _ = f.Selfcheck.pf_shape in b)
+      (let _, _, c = f.Selfcheck.pf_shape in c)
+      f.Selfcheck.pf_pruned_cost f.Selfcheck.pf_unpruned_cost
+
+let test_search_batch_matches_polymerize () =
+  let compiler = Lazy.force gpu_compiler in
+  let set = Compiler.kernels compiler in
+  let config = Compiler.config compiler in
+  let shapes =
+    [| (512, 512, 512); (4096, 1024, 4096); (17, 23, 31); (1, 48000, 128);
+       (105, 1024, 2048); (768, 3072, 768) |]
+  in
+  let ops =
+    Array.map (fun (m, n, k) -> Operator.gemm ~m ~n ~k ()) shapes
+  in
+  let expect =
+    Array.map
+      (fun op ->
+        compiled_fingerprint (Polymerize.polymerize ~instrument:false set config op))
+      ops
+  in
+  let at ?min_chunk jobs =
+    Array.map compiled_fingerprint
+      (Polymerize.search_batch ~instrument:false ~jobs ?min_chunk set config ops)
+  in
+  Alcotest.(check bool) "jobs=1 matches per-shape polymerize" true
+    (at 1 = expect);
+  Alcotest.(check bool) "jobs=4 matches per-shape polymerize" true
+    (at ~min_chunk:1 4 = expect);
+  Alcotest.(check int) "empty batch" 0
+    (Array.length (Polymerize.search_batch ~jobs:4 set config [||]));
+  Alcotest.check_raises "min_chunk validated"
+    (Invalid_argument "Polymerize.search_batch: min_chunk must be >= 1")
+    (fun () -> ignore (Polymerize.search_batch ~min_chunk:0 set config ops))
+
 let test_kernel_set_concurrent_create () =
   Kernel_set.clear_cache ();
   let config = Config.default gpu in
@@ -910,5 +1008,16 @@ let () =
             test_parallel_oracle_deterministic;
           Alcotest.test_case "concurrent offline create tunes once" `Quick
             test_kernel_set_concurrent_create;
+        ] );
+      ( "strategy_space",
+        [
+          qtest prop_prune_sound_gpu;
+          qtest prop_prune_sound_npu;
+          Alcotest.test_case "candidates scored drop >= 5x" `Quick
+            test_prune_candidates_reduction;
+          Alcotest.test_case "selfcheck prune oracle" `Quick
+            test_prune_selfcheck_oracle;
+          Alcotest.test_case "search_batch matches polymerize" `Quick
+            test_search_batch_matches_polymerize;
         ] );
     ]

@@ -353,8 +353,14 @@ let test_ladder_full_search_rung () =
     (Mikpoly_core.Compiler.safe_mode compiler)
 
 let test_ladder_best_effort_rung () =
+  (* Analytic pruning off so the tiny budget is actually exceeded — with
+     it on, this shape's search fits the quota and stays on Full_search. *)
   let config =
-    { (Mikpoly_core.Config.default gpu) with search_deadline_ms = 1e-3 }
+    {
+      (Mikpoly_core.Config.default gpu) with
+      search_deadline_ms = 1e-3;
+      analytic_prune = false;
+    }
   in
   let compiler = Mikpoly_core.Compiler.create ~config gpu in
   let c =

@@ -358,6 +358,66 @@ let test_pool_jobs1_and_shutdown_idempotent () =
   Domain_pool.parallel_for pool ~start:0 ~stop:3 (fun _ -> incr hits);
   Alcotest.(check int) "after shutdown" 8 !hits
 
+let test_pool_batched_covers () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let acc = Array.make n 0 in
+      Domain_pool.parallel_for_batched pool ~min_chunk:16 ~start:0 ~stop:n
+        (fun i -> acc.(i) <- i + 1);
+      Alcotest.(check bool) "every index ran exactly once" true
+        (acc = Array.init n (fun i -> i + 1)))
+
+let test_pool_batched_inline_paths () =
+  (* jobs=1: the batched loop must never submit a region *)
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      let hits = ref 0 in
+      Domain_pool.parallel_for_batched pool ~min_chunk:1 ~start:0 ~stop:100
+        (fun _ -> incr hits);
+      Alcotest.(check int) "jobs=1 covers" 100 !hits;
+      Alcotest.(check int) "jobs=1: zero dispatches" 0
+        (Domain_pool.dispatches pool));
+  (* short range on a parallel pool: below the min_chunk floor the call
+     is a plain loop — the dispatch counter must not move *)
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let hits = ref 0 in
+      Domain_pool.parallel_for_batched pool ~min_chunk:64 ~start:0 ~stop:64
+        (fun _ -> incr hits);
+      Alcotest.(check int) "short range covers" 64 !hits;
+      Alcotest.(check int) "short range: zero dispatches" 0
+        (Domain_pool.dispatches pool);
+      (* nested inside a region body: inline, no second dispatch *)
+      let inner = Atomic.make 0 in
+      Domain_pool.parallel_for pool ~start:0 ~stop:4 (fun _ ->
+          Domain_pool.parallel_for_batched pool ~min_chunk:1 ~start:0 ~stop:50
+            (fun _ -> Atomic.incr inner));
+      Alcotest.(check int) "nested covers" 200 (Atomic.get inner);
+      Alcotest.(check int) "nested: only the outer region dispatched" 1
+        (Domain_pool.dispatches pool))
+
+let test_pool_batched_dispatches_when_worth_it () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      Domain_pool.parallel_for_batched pool ~min_chunk:8 ~start:0 ~stop:1024
+        (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "covers" 1024 (Atomic.get hits);
+      Alcotest.(check bool) "large range dispatches to workers" true
+        (Domain_pool.dispatches pool > 0);
+      Alcotest.check_raises "min_chunk validated"
+        (Invalid_argument
+           "Domain_pool.parallel_for_batched: min_chunk must be >= 1")
+        (fun () ->
+          Domain_pool.parallel_for_batched pool ~min_chunk:0 ~start:0 ~stop:4
+            (fun _ -> ())))
+
+let test_pool_host_cores_and_effective_jobs () =
+  Alcotest.(check bool) "host_cores >= 1" true (Domain_pool.host_cores () >= 1);
+  Alcotest.(check int) "effective_jobs floor" 1 (Domain_pool.effective_jobs 1);
+  let cap = Domain.recommended_domain_count () in
+  Alcotest.(check bool) "effective_jobs clamps to host concurrency" true
+    (Domain_pool.effective_jobs 64 <= cap);
+  Alcotest.(check bool) "host_cores covers the clamp" true
+    (Domain_pool.host_cores () >= cap)
+
 let test_pool_resolve_jobs () =
   let saved = Domain_pool.default_jobs () in
   Fun.protect
@@ -450,5 +510,13 @@ let () =
           Alcotest.test_case "jobs=1 and shutdown idempotent" `Quick
             test_pool_jobs1_and_shutdown_idempotent;
           Alcotest.test_case "resolve_jobs" `Quick test_pool_resolve_jobs;
+          Alcotest.test_case "batched covers range" `Quick
+            test_pool_batched_covers;
+          Alcotest.test_case "batched inline paths dispatch nothing" `Quick
+            test_pool_batched_inline_paths;
+          Alcotest.test_case "batched dispatches when worth it" `Quick
+            test_pool_batched_dispatches_when_worth_it;
+          Alcotest.test_case "host_cores and effective_jobs" `Quick
+            test_pool_host_cores_and_effective_jobs;
         ] );
     ]
