@@ -9,7 +9,8 @@
 
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
           [--skip-telemetry] [--skip-parallel] [--skip-graph]
-          [--skip-adapt] [--skip-resilience] [--skip-fleet] [ids...] *)
+          [--skip-adapt] [--skip-resilience] [--skip-fleet]
+          [--skip-rank] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -31,6 +32,8 @@ let skip_adapt = Array.exists (( = ) "--skip-adapt") Sys.argv
 let skip_resilience = Array.exists (( = ) "--skip-resilience") Sys.argv
 
 let skip_fleet = Array.exists (( = ) "--skip-fleet") Sys.argv
+
+let skip_rank = Array.exists (( = ) "--skip-rank") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -811,6 +814,58 @@ let run_fleet_bench () =
     (fun () -> output_string oc json1);
   Printf.printf "wrote %s\n%!" path
 
+(* --- Learned candidate ranking: acceptance gates + jobs invariance ---
+
+   Runs the lib/rank offline-train / online-order pipeline under the
+   stale-model drift regime on both fingerprints, asserts the acceptance
+   gates hard (held-out tau and top-1 regret strictly better than
+   calibrated Eq. 2 fit from the same observations on both platforms, the
+   GPU→NPU warm start beats a cold fit of the same budget on top-1
+   regret, untruncated searches bit-identical with the ranker on or off,
+   strictly fewer scored candidates to reach the search winner, and
+   deadline-truncated searches keeping the full-search program at least
+   as often), re-renders at a different worker-domain count and requires
+   the byte-identical report, then writes BENCH_rank.json. *)
+
+let run_rank_bench () =
+  let module E = Mikpoly_experiments.Exp_rank in
+  let saved_jobs = Mikpoly_util.Domain_pool.default_jobs () in
+  let render jobs =
+    Mikpoly_util.Domain_pool.set_default_jobs jobs;
+    let r = E.results ~quick in
+    (r, Mikpoly_telemetry.Json.to_string (E.json r))
+  in
+  let r, json1 =
+    Fun.protect
+      ~finally:(fun () -> Mikpoly_util.Domain_pool.set_default_jobs saved_jobs)
+      (fun () ->
+        let result = render 1 in
+        let _, json4 = render 4 in
+        let _, json1 = result in
+        if json1 <> json4 then begin
+          Printf.eprintf "rank bench: report at jobs=4 differs from jobs=1\n";
+          exit 1
+        end;
+        result)
+  in
+  (match E.failed_gates (E.gates r) with
+  | [] -> ()
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "rank bench: gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    exit 1);
+  Printf.printf "rank bench: %d gates hold, report identical across --jobs\n"
+    (List.length (E.gates r));
+  let path = "BENCH_rank.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json1);
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
@@ -819,4 +874,5 @@ let () =
   if not skip_graph then run_graph_bench ();
   if not skip_adapt then run_adapt_bench ();
   if not skip_resilience then run_resilience_bench ();
-  if not skip_fleet then run_fleet_bench ()
+  if not skip_fleet then run_fleet_bench ();
+  if not skip_rank then run_rank_bench ()

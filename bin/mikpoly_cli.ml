@@ -23,10 +23,31 @@ let set_seed = function
     exit 2
   | Some seed -> Mikpoly_util.Prng.set_default_seed seed
 
-let run_experiments jobs seed adapt ids quick csv =
+(* Load a learned candidate-ordering model (written by [rank --save])
+   for the given platform. Every rejection — truncation, checksum
+   mismatch, wrong schema version, wrong platform or fingerprint — is a
+   warning and a fall-back to the default (calibrated Eq. 2) ordering,
+   never a crash: the ranker only reorders the candidate stream, so
+   serving without it is always safe. *)
+let load_ranker ~hw = function
+  | None -> None
+  | Some path -> (
+    match Mikpoly_rank.Ranker.load ~path ~hw with
+    | Ok r ->
+      Printf.printf "loaded ranker model from %s\n" path;
+      Some (Mikpoly_rank.Ranker.config_ranker r)
+    | Error e ->
+      Printf.eprintf
+        "ranker %s rejected (%s); search keeps the default candidate order\n"
+        path e;
+      None)
+
+let run_experiments jobs seed adapt ranker ids quick csv =
   set_jobs jobs;
   set_seed seed;
   Mikpoly_experiments.Exp_serving.with_adaptation := adapt;
+  Mikpoly_experiments.Backends.set_ranker
+    (load_ranker ~hw:Mikpoly_accel.Hardware.a100 ranker);
   let experiments =
     match ids with
     | [] -> Mikpoly_experiments.Registry.all
@@ -181,8 +202,8 @@ let verify count npu =
       f.max_abs_diff f.program;
     1
 
-let serve jobs seed quick csv npu adapt_on replicas requests rate cache bucket
-    batcher max_batch window =
+let serve jobs seed quick csv npu adapt_on ranker replicas requests rate cache
+    bucket batcher max_batch window =
   set_jobs jobs;
   set_seed seed;
   let open Mikpoly_serve in
@@ -222,7 +243,13 @@ let serve jobs seed quick csv npu adapt_on replicas requests rate cache bucket
       ~max_output:(if quick then 8 else 48)
       ()
   in
-  let compiler = Mikpoly_core.Compiler.create hw in
+  let config =
+    {
+      (Mikpoly_core.Config.default hw) with
+      Mikpoly_core.Config.ranker = load_ranker ~hw ranker;
+    }
+  in
+  let compiler = Mikpoly_core.Compiler.create ~config hw in
   let adapter =
     if adapt_on then Some (Mikpoly_adapt.Adapter.create compiler) else None
   in
@@ -523,18 +550,25 @@ let graph jobs quick csv out =
    fleet-smoke stage with cmp). With --store, the compiler warm-loads
    its kernel set from a Kernel_store artifact and precompiles every
    admissible bucket program before serving starts. *)
-let fleet jobs quick csv out store =
+let fleet jobs quick csv out store ranker =
   set_jobs jobs;
   let module E = Mikpoly_experiments.Exp_fleet in
   let hw = Mikpoly_accel.Hardware.a100 in
+  let config =
+    {
+      (Mikpoly_core.Config.default hw) with
+      Mikpoly_core.Config.ranker = load_ranker ~hw ranker;
+    }
+  in
   let compiler =
     match store with
-    | None -> Mikpoly_core.Compiler.create hw
+    | None -> Mikpoly_core.Compiler.create ~config hw
     | Some path ->
-      let config = Mikpoly_core.Config.default hw in
+      (* The ranker is cache-key-excluded, so the stored kernel set is
+         shared with ranker-less runs. *)
       ignore (Mikpoly_core.Kernel_store.load_or_create ~path hw config);
       let compiler, degraded =
-        Mikpoly_core.Compiler.create_resilient ~store_path:path hw
+        Mikpoly_core.Compiler.create_resilient ~config ~store_path:path hw
       in
       (match degraded with
       | Some reason ->
@@ -575,6 +609,45 @@ let fleet jobs quick csv out store =
     List.iter
       (fun (g : E.gate) ->
         Printf.eprintf "fleet gate failed: %s: %s\n" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    1
+
+(* Train and evaluate the learned candidate-ordering ranker (lib/rank):
+   harvest simulator observations on both platforms, fit the
+   gradient-boosted model and the calibrated-Eq.-2 baseline from the
+   same examples, compare Kendall tau / top-1 regret on held-out shapes,
+   check GPU->NPU transfer and the deadline A/B, with the acceptance
+   gates asserted hard. The JSON report contains only simulated
+   quantities, so two runs — at any --jobs count — must produce
+   byte-identical files (checked by the CI rank-smoke stage with cmp). *)
+let rank jobs seed quick csv out save =
+  set_jobs jobs;
+  set_seed seed;
+  let module E = Mikpoly_experiments.Exp_rank in
+  let r = E.results ~quick in
+  let report = E.report r in
+  if csv then
+    List.iter
+      (fun t -> print_endline (Mikpoly_util.Table.to_csv t))
+      report.Mikpoly_experiments.Exp.tables
+  else print_string (Mikpoly_experiments.Exp.render report);
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Mikpoly_telemetry.Json.to_string (E.json r)));
+  Printf.printf "wrote %s\n" out;
+  (match save with
+  | Some path ->
+    Mikpoly_rank.Ranker.save ~path r.E.r_gpu_ranker;
+    Printf.printf "saved ranker model to %s\n" path
+  | None -> ());
+  match E.failed_gates (E.gates r) with
+  | [] -> 0
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "rank gate failed: %s: %s\n" g.E.gate_name
           g.E.gate_detail)
       fs;
     1
@@ -721,6 +794,19 @@ let adapt_flag =
            prediction residuals, detect drift and charge recompilations \
            on the serving event clock.")
 
+let ranker_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ranker" ] ~docv:"FILE"
+        ~doc:
+          "Load a learned candidate-ordering model (written by $(b,rank \
+           --save)) and let it order the polymerization search's candidate \
+           stream best-first. Ordering never changes an un-truncated \
+           search's program; a rejected artifact (wrong platform, \
+           fingerprint, schema or checksum) falls back to the default \
+           order with a warning.")
+
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
 
@@ -728,8 +814,8 @@ let run_cmd =
   let doc = "Run paper-experiment reproductions" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_experiments $ jobs_arg $ seed_arg $ adapt_flag $ ids_arg
-      $ quick_flag $ csv_flag)
+      const run_experiments $ jobs_arg $ seed_arg $ adapt_flag $ ranker_arg
+      $ ids_arg $ quick_flag $ csv_flag)
 
 let list_cmd =
   let doc = "List available experiments" in
@@ -800,8 +886,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ npu
-      $ adapt_flag $ replicas $ requests $ rate $ cache $ bucket $ batcher
-      $ max_batch $ window)
+      $ adapt_flag $ ranker_arg $ replicas $ requests $ rate $ cache $ bucket
+      $ batcher $ max_batch $ window)
 
 let adapt_cmd =
   let doc =
@@ -896,7 +982,37 @@ let fleet_cmd =
              admissible bucket program before serving.")
   in
   Cmd.v (Cmd.info "fleet" ~doc)
-    Term.(const fleet $ jobs_arg $ quick_flag $ csv_flag $ out $ store)
+    Term.(
+      const fleet $ jobs_arg $ quick_flag $ csv_flag $ out $ store
+      $ ranker_arg)
+
+let rank_cmd =
+  let doc =
+    "Train the learned candidate-ordering ranker from simulator \
+     observations, compare it against calibrated Equation 2 on held-out \
+     shapes (both fingerprints), check GPU->NPU transfer and the \
+     search-deadline A/B, and write a machine-readable report"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_rank.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Report file. Contains only simulated quantities, so runs are \
+             byte-identical at any $(b,--jobs) count.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Persist the trained GPU ranker model (versioned, checksummed) \
+             to FILE for $(b,--ranker).")
+  in
+  Cmd.v (Cmd.info "rank" ~doc)
+    Term.(const rank $ jobs_arg $ seed_arg $ quick_flag $ csv_flag $ out $ save)
 
 let verify_cmd =
   let doc = "Numerically verify compiled programs against the reference GEMM" in
@@ -954,7 +1070,7 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      adapt_cmd; chaos_cmd; graph_cmd; fleet_cmd; verify_cmd; profile_cmd;
-      validate_trace_cmd ]
+      adapt_cmd; chaos_cmd; graph_cmd; fleet_cmd; rank_cmd; verify_cmd;
+      profile_cmd; validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -120,7 +120,7 @@ echo "== parallel-win =="
 # the programs must be byte-identical across job counts, and analytic
 # pruning must cut scored candidates at least 5x with the identical
 # program. The greps re-assert the recorded verdicts on the artifact.
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet --skip-rank
 test -s BENCH_parallel.json
 grep -q '"passed":true' BENCH_parallel.json
 if grep -q '"programs_identical":false' BENCH_parallel.json; then
@@ -130,19 +130,50 @@ fi
 grep -q '"candidates_scored"' BENCH_parallel.json
 
 echo "== graph bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet --skip-rank
 test -s BENCH_graph.json
 
 echo "== adapt bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience --skip-fleet
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience --skip-fleet --skip-rank
 test -s BENCH_adapt.json
 
 echo "== resilience bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-fleet
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-fleet --skip-rank
 test -s BENCH_resilience.json
 
 echo "== fleet bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-rank
 test -s BENCH_fleet.json
+
+echo "== rank smoke test =="
+# The learned candidate ranker end to end: harvest observations from the
+# drifted device via the compiler's observer hook, train on both
+# fingerprints, evaluate held-out ranking quality vs calibrated Eq. 2,
+# the GPU->NPU warm start, and the deadline A/B (untruncated searches
+# must stay bit-identical with the ranker on or off). The subcommand
+# exits non-zero if any acceptance gate fails; the JSON report holds
+# only simulated quantities, so runs must produce byte-identical files
+# across repeats and across --jobs counts. The saved model must be a
+# non-empty versioned artifact, and a serve run loading it must pass.
+rank_a="${TMPDIR:-/tmp}/mikpoly_ci_rank_a.json"
+rank_b="${TMPDIR:-/tmp}/mikpoly_ci_rank_b.json"
+rank_model="${TMPDIR:-/tmp}/mikpoly_ci_rank.model"
+dune exec bin/mikpoly_cli.exe -- rank --quick --out "$rank_a" --save "$rank_model"
+test -s "$rank_a"
+grep -q '"gates_ok":true' "$rank_a"
+test -s "$rank_model"
+head -1 "$rank_model" | grep -q "mikpoly-rank"
+dune exec bin/mikpoly_cli.exe -- rank --quick --out "$rank_b"
+cmp "$rank_a" "$rank_b"
+dune exec bin/mikpoly_cli.exe -- rank --quick --jobs 4 --out "$rank_b"
+cmp "$rank_a" "$rank_b"
+# Serving with the trained ranker ordering the search must run clean.
+dune exec bin/mikpoly_cli.exe -- serve --quick --ranker "$rank_model"
+rm -f "$rank_a" "$rank_b" "$rank_model"
+
+echo "== rank bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-fleet
+test -s BENCH_rank.json
+grep -q '"gates_ok":true' BENCH_rank.json
 
 echo "CI OK"

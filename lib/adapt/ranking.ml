@@ -18,7 +18,7 @@ let ceil_div a b = (a + b - 1) / b
    single-region (Pattern I) program — the per-region choice Equation 2 is
    asked to make. [(predicted, simulated)] per candidate, in rank order. *)
 let candidates ~(compiler : Compiler.t) ~(exec_hw : Hardware.t) ?correction
-    (m, n, k) =
+    ?scorer (m, n, k) =
   let set = Compiler.kernels compiler in
   Array.to_list set.entries
   |> List.map (fun (e : Kernel_set.entry) ->
@@ -27,9 +27,18 @@ let candidates ~(compiler : Compiler.t) ~(exec_hw : Hardware.t) ?correction
          let wave = float_of_int (ceil_div n_tasks e.wave_capacity) in
          let raw = wave *. Cost_model.f_pipe e ~k_len:k in
          let predicted =
-           match correction with
-           | Some f -> Float.max 0. (f e raw)
-           | None -> raw
+           (* A [scorer] sees the shape as well as the kernel (what a
+              learned ranker needs); a [correction] only the kernel and
+              its raw cost (what calibration learns). [scorer] wins when
+              both are given. Either way the clamp keeps predictions
+              non-negative, so all-tied-at-zero predictions stay a
+              representable outcome and τ-b reports 0 for it, not 1. *)
+           match scorer with
+           | Some f -> Float.max 0. (f (m, n, k) e raw)
+           | None -> (
+             match correction with
+             | Some f -> Float.max 0. (f e raw)
+             | None -> raw)
          in
          let load =
            Load.make
@@ -39,12 +48,15 @@ let candidates ~(compiler : Compiler.t) ~(exec_hw : Hardware.t) ?correction
          in
          (predicted, (Simulator.run exec_hw load).cycles))
 
-let evaluate ~compiler ~exec_hw ?correction shapes =
+let evaluate ~compiler ~exec_hw ?correction ?scorer shapes =
   if shapes = [] then invalid_arg "Ranking.evaluate: no shapes";
   let taus, regrets =
     List.fold_left
       (fun (taus, regrets) shape ->
-        let pairs = candidates ~compiler ~exec_hw ?correction shape in
+        let pairs = candidates ~compiler ~exec_hw ?correction ?scorer shape in
+        (* τ-b ([Stats.kendall_tau]): tied predicted costs are counted in
+           the tie terms, never as concordant — a constant predictor
+           scores τ = 0, not 1. *)
         let tau = Stats.kendall_tau pairs in
         (* Argmin by predicted resp. simulated cost; [fold_left] keeps the
            first (lowest-rank) candidate on ties, deterministically. *)

@@ -1,5 +1,12 @@
 open Mikpoly_accel
 
+type ranker = {
+  rk_id : string;
+  rk_score :
+    m:int -> n:int -> k:int -> um:int -> un:int -> uk:int ->
+    wave_capacity:int -> n_tasks:int -> pipe:float -> float;
+}
+
 type t = {
   n_gen : int;
   n_syn : int;
@@ -18,6 +25,7 @@ type t = {
   search_jobs : int;
   search_deadline_ms : float;
   analytic_prune : bool;
+  ranker : ranker option;
 }
 
 let default (hw : Hardware.t) =
@@ -41,6 +49,7 @@ let default (hw : Hardware.t) =
       search_jobs = 0;
       search_deadline_ms = 0.;
       analytic_prune = true;
+      ranker = None;
     }
   | Npu ->
     {
@@ -61,6 +70,7 @@ let default (hw : Hardware.t) =
       search_jobs = 0;
       search_deadline_ms = 0.;
       analytic_prune = true;
+      ranker = None;
     }
 
 let with_path path t =

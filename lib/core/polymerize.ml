@@ -27,6 +27,10 @@ let m_pruned_bound = Tm.Metrics.counter "polymerize.pruned_bound"
 
 let m_batches = Tm.Metrics.counter "polymerize.batches"
 
+(* Searches whose visitation order was actually permuted by a
+   [Config.ranker] (identity permutations are not counted). *)
+let m_reorders = Tm.Metrics.counter "rank.reorders"
+
 let prune_counter_values () =
   ( Tm.Metrics.counter_value m_pruned_analytic,
     Tm.Metrics.counter_value m_pruned_bound )
@@ -46,6 +50,7 @@ type compiled = {
   pruned_analytic : int;
   search_seconds : float;
   deadline_hit : bool;
+  first_hit : int;
 }
 
 let ceil_div a b = (a + b - 1) / b
@@ -128,7 +133,8 @@ type unit_result = {
   u_truncated : bool;
 }
 
-let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
+let search ?shared_view ~scorer ~instrument ~tracing (set : Kernel_set.t)
+    (config : Config.t) op =
   if Array.length set.entries = 0 then
     invalid_arg "Polymerize.polymerize: empty kernel set";
   let t0 = Unix.gettimeofday () in
@@ -215,6 +221,44 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   let quota =
     unit_quota ~deadline_ms:config.search_deadline_ms ~n_units
   in
+  (* Learned candidate ordering ([Config.ranker]): one predicted cost per
+     kernel, computed from exactly the quantities Eq. 2 is built from so
+     the offline-trained model sees the same features online. Only the
+     Full objective is ordered — the ablated objectives rank by different
+     quantities, and the simulator oracle must visit everything anyway.
+     Ordering is advisory: every skip below remains a strict comparison
+     against an achievable bound and the winner is the global
+     [(cost, tie_key)] minimum, so a permuted visitation order can change
+     tallies and bound evolution but never the chosen program. *)
+  let ranker =
+    match config.ranker with
+    | Some r when sim_hw = None && objective = Cost_model.Full -> Some r
+    | _ -> None
+  in
+  let rsc =
+    match ranker with
+    | None -> [||]
+    | Some r ->
+      Array.map
+        (fun (e : Kernel_set.entry) ->
+          let n_tasks =
+            icount * (ceil_div m e.desc.um * ceil_div n e.desc.un)
+          in
+          r.Config.rk_score ~m ~n ~k ~um:e.desc.um ~un:e.desc.un
+            ~uk:e.desc.uk ~wave_capacity:e.wave_capacity ~n_tasks
+            ~pipe:pipe.(e.rank))
+        entries
+  in
+  (* Pattern-I visitation order: best-predicted first, ties by Eq.-2 cost
+     then rank so the order is total and deterministic. *)
+  let entry_order =
+    let idx = Array.init n_entries Fun.id in
+    if ranker <> None then
+      Array.sort
+        (fun a b -> compare (rsc.(a), p1.(a), a) (rsc.(b), p1.(b), b))
+        idx;
+    idx
+  in
   (* Shared branch-and-bound state: the lowest full-candidate cost found
      by any domain so far. Monotonically non-increasing, so pruning a
      partial sum that strictly exceeds it can never discard a candidate
@@ -238,7 +282,14 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   in
   let view =
     if analytic then
-      Some (Strategy_space.view (Strategy_space.skeleton set) set ~pipe ~launch)
+      (* [search_batch] precomputes one view per distinct reduction extent
+         and shares it across the batch — a view depends on the shape only
+         through [pipe] (a function of K) and [launch], never on M or N. *)
+      match shared_view with
+      | Some _ as v -> v
+      | None ->
+        Some
+          (Strategy_space.view (Strategy_space.skeleton set) set ~pipe ~launch)
     else None
   in
   let live_ok =
@@ -304,11 +355,28 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
       Hashtbl.add st.memo key hit;
       hit
   in
+  (* [scored] counts candidates actually scored, across all units of this
+     search (units run sequentially, so a plain ref is deterministic);
+     [g_first] remembers the count at the moment the eventual winner was
+     first recorded — the "candidates scored to reach the program" the
+     ranker is judged on. *)
+  let scored = ref 0 in
+  let g_best = ref None in
+  let g_first = ref 0 in
+  let count st =
+    st.l_cand <- st.l_cand + 1;
+    incr scored
+  in
   let record st cost choice =
     let key = choice_key choice in
     (match st.l_best with
     | Some (bc, bk, _) when (bc, bk) <= (cost, key) -> ()
     | _ -> st.l_best <- Some (cost, key, choice));
+    (match !g_best with
+    | Some (bc, bk) when (bc, bk) <= (cost, key) -> ()
+    | _ ->
+      g_best := Some (cost, key);
+      g_first := !scored);
     lower_bound cost
   in
   (* Resolve a choice into concrete (rect, kernel) pairs. *)
@@ -361,7 +429,7 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
       | None -> ()
       | Some _ when not (budget_ok st) -> ()
       | Some assignment ->
-        st.l_cand <- st.l_cand + 1;
+        count st;
         let limit = Atomic.get bound in
         let rec go acc = function
           | [] -> record st acc ch
@@ -376,7 +444,7 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
     | None -> ()
     | Some _ when not (budget_ok st) -> ()
     | Some assignment ->
-      st.l_cand <- st.l_cand + 1;
+      count st;
       let regions =
         List.map
           (fun ((r : Pattern.rect), (e : Kernel_set.entry)) ->
@@ -415,11 +483,12 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
   let pattern_one st =
     match sim_hw with
     | None ->
-      for i = 0 to n_entries - 1 do
+      for ii = 0 to n_entries - 1 do
+        let i = entry_order.(ii) in
         if analytic && (not (live_ok i) || p1.(i) > Atomic.get bound) then
           st.l_pruned_a <- st.l_pruned_a + 1
         else if budget_ok st then begin
-          st.l_cand <- st.l_cand + 1;
+          count st;
           record st p1.(i) (choice I [] [ entries.(i) ] None)
         end
       done
@@ -435,7 +504,7 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
           if analytic && c1 +. floor_cost (m - r) n > Atomic.get bound then
             st.l_pruned_a <- st.l_pruned_a + 1
           else if budget_ok st then begin
-            st.l_cand <- st.l_cand + 1;
+            count st;
             if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
             else begin
               let e2, c2 = best_single st (m - r) n in
@@ -454,7 +523,7 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
           if analytic && c1 +. floor_cost m (n - c) > Atomic.get bound then
             st.l_pruned_a <- st.l_pruned_a + 1
           else if budget_ok st then begin
-            st.l_cand <- st.l_cand + 1;
+            count st;
             if c1 > Atomic.get bound then st.l_pruned <- st.l_pruned + 1
             else begin
               let e2, c2 = best_single st m (n - c) in
@@ -543,11 +612,43 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
              Array.to_list (Array.map (fun e -> (p, Some e)) primaries))
          config.patterns)
   in
+  (* Under a ranker, units run best-predicted-first: a unit is scored by
+     its primary kernel's prediction (the Pattern-I unit by the best
+     prediction overall, since it visits every kernel). The sort key
+     includes the configuration-order index, so ties keep their order and
+     the permutation is total. With a deadline this front-loads the units
+     most likely to contain the winner; without one it only changes
+     visitation order, which the tie-break makes irrelevant. *)
+  let units =
+    if ranker = None then units
+    else begin
+      let unit_score ((_ : Pattern.t), e1) =
+        match e1 with
+        | Some (e : Kernel_set.entry) -> rsc.(e.rank)
+        | None -> Array.fold_left min infinity rsc
+      in
+      let keyed =
+        Array.mapi (fun i u -> (unit_score u, i, u)) units
+      in
+      Array.sort
+        (fun (s1, i1, _) (s2, i2, _) -> compare (s1, i1) (s2, i2))
+        keyed;
+      let permuted =
+        Array.exists (fun i -> let _, j, _ = keyed.(i) in i <> j)
+          (Array.init (Array.length keyed) Fun.id)
+        || Array.exists (fun i -> entry_order.(i) <> i)
+             (Array.init n_entries Fun.id)
+      in
+      if permuted && instrument then Tm.Metrics.incr m_reorders;
+      Array.map (fun (_, _, u) -> u) keyed
+    end
+  in
   let results =
     if not tracing then Array.map run_unit units
     else begin
       (* Tracing keeps the per-pattern child spans: units of one pattern
-         are contiguous by construction. *)
+         are contiguous by construction (a ranker permutation may split a
+         pattern across several runs, which just yields several spans). *)
       let res =
         Array.make (Array.length units)
           {
@@ -634,15 +735,11 @@ let search ~scorer ~tracing (set : Kernel_set.t) (config : Config.t) op =
     pruned_analytic;
     search_seconds = Unix.gettimeofday () -. t0;
     deadline_hit;
+    first_hit = !g_first;
   }
 
-let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
-    ?jobs:(_ = 1) (set : Kernel_set.t) (config : Config.t) op =
-  (* [jobs] is accepted for compatibility: since the coarse-grain rework a
-     single-shape search always runs its units sequentially (the
-     per-unit pool dispatch it used to pay was the slowdown the parallel
-     bench measured); parallelism across shapes lives in
-     {!search_batch}. *)
+let polymerize_with ?shared_view ?(scorer = Model Cost_model.Full)
+    ?(instrument = true) (set : Kernel_set.t) (config : Config.t) op =
   let finish (c : compiled) =
     if instrument then begin
       Tm.Metrics.incr m_searches;
@@ -654,19 +751,30 @@ let polymerize ?(scorer = Model Cost_model.Full) ?(instrument = true)
     c
   in
   if not (instrument && Tm.Tracer.enabled ()) then
-    finish (search ~scorer ~tracing:false set config op)
+    finish (search ?shared_view ~scorer ~instrument ~tracing:false set config op)
   else begin
     let m, n, k = Operator.gemm_shape op in
     Tm.Tracer.with_span "polymerize.search"
       ~attrs:[ ("shape", Printf.sprintf "%dx%dx%d" m n k) ]
       (fun () ->
-        let c = search ~scorer ~tracing:true set config op in
+        let c =
+          search ?shared_view ~scorer ~instrument ~tracing:true set config op
+        in
         Tm.Tracer.annotate "pattern" (Pattern.to_string c.pattern);
         Tm.Tracer.annotate "candidates" (string_of_int c.candidates);
         Tm.Tracer.annotate "pruned" (string_of_int c.pruned);
         Tm.Tracer.annotate "pruned_analytic" (string_of_int c.pruned_analytic);
         finish c)
   end
+
+let polymerize ?scorer ?instrument ?jobs:(_ = 1) (set : Kernel_set.t)
+    (config : Config.t) op =
+  (* [jobs] is accepted for compatibility: since the coarse-grain rework a
+     single-shape search always runs its units sequentially (the
+     per-unit pool dispatch it used to pay was the slowdown the parallel
+     bench measured); parallelism across shapes lives in
+     {!search_batch}. *)
+  polymerize_with ?scorer ?instrument set config op
 
 (* Batched suite search: one pool region over whole shapes. Each shape's
    search is independent and fully deterministic, so the result array is
@@ -686,7 +794,50 @@ let search_batch ?(scorer = Model Cost_model.Full) ?(instrument = true) ?jobs
   in
   let ejobs = Dp.effective_jobs requested in
   let n = Array.length ops in
-  let one op = polymerize ~scorer ~instrument ~jobs:1 set config op in
+  (* One [Strategy_space.view] per distinct reduction extent, shared by
+     every shape of the batch with that K: a view depends on the shape
+     only through [pipe] (a function of K) and [launch], so rebuilding it
+     per shape was pure waste. Views are immutable once built; computing
+     them before the pool region keeps the parallel arm read-only. Only
+     the scorer/config combination that would build a view anyway
+     qualifies — the table stays [None] otherwise. *)
+  let shared_views =
+    let analytic =
+      config.analytic_prune
+      && (match scorer with Model Cost_model.Full -> true | _ -> false)
+    in
+    if (not analytic) || n = 0 || Array.length set.entries = 0 then None
+    else begin
+      let launch =
+        if config.search_launch_term then
+          set.hw.Hardware.launch_overhead_s *. set.hw.clock_hz
+        else 0.
+      in
+      let sk = Strategy_space.skeleton set in
+      let tbl = Hashtbl.create 8 in
+      Array.iter
+        (fun op ->
+          let _, _, kk = Operator.gemm_shape op in
+          if not (Hashtbl.mem tbl kk) then begin
+            let pipe =
+              Array.map (fun e -> Cost_model.f_pipe e ~k_len:kk) set.entries
+            in
+            Hashtbl.add tbl kk (Strategy_space.view sk set ~pipe ~launch)
+          end)
+        ops;
+      Some tbl
+    end
+  in
+  let one op =
+    let shared_view =
+      match shared_views with
+      | None -> None
+      | Some tbl ->
+        let _, _, kk = Operator.gemm_shape op in
+        Hashtbl.find_opt tbl kk
+    in
+    polymerize_with ?shared_view ~scorer ~instrument set config op
+  in
   let run () =
     if n = 0 then [||]
     else begin

@@ -47,6 +47,13 @@ type compiled = {
           per-unit quota ran out (still deterministic — the quota is a
           candidate count, not wall-clock, so the cut lands on the same
           candidate at every job count). *)
+  first_hit : int;
+      (** how many candidates had been scored when the eventual winner
+          was first recorded (1-based; counted across the whole search in
+          visitation order). The figure of merit for [Config.ranker]'s
+          best-first ordering: a good ranker reaches the same program
+          with a strictly smaller [first_hit], which is what lets a
+          [search_deadline_ms] cut keep the full-search winner. *)
 }
 
 val row_cuts :
@@ -94,7 +101,17 @@ val polymerize :
     with the telemetry tracer enabled it additionally records a
     [polymerize.search] span with one child span per explored pattern.
     [instrument:false] disables both — the uninstrumented baseline for
-    the telemetry overhead benchmark. *)
+    the telemetry overhead benchmark.
+
+    With [Config.ranker] set and the plain [Model Full] scorer,
+    enumeration units and Pattern-I kernels are visited
+    best-predicted-first and the
+    [rank.reorders] counter tracks non-identity permutations. Ordering
+    never changes the chosen program of an un-truncated search: the
+    winner is the global [(cost, tie_key)] minimum over recorded
+    candidates, and every skip (analytic, bound, partial-sum) is a strict
+    comparison against an achievable cost, so a candidate able to win or
+    tie is scored under every visitation order. *)
 
 val search_batch :
   ?scorer:scorer -> ?instrument:bool -> ?jobs:int -> ?min_chunk:int ->

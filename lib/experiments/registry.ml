@@ -27,6 +27,7 @@ let all =
     Exp_resilience.exp;
     Exp_graph.exp;
     Exp_fleet.exp;
+    Exp_rank.exp;
   ]
 
 let find id = List.find_opt (fun (e : Exp.t) -> e.id = id) all

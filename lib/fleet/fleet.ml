@@ -200,10 +200,31 @@ let run ?(faults = Plan.none) config engine trace =
     | Some w -> Some (Learner.create ~half_life:w.warm_half_life ())
     | None -> None
   in
+  (* Warm-store admission is mass-aware, not LRU: a warm entry's weight
+     is its bucket's decayed learner mass at the moment an admission
+     decision is made, so a scan of cold buckets churns among the cold
+     entries and can never evict a heavy-tail tenant's hot bucket.
+     [warm_sig] remembers which bucket produced each warm shape (filled
+     wherever [step_shapes] expands a bucket) and [warm_now] tracks the
+     event clock the decay is evaluated at. *)
+  let warm_sig : (Shape_cache.key, int) Hashtbl.t = Hashtbl.create 64 in
+  let warm_now = ref 0. in
   let warm_store =
-    match config.warm with
-    | Some w -> Some (Shape_cache.create ~capacity:w.warm_capacity)
-    | None -> None
+    match (config.warm, learner) with
+    | Some w, Some l ->
+      let weight shape =
+        match Hashtbl.find_opt warm_sig shape with
+        | Some s -> Learner.mass l ~now:!warm_now ~signature:s
+        | None -> 0.
+      in
+      Some (Shape_cache.create_weighted ~weight ~capacity:w.warm_capacity)
+    | _ -> None
+  in
+  let register_warm_shapes b shapes =
+    List.iter
+      (fun ((shape : Shape_cache.key), _) -> Hashtbl.replace warm_sig shape b)
+      shapes;
+    shapes
   in
   (* Coalescing affinity: which slot last led a group for a signature.
      A signature stays sticky to its owner until the owner retires or a
@@ -345,6 +366,7 @@ let run ?(faults = Plan.none) config engine trace =
   let do_refresh w ~now =
     match (learner, warm_store) with
     | Some l, Some ws ->
+      warm_now := now;
       let top = Learner.top_k l ~now ~k:w.warm_top_k in
       (* Batch prewarm (wall clock only): every shape this refresh will
          compile goes through one coarse batched search, so the modeled
@@ -357,7 +379,8 @@ let run ?(faults = Plan.none) config engine trace =
             List.filter_map
               (fun (shape, _) ->
                 if Shape_cache.mem ws shape then None else Some shape)
-              (engine.Sch.step_shapes ~tokens:signature))
+              (register_warm_shapes signature
+                 (engine.Sch.step_shapes ~tokens:signature)))
           top
       in
       if missing <> [] then
@@ -377,7 +400,8 @@ let run ?(faults = Plan.none) config engine trace =
                 incr warm_compiles;
                 Tm.Metrics.incr m_warm_compiles
               end)
-            (engine.Sch.step_shapes ~tokens:signature))
+            (register_warm_shapes signature
+               (engine.Sch.step_shapes ~tokens:signature)))
         top
     | _ -> ()
   in
@@ -556,14 +580,14 @@ let run ?(faults = Plan.none) config engine trace =
                  prefills)
           in
           List.concat_map
-            (fun b -> engine.Sch.step_shapes ~tokens:b)
+            (fun b -> register_warm_shapes b (engine.Sch.step_shapes ~tokens:b))
             buckets
           @ (if decodes > 0 then
-               engine.Sch.step_shapes
-                 ~tokens:(Bucketing.bucket config.bucketing decodes)
+               let db = Bucketing.bucket config.bucketing decodes in
+               register_warm_shapes db (engine.Sch.step_shapes ~tokens:db)
              else [])
         end
-        else engine.Sch.step_shapes ~tokens:btokens
+        else register_warm_shapes btokens (engine.Sch.step_shapes ~tokens:btokens)
       in
       List.iter
         (fun (shape, launches) ->
@@ -589,7 +613,9 @@ let run ?(faults = Plan.none) config engine trace =
                 stall := !stall +. c;
                 Shape_cache.add r.sl_cache shape ();
                 match warm_store with
-                | Some ws -> Shape_cache.add ws shape (now +. !stall)
+                | Some ws ->
+                  warm_now := now;
+                  Shape_cache.add ws shape (now +. !stall)
                 | None -> ()
               end)
           done)

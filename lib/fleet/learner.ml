@@ -57,6 +57,20 @@ let top_k t ~now ~k =
          match compare m2 m1 with 0 -> compare s1 s2 | c -> c)
   |> List.filteri (fun i _ -> i < k)
 
+(* Decayed mass of one signature summed across tenants — the admission
+   weight the warm store's mass-aware cache consults. Pure with respect
+   to ranking: it decays cells exactly like [top_k] does, so reading a
+   mass never perturbs subsequent rankings. *)
+let mass t ~now ~signature =
+  Hashtbl.fold
+    (fun (_, s) cell acc ->
+      if s = signature then begin
+        decay t cell ~now;
+        acc +. cell.mass
+      end
+      else acc)
+    t.cells 0.
+
 let signatures t =
   Hashtbl.fold (fun (_, s) _ acc -> s :: acc) t.cells []
   |> List.sort_uniq compare

@@ -23,5 +23,11 @@ val top_k : t -> now:float -> k:int -> (int * float) list
 (** Signatures ranked by decayed mass summed across tenants, largest
     first, at most [k]; ties break to the smaller signature. *)
 
+val mass : t -> now:float -> signature:int -> float
+(** Decayed mass of one signature summed across tenants at event time
+    [now]; 0 for a never-observed signature. The admission weight behind
+    the warm store's mass-aware eviction
+    ({!Mikpoly_serve.Shape_cache.create_weighted}). *)
+
 val signatures : t -> int list
 (** Every signature ever observed, ascending — for reports. *)

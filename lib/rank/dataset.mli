@@ -1,0 +1,29 @@
+(** Training-data harvest for the learned ranker.
+
+    For each training shape, every micro-kernel in the compiler's set is
+    run as a single-region Pattern-I program through
+    {!Mikpoly_core.Compiler.simulate_observed} — on the compiler's own
+    device or an explicit [hw] — and the resulting residual observations
+    (collected via the {!Mikpoly_core.Compiler.set_observer} hook, the
+    same channel the adaptation layer listens on) become one example per
+    region: the {!Features} vector plus the log observed∕predicted
+    residual. Deterministic given (compiler, hw, shapes). *)
+
+type example = {
+  ex_features : float array;
+  ex_target : float;  (** log(observed ∕ predicted) region cycles *)
+  ex_shape : int * int * int;  (** (M, N, K) — for per-shape centering *)
+  ex_kernel : int * int * int;  (** (uM, uN, uK) — for baseline fits *)
+  ex_raw : float;  (** raw Eq.-2 region prediction, cycles *)
+  ex_observed : float;  (** simulator region envelope, cycles *)
+}
+
+val sample_shapes : seed:int -> count:int -> (int * int * int) list
+(** Deterministic log-uniform GEMM shapes (M, N ∈ [64, 2048],
+    K ∈ [64, 1024]), distinct while the draw budget lasts. *)
+
+val harvest :
+  compiler:Mikpoly_core.Compiler.t -> ?hw:Mikpoly_accel.Hardware.t ->
+  (int * int * int) list -> example list
+(** Temporarily installs (and on exit clears) the compiler's observer
+    hook. Examples appear in (shape, kernel-rank) order. *)

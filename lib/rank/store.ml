@@ -1,0 +1,78 @@
+module Hardware = Mikpoly_accel.Hardware
+module Calibration = Mikpoly_adapt.Calibration
+module Profile_store = Mikpoly_adapt.Profile_store
+
+(* Artifact layout (mirrors Profile_store v2 / kernel-set v3): a magic
+   line, the platform name and fingerprint, the feature-schema id, a
+   checksum over the body, then the body — the ranker's calibration
+   stage ([kernel …] lines, the {!Calibration.to_string} form) followed
+   by its boosted-stump stage ([base]/[stump] lines, the
+   {!Model.to_string} form). Every validation failure is a distinct
+   [Error] so callers can report why a ranker was refused before falling
+   back to calibrated Eq. 2. *)
+let magic = "mikpoly-rank v1"
+
+let body_checksum body = Mikpoly_util.Checksum.fnv1a64_hex body
+
+let save ~path (hw : Hardware.t) ((cal : Calibration.t), (model : Model.t)) =
+  let body = Calibration.to_string cal ^ Model.to_string model in
+  Mikpoly_util.Atomic_file.write ~path (fun oc ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "hw %s\n" hw.name;
+      Printf.fprintf oc "fingerprint %s\n" (Hardware.fingerprint hw);
+      Printf.fprintf oc "schema %s\n" Features.schema_id;
+      Printf.fprintf oc "checksum %s\n" (body_checksum body);
+      output_string oc body)
+
+let load ~path (hw : Hardware.t) =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        match List.rev !lines with
+        | header :: hw_line :: fp_line :: schema_line :: sum_line :: rest ->
+          (* Both body serializers newline-terminate every line, so the
+             body is exactly the remaining lines re-terminated. *)
+          let body = String.concat "" (List.map (fun l -> l ^ "\n") rest) in
+          if header <> magic then fail "unrecognized ranker model file"
+          else if hw_line <> "hw " ^ hw.name then
+            fail "ranker model was trained on a different platform (%s)"
+              hw_line
+          else if fp_line <> "fingerprint " ^ Hardware.fingerprint hw then
+            fail
+              "ranker model was trained for a different hardware \
+               configuration (%s)"
+              fp_line
+          else if schema_line <> "schema " ^ Features.schema_id then
+            fail "ranker model uses a different feature schema (%s)"
+              schema_line
+          else if sum_line <> "checksum " ^ body_checksum body then
+            fail "ranker model failed checksum verification (corrupted artifact)"
+          else begin
+            let cal_lines, model_lines =
+              List.partition (String.starts_with ~prefix:"kernel ") rest
+            in
+            try
+              let cal =
+                Calibration.of_curves
+                  ~fingerprint:(Hardware.fingerprint hw)
+                  (Profile_store.parse_body cal_lines)
+              in
+              let model =
+                Model.of_string
+                  (String.concat ""
+                     (List.map (fun l -> l ^ "\n") model_lines))
+              in
+              Ok (cal, model)
+            with Failure e | Invalid_argument e -> Error e
+          end
+        | _ -> fail "truncated ranker model file")

@@ -1,0 +1,21 @@
+(** Versioned, checksummed on-disk ranker artifacts.
+
+    Header: magic line, platform name, hardware fingerprint,
+    {!Features.schema_id}, body checksum; body: the ranker's calibration
+    stage ({!Mikpoly_adapt.Calibration.to_string}) followed by its
+    boosted-stump stage ({!Model.to_string}). Writes are atomic (tempfile
+    + rename). Loads validate each header line in order and return a
+    distinct [Error] per failure mode — unrecognized magic, wrong
+    platform, wrong fingerprint, wrong feature schema, checksum mismatch,
+    truncation, malformed body — so callers can log why a model was
+    refused and fall back to calibrated Eq. 2. Loading never raises. *)
+
+val magic : string
+
+val save :
+  path:string -> Mikpoly_accel.Hardware.t ->
+  Mikpoly_adapt.Calibration.t * Model.t -> unit
+
+val load :
+  path:string -> Mikpoly_accel.Hardware.t ->
+  (Mikpoly_adapt.Calibration.t * Model.t, string) result

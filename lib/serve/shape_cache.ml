@@ -7,12 +7,14 @@ type 'a entry = {
 
 type 'a t = {
   cache_capacity : int;
+  weight : (key -> float) option;
   table : (key, 'a entry) Hashtbl.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable rejections : int;
 }
 
 type stats = {
@@ -24,17 +26,23 @@ type stats = {
   capacity : int;
 }
 
-let create ~capacity =
+let make ?weight capacity =
   if capacity < 0 then invalid_arg "Shape_cache.create: negative capacity";
   {
     cache_capacity = capacity;
+    weight;
     table = Hashtbl.create (max 16 capacity);
     tick = 0;
     hits = 0;
     misses = 0;
     insertions = 0;
     evictions = 0;
+    rejections = 0;
   }
+
+let create ~capacity = make capacity
+
+let create_weighted ~weight ~capacity = make ~weight capacity
 
 let capacity (t : _ t) = t.cache_capacity
 
@@ -73,16 +81,65 @@ let evict_lru (t : _ t) =
     t.evictions <- t.evictions + 1
   | None -> ()
 
+(* Mass-aware admission: the victim is the lowest-weight resident (ties
+   broken by recency, oldest first — ticks are unique so the minimum is
+   unambiguous), and an incoming key strictly lighter than that victim is
+   refused outright. A cold-bucket scan therefore churns only among the
+   cold residents and can never push out a hot bucket, which plain LRU
+   does on any scan longer than the capacity. Returns [true] when the
+   caller may insert. *)
+let admit_weighted (t : _ t) w key =
+  let incoming = w key in
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        let cand = (w k, e.last_use) in
+        match acc with
+        | Some (_, best) when best <= cand -> acc
+        | _ -> Some (k, cand))
+      t.table None
+  in
+  match victim with
+  | None -> true
+  | Some (k, (victim_weight, _)) ->
+    if incoming < victim_weight then begin
+      t.rejections <- t.rejections + 1;
+      false
+    end
+    else begin
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      true
+    end
+
 let add (t : _ t) key value =
   if t.cache_capacity > 0 then begin
-    (match Hashtbl.find_opt t.table key with
-    | Some _ -> Hashtbl.remove t.table key
-    | None ->
-      if Hashtbl.length t.table >= t.cache_capacity then evict_lru t;
-      t.insertions <- t.insertions + 1);
-    t.tick <- t.tick + 1;
-    Hashtbl.replace t.table key { value; last_use = t.tick }
+    let admitted =
+      match Hashtbl.find_opt t.table key with
+      | Some _ ->
+        (* Refresh of a resident: no admission decision to make. *)
+        Hashtbl.remove t.table key;
+        true
+      | None ->
+        let ok =
+          if Hashtbl.length t.table < t.cache_capacity then true
+          else
+            match t.weight with
+            | Some w -> admit_weighted t w key
+            | None ->
+              evict_lru t;
+              true
+        in
+        if ok then t.insertions <- t.insertions + 1;
+        ok
+    in
+    if admitted then begin
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.table key { value; last_use = t.tick }
+    end
   end
+
+let rejections (t : _ t) = t.rejections
 
 let stats (t : _ t) =
   {

@@ -26,6 +26,18 @@ type stats = {
 val create : capacity:int -> 'a t
 (** [capacity] must be >= 0; 0 caches nothing. *)
 
+val create_weighted : weight:(key -> float) -> capacity:int -> 'a t
+(** Like {!create}, but with mass-aware admission instead of plain LRU:
+    when the cache is full, the victim is the {e lowest-weight} resident
+    (recency breaks ties, oldest first), and an incoming key whose weight
+    is strictly below that victim's is refused outright ({!rejections}
+    counts refusals). [weight] is consulted at admission time, so a
+    time-decayed mass (e.g. {!Mikpoly_fleet.Learner} bucket mass) works:
+    each decision uses the masses current at that moment. A cold-bucket
+    scan therefore churns only among cold residents and can never push
+    out a hot bucket — the failure mode of plain LRU under scans longer
+    than the capacity. *)
+
 val capacity : 'a t -> int
 
 val size : 'a t -> int
@@ -39,7 +51,14 @@ val find : 'a t -> key -> 'a option
 
 val add : 'a t -> key -> 'a -> unit
 (** Insert (or refresh) a binding, evicting the least recently used
-    entry if the cache is full. No-op at capacity 0. *)
+    entry if the cache is full (for a {!create_weighted} cache: the
+    lowest-weight entry, or refusing the insert — see there). No-op at
+    capacity 0. Refreshing a resident key never consults the admission
+    policy. *)
+
+val rejections : 'a t -> int
+(** Inserts refused by weighted admission; always 0 for {!create}
+    caches. *)
 
 val stats : 'a t -> stats
 

@@ -878,6 +878,43 @@ let test_search_batch_matches_polymerize () =
     (Invalid_argument "Polymerize.search_batch: min_chunk must be >= 1")
     (fun () -> ignore (Polymerize.search_batch ~min_chunk:0 set config ops))
 
+(* Shapes sharing one reduction extent share one [Strategy_space.view]
+   inside [search_batch]; sharing is a pure memoization, so every search
+   statistic — candidates scored, both pruning tallies, the first-hit
+   index — must match the per-shape searches exactly, not just the chosen
+   program. (search_seconds is wall time and excluded.) *)
+let test_search_batch_shared_view_tallies () =
+  let compiler = Lazy.force gpu_compiler in
+  let set = Compiler.kernels compiler in
+  let config = Compiler.config compiler in
+  let shapes =
+    (* same K across the batch: one shared view serves all of them *)
+    [| (512, 512, 768); (96, 2048, 768); (1024, 129, 768); (333, 77, 768) |]
+  in
+  let ops = Array.map (fun (m, n, k) -> Operator.gemm ~m ~n ~k ()) shapes in
+  let tallies (c : Polymerize.compiled) =
+    ( Program.to_string c.Polymerize.program,
+      c.Polymerize.predicted_cost,
+      c.Polymerize.candidates,
+      c.Polymerize.pruned,
+      c.Polymerize.pruned_analytic,
+      c.Polymerize.first_hit,
+      c.Polymerize.deadline_hit )
+  in
+  let expect =
+    Array.map
+      (fun op ->
+        tallies (Polymerize.polymerize ~instrument:false set config op))
+      ops
+  in
+  let batched =
+    Array.map tallies
+      (Polymerize.search_batch ~instrument:false ~jobs:1 ~min_chunk:1 set
+         config ops)
+  in
+  Alcotest.(check bool) "tallies identical under shared views" true
+    (batched = expect)
+
 let test_kernel_set_concurrent_create () =
   Kernel_set.clear_cache ();
   let config = Config.default gpu in
@@ -1019,5 +1056,7 @@ let () =
             test_prune_selfcheck_oracle;
           Alcotest.test_case "search_batch matches polymerize" `Quick
             test_search_batch_matches_polymerize;
+          Alcotest.test_case "shared views leave tallies unchanged" `Quick
+            test_search_batch_shared_view_tallies;
         ] );
     ]

@@ -225,6 +225,59 @@ let test_learner_ties_to_smaller_signature () =
   Alcotest.(check (list int))
     "signatures ascending" [ 32; 512 ] (Learner.signatures l)
 
+(* The warm store's mass-aware admission: the cache the fleet precompiles
+   into is weighted by decayed learner mass, so a heavy-tail tenant's hot
+   bucket must survive a scan of cold, never-repeated buckets — the exact
+   failure mode of plain LRU, where any scan longer than the capacity
+   flushes everything. *)
+let test_warm_admission_survives_cold_scan () =
+  let module Shape_cache = Mikpoly_serve.Shape_cache in
+  let l = Learner.create ~half_life:1.0 () in
+  (* One hot bucket and three mildly warm ones; the scan's buckets are
+     never observed, so their mass is 0. *)
+  Learner.observe l ~now:0. ~tenant:0 ~signature:1 ~weight:100.;
+  List.iter
+    (fun s -> Learner.observe l ~now:0. ~tenant:1 ~signature:s ~weight:1.)
+    [ 2; 3; 4 ];
+  let cache =
+    Shape_cache.create_weighted
+      ~weight:(fun (s, _, _) -> Learner.mass l ~now:0. ~signature:s)
+      ~capacity:4
+  in
+  List.iter (fun s -> Shape_cache.add cache (s, 0, 0) ()) [ 1; 2; 3; 4 ];
+  (* A cold-bucket scan 5x the capacity: every insert is refused (mass 0
+     is strictly below every resident's), so the working set survives
+     untouched. Under plain LRU this scan would evict all four. *)
+  for s = 100 to 119 do
+    Shape_cache.add cache (s, 0, 0) ()
+  done;
+  Alcotest.(check int) "every cold insert refused" 20
+    (Shape_cache.rejections cache);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d survived the scan" s)
+        true
+        (Shape_cache.mem cache (s, 0, 0)))
+    [ 1; 2; 3; 4 ];
+  (* A newly hot bucket still gets in — admission is mass-aware, not
+     frozen: it evicts the lowest-mass resident, never the hot bucket. *)
+  Learner.observe l ~now:0. ~tenant:2 ~signature:5 ~weight:50.;
+  Shape_cache.add cache (5, 0, 0) ();
+  Alcotest.(check bool) "new hot bucket admitted" true
+    (Shape_cache.mem cache (5, 0, 0));
+  Alcotest.(check bool) "hottest bucket still resident" true
+    (Shape_cache.mem cache (1, 0, 0));
+  Alcotest.(check int) "capacity respected" 4 (Shape_cache.size cache)
+
+let test_learner_mass_decays_to_harmless () =
+  let l = Learner.create ~half_life:1.0 () in
+  Learner.observe l ~now:0. ~tenant:0 ~signature:8 ~weight:16.;
+  Alcotest.(check (float 1e-9)) "fresh mass" 16. (Learner.mass l ~now:0. ~signature:8);
+  Alcotest.(check (float 1e-9)) "one half-life" 8. (Learner.mass l ~now:1. ~signature:8);
+  Alcotest.(check (float 1e-9)) "four half-lives" 1. (Learner.mass l ~now:4. ~signature:8);
+  Alcotest.(check (float 1e-9)) "never observed" 0. (Learner.mass l ~now:0. ~signature:9)
+
 (* --- Autoscaler --- *)
 
 let asc =
@@ -450,6 +503,10 @@ let () =
             test_learner_decay_and_ranking;
           Alcotest.test_case "deterministic ties" `Quick
             test_learner_ties_to_smaller_signature;
+          Alcotest.test_case "mass decays to harmless" `Quick
+            test_learner_mass_decays_to_harmless;
+          Alcotest.test_case "warm admission survives cold scan" `Quick
+            test_warm_admission_survives_cold_scan;
         ] );
       ( "autoscaler",
         [

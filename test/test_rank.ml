@@ -1,0 +1,314 @@
+(* Tests for the learned candidate-ranking subsystem: feature-schema
+   identity, model fitting determinism and serialization round-trips,
+   dataset harvesting through the observer hook, artifact-store negative
+   paths (every corruption mode must come back as [Error], never an
+   exception, so the caller falls back to calibrated Eq. 2), and the
+   ordering-soundness invariant — an un-truncated search's program is
+   bit-identical with the ranker on or off. *)
+
+open Mikpoly_rank
+module Hardware = Mikpoly_accel.Hardware
+module Compiler = Mikpoly_core.Compiler
+module Polymerize = Mikpoly_core.Polymerize
+module Config = Mikpoly_core.Config
+module Operator = Mikpoly_ir.Operator
+module Program = Mikpoly_ir.Program
+
+let gpu = Hardware.a100
+
+let gpu_compiler = lazy (Compiler.create gpu)
+
+let temp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let train_shapes = [ (96, 256, 128); (512, 192, 320); (768, 640, 96) ]
+
+let trained =
+  lazy
+    (let compiler = Lazy.force gpu_compiler in
+     let examples = Dataset.harvest ~compiler train_shapes in
+     (examples, Ranker.train ~rounds:24 ~learning_rate:0.1 ~hw:gpu examples))
+
+(* --- Features --- *)
+
+let test_feature_schema () =
+  Alcotest.(check int) "dim matches names" Features.dim
+    (Array.length Features.names);
+  Alcotest.(check bool) "shape prefix is a proper prefix" true
+    (Features.shape_dim > 0 && Features.shape_dim < Features.dim);
+  (* The schema id commits to the exact feature list: it embeds the
+     version and a digest of the comma-joined names. *)
+  let expected =
+    Printf.sprintf "rank-fs-v%d-%s" Features.schema_version
+      (Mikpoly_util.Checksum.fnv1a64_hex
+         (String.concat "," (Array.to_list Features.names)))
+  in
+  Alcotest.(check string) "schema id" expected Features.schema_id;
+  let v =
+    Features.of_candidate ~hw:gpu ~m:777 ~n:1234 ~k:555 ~um:64 ~un:64 ~uk:64
+      ~wave_capacity:108 ~n_tasks:260 ~pipe:12.5
+  in
+  Alcotest.(check int) "vector length" Features.dim (Array.length v);
+  Array.iteri
+    (fun i x ->
+      if Float.is_nan x then
+        Alcotest.failf "feature %s is NaN" Features.names.(i))
+    v
+
+(* --- Model --- *)
+
+let test_model_fit_deterministic () =
+  let n = 64 in
+  let features =
+    Array.init n (fun i ->
+        [| float_of_int (i mod 7); float_of_int (i mod 11); float_of_int i |])
+  in
+  let targets =
+    Array.init n (fun i -> sin (float_of_int i) +. (0.1 *. float_of_int (i mod 5)))
+  in
+  let fit () = Model.fit ~rounds:32 ~learning_rate:0.2 ~features ~targets () in
+  Alcotest.(check bool) "same data, same model" true (Model.equal (fit ()) (fit ()));
+  let m = fit () in
+  let round_tripped = Model.of_string (Model.to_string m) in
+  Alcotest.(check bool) "serialize/parse round-trip" true
+    (Model.equal m round_tripped);
+  Alcotest.(check string) "byte-stable reserialization"
+    (Model.to_string m)
+    (Model.to_string round_tripped)
+
+let test_model_reduces_training_error () =
+  let n = 128 in
+  let features =
+    Array.init n (fun i -> [| float_of_int (i mod 16); float_of_int (i / 16) |])
+  in
+  let targets =
+    Array.init n (fun i -> if i mod 16 < 8 then 1.0 else -1.0)
+  in
+  let sse m =
+    let s = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = targets.(i) -. Model.predict m x in
+        s := !s +. (d *. d))
+      features;
+    !s
+  in
+  let m0 = Model.fit ~rounds:0 ~features ~targets () in
+  let m = Model.fit ~rounds:48 ~features ~targets () in
+  Alcotest.(check bool) "boosting reduces SSE" true (sse m < 0.1 *. sse m0)
+
+(* --- Dataset --- *)
+
+let test_harvest_shapes_and_cleanup () =
+  let compiler = Lazy.force gpu_compiler in
+  let examples, _ = Lazy.force trained in
+  let set = Compiler.kernels compiler in
+  Alcotest.(check int) "one example per shape x kernel"
+    (List.length train_shapes * Array.length set.entries)
+    (List.length examples);
+  List.iter
+    (fun (e : Dataset.example) ->
+      Alcotest.(check int) "feature dim" Features.dim
+        (Array.length e.ex_features);
+      Alcotest.(check bool) "positive observed" true (e.ex_observed > 0.);
+      Alcotest.(check bool) "positive raw" true (e.ex_raw > 0.))
+    examples;
+  (* The observer hook must be cleared afterwards: a fresh simulate on
+     the same compiler must not grow anyone's accumulator, which we can
+     only check indirectly — installing our own observer still works and
+     sees exactly our own traffic. *)
+  let count = ref 0 in
+  Compiler.set_observer compiler (Some (fun _ -> incr count));
+  let c = Compiler.compile compiler (Operator.gemm ~m:96 ~n:256 ~k:128 ()) in
+  ignore (Compiler.simulate_observed compiler c);
+  Compiler.set_observer compiler None;
+  Alcotest.(check int) "observer sees one compile's observation" 1 !count
+
+let test_sample_shapes_deterministic () =
+  let a = Dataset.sample_shapes ~seed:42 ~count:12 in
+  let b = Dataset.sample_shapes ~seed:42 ~count:12 in
+  Alcotest.(check bool) "same seed, same shapes" true (a = b);
+  let sorted = List.sort_uniq compare a in
+  Alcotest.(check int) "distinct shapes" (List.length a) (List.length sorted);
+  List.iter
+    (fun (m, n, k) ->
+      let ok = m >= 64 && m <= 2048 && n >= 64 && n <= 2048 && k >= 64 && k <= 1024 in
+      Alcotest.(check bool) "in range" true ok)
+    a
+
+(* --- Artifact store: round-trip and every negative path --- *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let check_rejected name path =
+  match Ranker.load ~path ~hw:gpu with
+  | Ok _ -> Alcotest.failf "%s: load accepted a corrupt artifact" name
+  | Error msg ->
+    Alcotest.(check bool)
+      (name ^ ": error message non-empty")
+      true
+      (String.length msg > 0)
+
+let test_store_roundtrip () =
+  let _, ranker = Lazy.force trained in
+  let path = temp_path "mikpoly_test_rank.model" in
+  Ranker.save ~path ranker;
+  (match Ranker.load ~path ~hw:gpu with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "model round-trips" true
+      (Model.equal (Ranker.model ranker) (Ranker.model r));
+    (* The reloaded ranker must score identically. *)
+    let score r =
+      Ranker.score r ~m:777 ~n:1234 ~k:555 ~um:64 ~un:64 ~uk:64
+        ~wave_capacity:108 ~n_tasks:260 ~pipe:12.5
+    in
+    Alcotest.(check (float 0.)) "same score" (score ranker) (score r));
+  Sys.remove path
+
+let test_store_negative_paths () =
+  let _, ranker = Lazy.force trained in
+  let path = temp_path "mikpoly_test_rank_bad.model" in
+  Ranker.save ~path ranker;
+  let good = read_lines path in
+  let rewrite f = write_lines path (f good) in
+  (* Truncated: header only, body gone. *)
+  rewrite (fun lines -> List.filteri (fun i _ -> i < 3) lines);
+  check_rejected "truncated" path;
+  (* Unrecognized magic. *)
+  rewrite (function _ :: rest -> "not-a-ranker v9" :: rest | [] -> []);
+  check_rejected "bad magic" path;
+  (* Wrong platform: artifact written for the GPU, loaded as such, but
+     the header names another device. *)
+  rewrite (function
+    | magic :: _ :: rest -> magic :: ("hw " ^ Hardware.v100.Hardware.name) :: rest
+    | l -> l);
+  check_rejected "wrong platform" path;
+  (* Wrong fingerprint. *)
+  rewrite (function
+    | magic :: hw :: _ :: rest -> magic :: hw :: "fingerprint bogus" :: rest
+    | l -> l);
+  check_rejected "wrong fingerprint" path;
+  (* Wrong feature schema. *)
+  rewrite (function
+    | magic :: hw :: fp :: _ :: rest ->
+      magic :: hw :: fp :: "schema rank-fs-v999-dead" :: rest
+    | l -> l);
+  check_rejected "wrong schema" path;
+  (* Checksum mismatch: tamper with one body line, keep the header. *)
+  rewrite (fun lines ->
+      List.mapi
+        (fun i l -> if i = List.length lines - 1 then l ^ " tampered" else l)
+        lines);
+  check_rejected "checksum mismatch" path;
+  (* A model trained on one platform must not load on another even with
+     an intact file. *)
+  rewrite (fun _ -> good);
+  (match Ranker.load ~path ~hw:Hardware.ascend910 with
+  | Ok _ -> Alcotest.fail "GPU artifact loaded for the NPU"
+  | Error _ -> ());
+  (* And the genuine artifact still loads — the rewrites above did not
+     damage the reference copy. *)
+  (match Ranker.load ~path ~hw:gpu with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pristine artifact rejected: %s" e);
+  Sys.remove path
+
+let test_load_missing_file () =
+  match Ranker.load ~path:(temp_path "mikpoly_no_such_rank.model") ~hw:gpu with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error _ -> ()
+
+(* --- Ordering soundness: ranker on/off bit-identity, fewer first-hits --- *)
+
+let test_ranker_never_changes_program () =
+  let compiler = Lazy.force gpu_compiler in
+  let _, ranker = Lazy.force trained in
+  let set = Compiler.kernels compiler in
+  let cfg_plain =
+    { (Compiler.config compiler) with Config.search_deadline_ms = 0. }
+  in
+  let cfg_rank =
+    { cfg_plain with Config.ranker = Some (Ranker.config_ranker ranker) }
+  in
+  List.iter
+    (fun (m, n, k) ->
+      let op = Operator.gemm ~m ~n ~k () in
+      let plain = Polymerize.polymerize ~instrument:false set cfg_plain op in
+      let ranked = Polymerize.polymerize ~instrument:false set cfg_rank op in
+      Alcotest.(check string) "bit-identical program"
+        (Program.to_string plain.Polymerize.program)
+        (Program.to_string ranked.Polymerize.program);
+      Alcotest.(check (float 0.)) "same predicted cost"
+        plain.Polymerize.predicted_cost ranked.Polymerize.predicted_cost;
+      Alcotest.(check bool) "first-hit within candidate count" true
+        (ranked.Polymerize.first_hit >= 1
+        && ranked.Polymerize.first_hit <= ranked.Polymerize.candidates))
+    [ (777, 1234, 555); (96, 256, 128); (2048, 64, 512) ]
+
+let test_warm_start_produces_usable_ranker () =
+  let _, ranker = Lazy.force trained in
+  let npu = Hardware.ascend910 in
+  let npu_compiler = Compiler.create npu in
+  let examples = Dataset.harvest ~compiler:npu_compiler [ (256, 384, 192) ] in
+  let warm =
+    Ranker.warm_start ~rounds:8 ~learning_rate:0.1 ~base:ranker ~hw:npu
+      examples
+  in
+  let s =
+    Ranker.score warm ~m:777 ~n:1234 ~k:555 ~um:32 ~un:32 ~uk:32
+      ~wave_capacity:32 ~n_tasks:950 ~pipe:8.
+  in
+  Alcotest.(check bool) "positive finite score" true
+    (s > 0. && Float.is_finite s)
+
+let () =
+  Alcotest.run "rank"
+    [
+      ( "features",
+        [ Alcotest.test_case "schema identity" `Quick test_feature_schema ] );
+      ( "model",
+        [
+          Alcotest.test_case "fit deterministic + round-trip" `Quick
+            test_model_fit_deterministic;
+          Alcotest.test_case "boosting reduces SSE" `Quick
+            test_model_reduces_training_error;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "harvest covers shapes x kernels" `Quick
+            test_harvest_shapes_and_cleanup;
+          Alcotest.test_case "sampled shapes deterministic" `Quick
+            test_sample_shapes_deterministic;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "rejects every corruption mode" `Quick
+            test_store_negative_paths;
+          Alcotest.test_case "missing file is an Error" `Quick
+            test_load_missing_file;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "ranker never changes the program" `Quick
+            test_ranker_never_changes_program;
+          Alcotest.test_case "warm start yields a usable ranker" `Quick
+            test_warm_start_produces_usable_ranker;
+        ] );
+    ]

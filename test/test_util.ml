@@ -223,6 +223,19 @@ let test_kendall_tau_ties () =
      denominator. All-tied y degenerates to 0, not a crash. *)
   check_float "all tied" 0.
     (Stats.kendall_tau [ (1., 5.); (2., 5.); (3., 5.) ]);
+  (* The mirror regression: a constant {e predictor} (all-tied x) must
+     also score 0, never a spurious 1 — under naive tau a constant
+     scorer has no discordant pairs and would look like perfect ranking.
+     The ranking evaluator leans on this when a scorer degenerates. *)
+  check_float "constant predictor" 0.
+    (Stats.kendall_tau [ (5., 1.); (5., 2.); (5., 3.) ]);
+  check_float "all pairs tied both ways" 0.
+    (Stats.kendall_tau [ (5., 7.); (5., 7.); (5., 7.) ]);
+  (* Partial ties: 3 items, x ties the first two. Untied pairs are
+     (1,3) and (2,3), both concordant; tau-b = 2 / sqrt(2 * 3). *)
+  check_float "partial x ties"
+    (2. /. sqrt 6.)
+    (Stats.kendall_tau [ (5., 1.); (5., 2.); (6., 3.) ]);
   Alcotest.check_raises "too few samples"
     (Invalid_argument "Stats.kendall_tau: need at least two samples")
     (fun () -> ignore (Stats.kendall_tau [ (1., 1.) ]))
