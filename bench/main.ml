@@ -10,7 +10,7 @@
    Usage: main.exe [--quick] [--skip-experiments] [--skip-micro]
           [--skip-telemetry] [--skip-parallel] [--skip-graph]
           [--skip-adapt] [--skip-resilience] [--skip-fleet]
-          [--skip-rank] [ids...] *)
+          [--skip-rank] [--skip-hetero] [ids...] *)
 
 open Bechamel
 open Toolkit
@@ -34,6 +34,8 @@ let skip_resilience = Array.exists (( = ) "--skip-resilience") Sys.argv
 let skip_fleet = Array.exists (( = ) "--skip-fleet") Sys.argv
 
 let skip_rank = Array.exists (( = ) "--skip-rank") Sys.argv
+
+let skip_hetero = Array.exists (( = ) "--skip-hetero") Sys.argv
 
 let selected_ids =
   Array.to_list Sys.argv |> List.tl
@@ -866,6 +868,62 @@ let run_rank_bench () =
     (fun () -> output_string oc json1);
   Printf.printf "wrote %s\n%!" path
 
+(* --- Heterogeneous fleet: acceptance gates + jobs invariance ---
+
+   Runs the lib/hetero mixed GPU+NPU fleet against the equal-PE
+   single-backend baselines and the chaos failover pair, asserts the
+   acceptance gates hard (mixed strictly beats both single-backend
+   fleets on goodput at equal-or-fewer PEs, failover strictly beats
+   no-failover on SLO attainment under the same outage, the breaker
+   trips and re-closes through a half-open probe, hedges and the
+   brown-out ladder engage, and every arm conserves its terminal-status
+   ledger — no admitted request silently lost), re-renders at a
+   different worker-domain count and requires the byte-identical
+   report, then writes BENCH_hetero.json. *)
+
+let run_hetero_bench () =
+  let module E = Mikpoly_experiments.Exp_hetero in
+  let saved_jobs = Mikpoly_util.Domain_pool.default_jobs () in
+  let render jobs =
+    Mikpoly_util.Domain_pool.set_default_jobs jobs;
+    let r = E.results ~quick in
+    (r, Mikpoly_telemetry.Json.to_string (E.json r))
+  in
+  let r, json1 =
+    Fun.protect
+      ~finally:(fun () -> Mikpoly_util.Domain_pool.set_default_jobs saved_jobs)
+      (fun () ->
+        let result = render 1 in
+        let _, json4 = render 4 in
+        let _, json1 = result in
+        if json1 <> json4 then begin
+          Printf.eprintf "hetero bench: report at jobs=4 differs from jobs=1
+";
+          exit 1
+        end;
+        result)
+  in
+  (match E.failed_gates (E.gates r) with
+  | [] -> ()
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "hetero bench: gate failed: %s: %s
+" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    exit 1);
+  Printf.printf "hetero bench: %d gates hold, report identical across --jobs
+"
+    (List.length (E.gates r));
+  let path = "BENCH_hetero.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json1);
+  Printf.printf "wrote %s
+%!" path
+
 let () =
   if not skip_experiments then run_experiments ();
   if not skip_micro then run_micro ();
@@ -875,4 +933,5 @@ let () =
   if not skip_adapt then run_adapt_bench ();
   if not skip_resilience then run_resilience_bench ();
   if not skip_fleet then run_fleet_bench ();
-  if not skip_rank then run_rank_bench ()
+  if not skip_rank then run_rank_bench ();
+  if not skip_hetero then run_hetero_bench ()

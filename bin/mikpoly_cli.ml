@@ -613,6 +613,41 @@ let fleet jobs quick csv out store ranker =
       fs;
     1
 
+(* Heterogeneous mixed GPU+NPU fleet serving: device-class-keyed
+   stores, cost-model routing, the per-class health plane (breaker,
+   brown-out ladder, hedged dispatch) against the equal-PE
+   single-backend fleets and the chaos pair, with the acceptance gates
+   asserted hard. The JSON report contains only simulated quantities,
+   so two runs — at any --jobs count — must produce byte-identical
+   files (checked by the CI hetero-smoke stage with cmp). *)
+let hetero jobs quick csv out =
+  set_jobs jobs;
+  let module E = Mikpoly_experiments.Exp_hetero in
+  let r = E.results ~quick in
+  let report = E.report r in
+  if csv then
+    List.iter
+      (fun t -> print_endline (Mikpoly_util.Table.to_csv t))
+      report.Mikpoly_experiments.Exp.tables
+  else print_string (Mikpoly_experiments.Exp.render report);
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Mikpoly_telemetry.Json.to_string (E.json r)));
+  Printf.printf "wrote %s
+" out;
+  match E.failed_gates (E.gates r) with
+  | [] -> 0
+  | fs ->
+    List.iter
+      (fun (g : E.gate) ->
+        Printf.eprintf "hetero gate failed: %s: %s
+" g.E.gate_name
+          g.E.gate_detail)
+      fs;
+    1
+
 (* Train and evaluate the learned candidate-ordering ranker (lib/rank):
    harvest simulator observations on both platforms, fit the
    gradient-boosted model and the calibrated-Eq.-2 baseline from the
@@ -986,6 +1021,25 @@ let fleet_cmd =
       const fleet $ jobs_arg $ quick_flag $ csv_flag $ out $ store
       $ ranker_arg)
 
+let hetero_cmd =
+  let doc =
+    "Run the heterogeneous mixed GPU+NPU fleet (device-class kernel \
+     stores, cost-model routing, per-class circuit breaker, brown-out \
+     ladder, hedged dispatch) against equal-PE single-backend fleets \
+     and the chaos failover A/B, and write a machine-readable report"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_hetero.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Report file. Contains only simulated quantities, so runs are \
+             byte-identical at any $(b,--jobs) count.")
+  in
+  Cmd.v (Cmd.info "hetero" ~doc)
+    Term.(const hetero $ jobs_arg $ quick_flag $ csv_flag $ out)
+
 let rank_cmd =
   let doc =
     "Train the learned candidate-ordering ranker from simulator \
@@ -1070,7 +1124,8 @@ let main =
   let doc = "MikPoly dynamic-shape tensor compiler (simulated reproduction)" in
   Cmd.group (Cmd.info "mikpoly_cli" ~doc)
     [ run_cmd; list_cmd; compile_cmd; offline_cmd; patterns_cmd; serve_cmd;
-      adapt_cmd; chaos_cmd; graph_cmd; fleet_cmd; rank_cmd; verify_cmd;
+      adapt_cmd; chaos_cmd; graph_cmd; fleet_cmd; hetero_cmd; rank_cmd;
+      verify_cmd;
       profile_cmd; validate_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

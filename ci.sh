@@ -120,7 +120,7 @@ echo "== parallel-win =="
 # the programs must be byte-identical across job counts, and analytic
 # pruning must cut scored candidates at least 5x with the identical
 # program. The greps re-assert the recorded verdicts on the artifact.
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet --skip-rank
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-graph --skip-adapt --skip-resilience --skip-fleet --skip-rank --skip-hetero
 test -s BENCH_parallel.json
 grep -q '"passed":true' BENCH_parallel.json
 if grep -q '"programs_identical":false' BENCH_parallel.json; then
@@ -130,19 +130,19 @@ fi
 grep -q '"candidates_scored"' BENCH_parallel.json
 
 echo "== graph bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet --skip-rank
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-adapt --skip-resilience --skip-fleet --skip-rank --skip-hetero
 test -s BENCH_graph.json
 
 echo "== adapt bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience --skip-fleet --skip-rank
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-resilience --skip-fleet --skip-rank --skip-hetero
 test -s BENCH_adapt.json
 
 echo "== resilience bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-fleet --skip-rank
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-fleet --skip-rank --skip-hetero
 test -s BENCH_resilience.json
 
 echo "== fleet bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-rank
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-rank --skip-hetero
 test -s BENCH_fleet.json
 
 echo "== rank smoke test =="
@@ -172,8 +172,34 @@ dune exec bin/mikpoly_cli.exe -- serve --quick --ranker "$rank_model"
 rm -f "$rank_a" "$rank_b" "$rank_model"
 
 echo "== rank bench =="
-dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-fleet
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-fleet --skip-hetero
 test -s BENCH_rank.json
 grep -q '"gates_ok":true' BENCH_rank.json
+
+echo "== hetero smoke test =="
+# Heterogeneous mixed GPU+NPU fleet end to end: device-class kernel
+# stores, deadline-aware cost-model routing, the per-class circuit
+# breaker with trip-drain and half-open probes, hedged dispatch and the
+# brown-out ladder, against equal-PE single-backend fleets and the
+# chaos failover A/B. The subcommand exits non-zero if any acceptance
+# gate fails; the JSON report holds only simulated quantities, so runs
+# must produce byte-identical files across repeats and across --jobs
+# counts.
+hetero_a="${TMPDIR:-/tmp}/mikpoly_ci_hetero_a.json"
+hetero_b="${TMPDIR:-/tmp}/mikpoly_ci_hetero_b.json"
+dune exec bin/mikpoly_cli.exe -- hetero --quick --out "$hetero_a"
+test -s "$hetero_a"
+grep -q '"gates_ok":true' "$hetero_a"
+grep -q '"silent_losses":0' "$hetero_a"
+dune exec bin/mikpoly_cli.exe -- hetero --quick --out "$hetero_b"
+cmp "$hetero_a" "$hetero_b"
+dune exec bin/mikpoly_cli.exe -- hetero --quick --jobs 4 --out "$hetero_b"
+cmp "$hetero_a" "$hetero_b"
+rm -f "$hetero_a" "$hetero_b"
+
+echo "== hetero bench =="
+dune exec bench/main.exe -- --quick --skip-experiments --skip-micro --skip-telemetry --skip-parallel --skip-graph --skip-adapt --skip-resilience --skip-fleet --skip-rank
+test -s BENCH_hetero.json
+grep -q '"gates_ok":true' BENCH_hetero.json
 
 echo "CI OK"

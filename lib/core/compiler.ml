@@ -138,6 +138,8 @@ let safe_mode t = t.safe_mode
 
 let hardware t = t.hw
 
+let fingerprint t = Mikpoly_accel.Hardware.fingerprint t.hw
+
 let config t = t.config
 
 let kernels t = t.kernels

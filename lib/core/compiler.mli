@@ -59,6 +59,12 @@ val ladder_stats : t -> ladder_stats
 
 val hardware : t -> Mikpoly_accel.Hardware.t
 
+val fingerprint : t -> string
+(** {!Mikpoly_accel.Hardware.fingerprint} of this compiler's hardware —
+    the key every on-disk artifact (kernel stores, calibration
+    profiles, rank models) and the heterogeneous fleet's per-class
+    stores are indexed by. *)
+
 val config : t -> Config.t
 
 val kernels : t -> Kernel_set.t

@@ -71,7 +71,7 @@ let trace ~quick =
     ~max_output:(if quick then 8 else 16)
     (specs ~quick) ()
 
-let fleet_config ?(coalesce = false) ?warm ?autoscale ~replicas () =
+let fleet_config ?(coalesce = false) ?warm ?autoscale ?ratelimit ~replicas () =
   {
     F.replicas;
     batcher = Batcher.Slo_aware { max_batch };
@@ -81,6 +81,7 @@ let fleet_config ?(coalesce = false) ?warm ?autoscale ~replicas () =
     steal_age = 0.004;
     warm;
     autoscale;
+    ratelimit;
   }
 
 let warm_config ~quick =

@@ -27,6 +27,7 @@ let all =
     Exp_resilience.exp;
     Exp_graph.exp;
     Exp_fleet.exp;
+    Exp_hetero.exp;
     Exp_rank.exp;
   ]
 

@@ -75,6 +75,17 @@ let allow t ~now =
       false
     end
 
+(* Pure peek for schedulers that must *rank* a breaker-guarded target
+   among alternatives before committing to it: same verdict [allow]
+   would give, but no Open->Half_open transition and no rejection
+   accounting, so calling it any number of times (in any event-scan
+   order) cannot perturb the breaker's state. *)
+let would_allow t ~now =
+  match t.state with
+  | Closed -> true
+  | Half_open -> false
+  | Open -> now >= t.open_until
+
 let record_success t =
   t.state <- Closed;
   t.failures <- 0

@@ -38,6 +38,12 @@ val allow : t -> now:float -> bool
     Open → Half_open (admitting the probe). Pair every [true] with a
     subsequent {!record_success} or {!record_failure}. *)
 
+val would_allow : t -> now:float -> bool
+(** The verdict {!allow} would return, with no state transition and no
+    rejection accounting — a pure peek, safe to call while ranking a
+    breaker-guarded target among alternatives. A [true] only becomes a
+    probe admission when {!allow} is actually called. *)
+
 val record_success : t -> unit
 
 val record_failure : t -> now:float -> unit

@@ -1,3 +1,10 @@
+type class_window = {
+  cw_class : int;
+  cw_start : float;
+  cw_stop : float;
+  cw_slowdown : float;
+}
+
 type t = {
   seed : int;
   step_fail_rate : float;
@@ -5,6 +12,8 @@ type t = {
   straggler_slowdown : float;
   crashes : (float * int) list;
   restart_delay : float;
+  outages : class_window list;
+  brownouts : class_window list;
 }
 
 let none = {
@@ -14,6 +23,8 @@ let none = {
   straggler_slowdown = 1.;
   crashes = [];
   restart_delay = 0.;
+  outages = [];
+  brownouts = [];
 }
 
 let validate t =
@@ -29,10 +40,29 @@ let validate t =
     (fun (time, replica) ->
       if time < 0. || replica < 0 then
         invalid_arg "Plan: crash entries need time >= 0 and replica >= 0")
-    t.crashes
+    t.crashes;
+  let check_window what w =
+    if w.cw_class < 0 then
+      invalid_arg ("Plan: " ^ what ^ " class must be >= 0");
+    if w.cw_start < 0. || w.cw_stop <= w.cw_start then
+      invalid_arg ("Plan: " ^ what ^ " window needs 0 <= start < stop");
+    if w.cw_slowdown < 1. then
+      invalid_arg ("Plan: " ^ what ^ " slowdown must be >= 1")
+  in
+  List.iter (check_window "outage") t.outages;
+  List.iter (check_window "brownout") t.brownouts
+
+let outage ~cls ~start ~stop =
+  { cw_class = cls; cw_start = start; cw_stop = stop; cw_slowdown = 1. }
+
+let brownout ~cls ~start ~stop ~slowdown =
+  { cw_class = cls; cw_start = start; cw_stop = stop; cw_slowdown = slowdown }
+
+let sort_windows = List.sort compare
 
 let make ?(step_fail_rate = 0.) ?(straggler_rate = 0.)
-    ?(straggler_slowdown = 1.) ?(crashes = []) ?(restart_delay = 0.) ~seed () =
+    ?(straggler_slowdown = 1.) ?(crashes = []) ?(restart_delay = 0.)
+    ?(outages = []) ?(brownouts = []) ~seed () =
   let t =
     {
       seed;
@@ -41,6 +71,8 @@ let make ?(step_fail_rate = 0.) ?(straggler_rate = 0.)
       straggler_slowdown;
       crashes = List.sort compare crashes;
       restart_delay;
+      outages = sort_windows outages;
+      brownouts = sort_windows brownouts;
     }
   in
   validate t;
@@ -87,6 +119,25 @@ let clamp_crashes t ~replicas =
 
 let is_quiet t =
   t.step_fail_rate <= 0. && t.straggler_rate <= 0. && t.crashes = []
+  && t.outages = [] && t.brownouts = []
+
+(* Device-class schedules for the heterogeneous fleet: a class index is
+   whatever the caller's backend order says (lib/fault stays ignorant of
+   accelerator types). Windows are half-open [start, stop): an outage
+   fails every step the class attempts inside it; overlapping brownout
+   slowdowns multiply, like stacked stragglers. *)
+let class_down t ~cls ~now =
+  List.exists
+    (fun w -> w.cw_class = cls && w.cw_start <= now && now < w.cw_stop)
+    t.outages
+
+let class_slowdown t ~cls ~now =
+  List.fold_left
+    (fun acc w ->
+      if w.cw_class = cls && w.cw_start <= now && now < w.cw_stop then
+        acc *. w.cw_slowdown
+      else acc)
+    1. t.brownouts
 
 let step_fails t ~replica ~step =
   t.step_fail_rate > 0.

@@ -9,6 +9,16 @@
     schedule is bit-identical across runs, across [--jobs] counts, and
     across the resilience-on/off arms of an A/B. *)
 
+type class_window = {
+  cw_class : int;
+      (** device-class index, in the caller's backend order — lib/fault
+          stays ignorant of accelerator types *)
+  cw_start : float;
+  cw_stop : float;  (** half-open window [start, stop) *)
+  cw_slowdown : float;  (** brown-out step multiplier; 1 for outages *)
+}
+(** A scheduled device-class fault window for a heterogeneous fleet. *)
+
 type t = {
   seed : int;
   step_fail_rate : float;
@@ -22,10 +32,25 @@ type t = {
           loses its in-flight work and shape cache, and is down for
           [restart_delay] *)
   restart_delay : float;
+  outages : class_window list;
+      (** every step a device class attempts inside an outage window
+          fails (work lost, time elapsed) — the signal that trips the
+          hetero fleet's per-class circuit breaker *)
+  brownouts : class_window list;
+      (** device-class slowdown windows (thermal throttling, congested
+          interconnect): step times multiply by [cw_slowdown] — the
+          signal behind the hetero fleet's degraded routing ladder *)
 }
 
 val none : t
 (** The empty plan: injects nothing. *)
+
+val outage : cls:int -> start:float -> stop:float -> class_window
+(** A full device-class outage window. *)
+
+val brownout :
+  cls:int -> start:float -> stop:float -> slowdown:float -> class_window
+(** A device-class brown-out window with the given step multiplier. *)
 
 val make :
   ?step_fail_rate:float ->
@@ -33,11 +58,14 @@ val make :
   ?straggler_slowdown:float ->
   ?crashes:(float * int) list ->
   ?restart_delay:float ->
+  ?outages:class_window list ->
+  ?brownouts:class_window list ->
   seed:int ->
   unit ->
   t
-(** Explicit schedule; crashes are sorted. Raises [Invalid_argument] on
-    out-of-range rates. *)
+(** Explicit schedule; crashes and class windows are sorted. Raises
+    [Invalid_argument] on out-of-range rates or empty/negative
+    windows. *)
 
 val scenario :
   ?step_fail_rate:float ->
@@ -68,6 +96,14 @@ val step_fails : t -> replica:int -> step:int -> bool
 
 val step_slowdown : t -> replica:int -> step:int -> float
 (** Duration multiplier for that step (1.0 = healthy). *)
+
+val class_down : t -> cls:int -> now:float -> bool
+(** Whether device class [cls] is inside an outage window at [now]:
+    every step it attempts fails (device time elapses, work is lost). *)
+
+val class_slowdown : t -> cls:int -> now:float -> float
+(** Product of the brown-out multipliers covering [now] for class
+    [cls] (1.0 = healthy). Composes with {!step_slowdown}. *)
 
 val device :
   ?launch_fail_rate:float ->

@@ -51,10 +51,14 @@ type config = {
   steal_age : float;
   warm : warm_config option;
   autoscale : Autoscaler.config option;
+  ratelimit : Ratelimit.config option;
 }
 
 let validate config =
   if config.replicas < 1 then invalid_arg "Fleet: replicas must be >= 1";
+  (match config.ratelimit with
+  | Some rl -> Ratelimit.validate rl
+  | None -> ());
   if config.cache_capacity < 0 then
     invalid_arg "Fleet: negative cache capacity";
   if config.steal_age < 0. then invalid_arg "Fleet: steal_age must be >= 0";
@@ -83,6 +87,7 @@ type tier_metrics = {
 type outcome = {
   completed : Sch.completed list;
   dropped : Request.t list;
+  rate_limited : Request.t list;
   steps : int;
   makespan : float;
   compile_stall_seconds : float;
@@ -116,7 +121,7 @@ let to_scheduler_outcome (o : outcome) : Sch.outcome =
   {
     Sch.completed = o.completed;
     dropped = o.dropped;
-    rejected = [];
+    rejected = List.map (fun r -> (r, "rate-limited")) o.rate_limited;
     timed_out = [];
     failed = [];
     steps = o.steps;
@@ -240,6 +245,16 @@ let run ?(faults = Plan.none) config engine trace =
   in
   let completed = ref [] in
   let dropped = ref [] in
+  let rate_limited = ref [] in
+  let limiter =
+    match config.ratelimit with
+    | Some base ->
+      Some
+        (Ratelimit.create
+           ~rate_for:(fun t -> Ratelimit.for_tier ~base t.Tenant.tier)
+           ())
+    | None -> None
+  in
   let steps = ref 0 in
   let stall_total = ref 0. in
   let actual_tokens = ref 0 in
@@ -713,15 +728,28 @@ let run ?(faults = Plan.none) config engine trace =
       | `Arrival ->
         let tg = List.hd !pending in
         pending := List.tl !pending;
-        (match learner with
-        | Some l ->
-          Learner.observe l ~now:t
-            ~tenant:tg.Tenant.tenant.Tenant.tenant_id
-            ~signature:(signature tg)
-            ~weight:
-              (float_of_int (Tenant.weight tg.Tenant.tenant.Tenant.tier))
-        | None -> ());
-        Wfq.push q tg
+        let admitted =
+          match limiter with
+          | Some l -> Ratelimit.admit l ~now:t tg
+          | None -> true
+        in
+        if not admitted then begin
+          (* Shed at the door, before the WFQ and before the learner —
+             rate-limited traffic must not train the warm store. *)
+          rate_limited := !rate_limited @ [ tg.Tenant.req ];
+          incr resolved
+        end
+        else begin
+          (match learner with
+          | Some l ->
+            Learner.observe l ~now:t
+              ~tenant:tg.Tenant.tenant.Tenant.tenant_id
+              ~signature:(signature tg)
+              ~weight:
+                (float_of_int (Tenant.weight tg.Tenant.tenant.Tenant.tier))
+          | None -> ());
+          Wfq.push q tg
+        end
       | `Refresh w ->
         do_refresh w ~now:t;
         next_refresh := !next_refresh +. w.warm_interval
@@ -772,6 +800,7 @@ let run ?(faults = Plan.none) config engine trace =
   {
     completed = List.rev !completed;
     dropped = !dropped;
+    rate_limited = !rate_limited;
     steps = !steps;
     makespan = !makespan;
     compile_stall_seconds = !stall_total;

@@ -45,6 +45,10 @@ type config = {
           replica — the starvation bound on owner affinity *)
   warm : warm_config option;  (** [None] disables the warm store *)
   autoscale : Autoscaler.config option;  (** [None] pins the fleet size *)
+  ratelimit : Ratelimit.config option;
+      (** base (weight-1) token bucket per tenant, scaled by tier weight
+          via {!Ratelimit.for_tier}; shedding happens at arrival, before
+          the WFQ and the warm-store learner. [None] admits everything. *)
 }
 
 val validate : config -> unit
@@ -61,6 +65,8 @@ type tier_metrics = {
 type outcome = {
   completed : Mikpoly_serve.Scheduler.completed list;  (** finish order *)
   dropped : Mikpoly_serve.Request.t list;  (** shed by the SLO batcher *)
+  rate_limited : Mikpoly_serve.Request.t list;
+      (** refused at the door by the per-tenant token bucket *)
   steps : int;
   makespan : float;
   compile_stall_seconds : float;  (** on-path (request-visible) only *)
@@ -101,6 +107,7 @@ val run :
 
 val to_scheduler_outcome : outcome -> Mikpoly_serve.Scheduler.outcome
 (** Project onto the single-tenant outcome record so the
-    {!Mikpoly_serve.Metrics} report pipeline applies unchanged (fields
-    the fleet does not model — admission rejection, retry budgets — are
-    zero/empty). *)
+    {!Mikpoly_serve.Metrics} report pipeline applies unchanged:
+    rate-limited requests surface as rejections (reason
+    ["rate-limited"]); fields the fleet does not model — retry budgets,
+    timeouts — are zero/empty. *)

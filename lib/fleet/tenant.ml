@@ -32,12 +32,30 @@ type spec = {
 
 let requests tagged = List.map (fun tg -> tg.req) tagged
 
+type profile = {
+  p_ttft : float option;
+  p_tpot : float option;
+  p_max_prompt : int option;
+  p_max_output : int option;
+  p_length_dist : Request.length_dist option;
+}
+
+let no_profile =
+  {
+    p_ttft = None;
+    p_tpot = None;
+    p_max_prompt = None;
+    p_max_output = None;
+    p_length_dist = None;
+  }
+
 (* Merge per-tenant Poisson streams into one fleet trace. Each tenant
    draws from its own seed-derived PRNG stream, so adding or resizing
    one tenant never perturbs another's arrivals; the merge re-identifies
    requests so ids are unique fleet-wide (the scheduler keys per-request
    state on them). *)
-let trace ?length_dist ?ttft_budget ?tpot_budget ~seed ~max_prompt ~max_output
+let trace ?length_dist ?ttft_budget ?tpot_budget
+    ?(profiles = fun (_ : tier) -> no_profile) ~seed ~max_prompt ~max_output
     specs () =
   let ids = List.map (fun s -> s.tenant.tenant_id) specs in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
@@ -51,11 +69,26 @@ let trace ?length_dist ?ttft_budget ?tpot_budget ~seed ~max_prompt ~max_output
     List.map
       (fun s ->
         let tseed = seed + (0x9E3779B9 * (s.tenant.tenant_id + 1)) in
+        (* Tier profiles override the trace-wide knobs: an interactive
+           tier can carry a tight TTFT budget and chat-sized prompts
+           while a batch tier on the same fleet submits long, loose-
+           deadline jobs — the workload shape, not just the weight,
+           follows the tier. *)
+        let p = profiles s.tenant.tier in
+        let pick_f o d = match o with Some v -> Some v | None -> d in
+        let pick_i o d = match o with Some v -> v | None -> d in
         List.map
           (fun r -> { req = r; tenant = s.tenant })
-          (Request.poisson ?length_dist ?ttft_budget ?tpot_budget
-             ~seed:(abs tseed) ~rate:s.rate ~count:s.count ~max_prompt
-             ~max_output ()))
+          (Request.poisson
+             ?length_dist:
+               (match p.p_length_dist with
+               | Some d -> Some d
+               | None -> length_dist)
+             ?ttft_budget:(pick_f p.p_ttft ttft_budget)
+             ?tpot_budget:(pick_f p.p_tpot tpot_budget)
+             ~seed:(abs tseed) ~rate:s.rate ~count:s.count
+             ~max_prompt:(pick_i p.p_max_prompt max_prompt)
+             ~max_output:(pick_i p.p_max_output max_output) ()))
       specs
   in
   List.concat streams

@@ -43,17 +43,32 @@ val requests : tagged list -> Mikpoly_serve.Request.t list
 (** Strip the tenants — the trace a tenant-blind baseline scheduler
     sees. *)
 
+type profile = {
+  p_ttft : float option;  (** TTFT budget override for the tier *)
+  p_tpot : float option;
+  p_max_prompt : int option;
+  p_max_output : int option;
+  p_length_dist : Mikpoly_serve.Request.length_dist option;
+}
+(** Per-tier workload shape: interactive tiers carry tight first-token
+    budgets and chat-sized prompts, batch tiers long loose-deadline
+    jobs. [None] fields fall back to the trace-wide arguments. *)
+
+val no_profile : profile
+
 val trace :
   ?length_dist:Mikpoly_serve.Request.length_dist ->
-  ?ttft_budget:float -> ?tpot_budget:float -> seed:int -> max_prompt:int ->
+  ?ttft_budget:float -> ?tpot_budget:float -> ?profiles:(tier -> profile) ->
+  seed:int -> max_prompt:int ->
   max_output:int -> spec list -> unit -> tagged list
 (** Merge per-tenant Poisson streams into one arrival-ordered trace.
     Each tenant draws from its own seed-derived PRNG stream (resizing
     one tenant never perturbs another's arrivals) and request ids are
     reassigned to be unique fleet-wide. Pass
     [~length_dist:(Pareto { alpha = 1.1 })] for the heavy-tail prompt
-    mix of real multi-tenant traffic. Raises [Invalid_argument] on
-    duplicate or negative tenant ids. *)
+    mix of real multi-tenant traffic, and [profiles] to give each tier
+    its own SLO budgets and length caps ({!profile}). Raises
+    [Invalid_argument] on duplicate or negative tenant ids. *)
 
 val lookup : tagged list -> int -> t
 (** Tenant of a request id from the trace; raises [Invalid_argument] on

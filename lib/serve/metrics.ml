@@ -104,8 +104,13 @@ let pc x = Printf.sprintf "%.0f%%" (100. *. x)
    Chrome trace). The scheduler lists live replicas first, then one
    entry per cache retired by a crash, so hits and misses paid before a
    crash stay accounted; the final rows total the fleet and restate the
-   run's compile/adapt stall charges. *)
-let cache_table ?(replicas = max_int) (o : Scheduler.outcome) =
+   run's compile/adapt stall charges. A heterogeneous fleet passes
+   [labels] (one per cache entry, e.g. "gpu-0" / "npu-2" /
+   "crashed-gpu-0") and [stalls] (per-device-class stall rows) so
+   mixed-fleet telemetry attributes every cache and stall to its
+   class. *)
+let cache_table ?(replicas = max_int) ?labels ?(stalls = [])
+    (o : Scheduler.outcome) =
   let table =
     Table.create ~title:"Per-replica program cache and compile stalls"
       ~header:
@@ -123,13 +128,14 @@ let cache_table ?(replicas = max_int) (o : Scheduler.outcome) =
         Printf.sprintf "%d/%d" s.Shape_cache.size s.Shape_cache.capacity;
       ]
   in
-  List.iteri
-    (fun i s ->
-      stat_row
-        (if i < replicas then string_of_int i
-         else Printf.sprintf "crashed-%d" (i - replicas))
-        s)
-    o.Scheduler.cache;
+  let label_of i =
+    match labels with
+    | Some ls when i < List.length ls -> List.nth ls i
+    | _ ->
+      if i < replicas then string_of_int i
+      else Printf.sprintf "crashed-%d" (i - replicas)
+  in
+  List.iteri (fun i s -> stat_row (label_of i) s) o.Scheduler.cache;
   stat_row "total" (Shape_cache.total o.Scheduler.cache);
   Table.add_row table
     [
@@ -141,6 +147,11 @@ let cache_table ?(replicas = max_int) (o : Scheduler.outcome) =
       Table.fmt_time_us o.Scheduler.adapt_stall_seconds;
       "";
     ];
+  List.iter
+    (fun (cls, seconds) ->
+      Table.add_row table
+        [ "stall"; cls; Table.fmt_time_us seconds; ""; ""; ""; "" ])
+    stalls;
   (* process-wide search-pruning economics behind those stalls: how many
      candidates the analytic strategy space discarded before scoring vs
      how many the scored bound rejected (cumulative telemetry counters) *)

@@ -40,13 +40,21 @@ val of_outcome : Scheduler.outcome -> t
     request meets its SLO when both its TTFT and end-to-end budgets
     hold; dropped, rejected, timed-out and failed requests never do. *)
 
-val cache_table : ?replicas:int -> Scheduler.outcome -> Mikpoly_util.Table.t
+val cache_table :
+  ?replicas:int ->
+  ?labels:string list ->
+  ?stalls:(string * float) list ->
+  Scheduler.outcome ->
+  Mikpoly_util.Table.t
 (** Per-replica program-cache economics (hits, misses, insertions,
     evictions, occupancy) with a fleet total and the run's compile/adapt
     stall charges — the human-readable view of what was previously only
     telemetry counters. Pass [replicas] (the configured fleet size) to
     label trailing entries, which belong to caches retired by replica
-    crashes, as [crashed-i]. *)
+    crashes, as [crashed-i]. A heterogeneous fleet instead passes
+    [labels] — one per cache entry, e.g. ["gpu-0"], ["npu-1"],
+    ["crashed-npu-0"] — and [stalls], extra [(class, seconds)] rows
+    attributing compile stalls to each device class. *)
 
 val header : string list
 (** Column names matching {!to_row}, with a leading "config" column. *)

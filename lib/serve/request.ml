@@ -13,16 +13,20 @@ type t = {
 
 type length_dist =
   | Log_uniform
+  | Log_uniform_band of { lo : int }
   | Pareto of { alpha : float }
   | Log_normal of { sigma : float }
 
 let dist_name = function
   | Log_uniform -> "log-uniform"
+  | Log_uniform_band { lo } -> Printf.sprintf "log-uniform-band-%d" lo
   | Pareto { alpha } -> Printf.sprintf "pareto-%g" alpha
   | Log_normal { sigma } -> Printf.sprintf "lognormal-%g" sigma
 
 let validate_dist = function
   | Log_uniform -> ()
+  | Log_uniform_band { lo } ->
+    if lo < 1 then invalid_arg "Request: Log_uniform_band lo must be >= 1"
   | Pareto { alpha } ->
     if alpha <= 0. then invalid_arg "Request: Pareto alpha must be positive"
   | Log_normal { sigma } ->
@@ -50,6 +54,7 @@ let exponential rng ~rate =
 let length_in rng dist hi =
   match dist with
   | Log_uniform -> Mikpoly_util.Prng.log_int_in rng 1 hi
+  | Log_uniform_band { lo } -> Mikpoly_util.Prng.log_int_in rng (min lo hi) hi
   | Pareto { alpha } ->
     (* Inverse-CDF Pareto with x_min = 1: the classic heavy tail. [u] is
        in [0, 1), so [1 - u] is in (0, 1] and the power is finite. *)

@@ -30,6 +30,10 @@ type t = {
     - [Log_normal]: median near 1, [sigma] widening the tail. *)
 type length_dist =
   | Log_uniform
+  | Log_uniform_band of { lo : int }
+      (** log-uniform in [\[lo, max\]] — a band of uniformly large
+          jobs (batch inference), no small-prompt mass; requires
+          [lo >= 1] *)
   | Pareto of { alpha : float }  (** requires [alpha > 0] *)
   | Log_normal of { sigma : float }  (** requires [sigma > 0] *)
 

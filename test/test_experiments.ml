@@ -18,7 +18,8 @@ let test_registry_complete () =
     [ "tab1"; "fig1"; "tab3"; "tab4"; "fig6"; "fig7"; "fig8"; "fig9";
       "npu_e2e"; "fig10"; "tab5"; "tab8"; "fig11"; "fig12"; "fig13";
       "case_study"; "ablations"; "winograd"; "fusion"; "inflight"; "batched";
-      "costmodel"; "serving"; "adaptation"; "resilience"; "graph"; "fleet"; "rank" ]
+      "costmodel"; "serving"; "adaptation"; "resilience"; "graph"; "fleet";
+      "hetero"; "rank" ]
   in
   Alcotest.(check (list string)) "registry ids" expected Registry.ids;
   List.iter

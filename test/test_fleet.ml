@@ -47,6 +47,7 @@ let fleet_config =
     steal_age = 0.05;
     warm = None;
     autoscale = None;
+    ratelimit = None;
   }
 
 (* --- Tenant --- *)
